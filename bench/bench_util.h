@@ -1,0 +1,76 @@
+#ifndef STTR_BENCH_BENCH_UTIL_H_
+#define STTR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/st_transrec.h"
+#include "data/split.h"
+#include "data/synth/world_generator.h"
+#include "eval/protocol.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace sttr::bench {
+
+/// Options shared by every experiment driver, parsed from argv:
+/// --scale=tiny|small|paper, --seed=N, --epochs=N, --negatives=N,
+/// --out=<csv path prefix>, --verbose.
+struct BenchOptions {
+  synth::Scale scale = synth::Scale::kSmall;
+  uint64_t seed = 0;  // 0 = keep the dataset preset's seed
+  size_t epochs = 0;  // 0 = keep the model default
+  size_t eval_negatives = 100;
+  std::string out_prefix;
+  bool verbose = false;
+
+  static BenchOptions Parse(int argc, char** argv);
+
+  /// Deep-model config with the shared defaults applied (paper's Foursquare
+  /// architecture; epochs overridden when --epochs is given).
+  StTransRecConfig DeepConfig() const;
+
+  /// Eval protocol config.
+  EvalConfig Eval() const;
+};
+
+/// Builds the Foursquare-like or Yelp-like world plus its split.
+struct WorldAndSplit {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+WorldAndSplit MakeWorld(const std::string& dataset_name,
+                        const BenchOptions& opts);
+
+/// The paper's per-dataset deep settings: embedding size and tower widths
+/// (Foursquare: 64, 128->64->32->16; Yelp: 128, 256->128->64->32).
+void ApplyPaperArchitecture(const std::string& dataset_name,
+                            StTransRecConfig& config);
+
+/// One trained-and-evaluated method.
+struct MethodRun {
+  std::string name;
+  EvalResult result;
+  double fit_seconds = 0.0;
+};
+
+/// Fits and evaluates each named method (see baselines::MakeRecommender).
+std::vector<MethodRun> RunMethods(const Dataset& dataset,
+                                  const CrossCitySplit& split,
+                                  const std::vector<std::string>& names,
+                                  const StTransRecConfig& deep_config,
+                                  const EvalConfig& eval_config, bool verbose);
+
+/// Renders the Figure 3-6 style output: one table per metric with a row per
+/// method and a column per k. Writes CSV files when out_prefix is non-empty.
+void PrintMetricTables(const std::vector<MethodRun>& runs,
+                       const std::vector<size_t>& ks,
+                       const std::string& out_prefix);
+
+/// Formats a metric value like the paper (4 decimals, no leading zero).
+std::string FormatMetric(double v);
+
+}  // namespace sttr::bench
+
+#endif  // STTR_BENCH_BENCH_UTIL_H_

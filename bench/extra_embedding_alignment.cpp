@@ -1,0 +1,121 @@
+// Extra experiment (Fig. 1a made quantitative): the MMD transfer layer is
+// supposed to pull same-meaning POIs from different cities together by
+// stripping city-dependent features. We train the full model and the
+// no-MMD variant on the same world and measure
+//
+//   * the quadratic-MMD discrepancy between source- and target-city POI
+//     embedding distributions (should shrink with the transfer loss), and
+//   * the topic-alignment gap: mean cosine of cross-city same-topic POI
+//     pairs minus cross-city different-topic pairs (should widen), using
+//     the generator's hidden topic labels.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "transfer/mmd.h"
+
+using namespace sttr;
+
+namespace {
+
+struct Alignment {
+  double mmd = 0;
+  double same_topic_cos = 0;
+  double diff_topic_cos = 0;
+};
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  return dot / (std::sqrt(na * nb) + 1e-12);
+}
+
+Alignment Measure(const StTransRec& model, const synth::SynthWorld& world,
+                  CityId target) {
+  const Dataset& data = world.dataset;
+  Alignment out;
+
+  // Embedding distributions per side.
+  std::vector<std::vector<float>> target_rows, source_rows;
+  std::vector<size_t> target_topics, source_topics;
+  for (const Poi& p : data.pois()) {
+    auto row = model.PoiEmbedding(p.id);
+    if (p.city == target) {
+      target_rows.push_back(std::move(row));
+      target_topics.push_back(world.truth.poi_topic[static_cast<size_t>(p.id)]);
+    } else {
+      source_rows.push_back(std::move(row));
+      source_topics.push_back(world.truth.poi_topic[static_cast<size_t>(p.id)]);
+    }
+  }
+  const size_t d = target_rows.front().size();
+  auto to_tensor = [&](const std::vector<std::vector<float>>& rows) {
+    Tensor t({rows.size(), d});
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = 0; j < d; ++j) t.at(i, j) = rows[i][j];
+    }
+    return t;
+  };
+  const Tensor ts = to_tensor(source_rows);
+  const Tensor tt = to_tensor(target_rows);
+  Rng rng(5);
+  const double sigma = MedianHeuristicSigma(ts, tt, 2000, rng);
+  out.mmd = MmdBiased(ts, tt, sigma);
+
+  // Cross-city cosine by topic agreement (strided subsample for speed).
+  double same = 0, diff = 0;
+  size_t n_same = 0, n_diff = 0;
+  for (size_t i = 0; i < source_rows.size(); i += 3) {
+    for (size_t j = 0; j < target_rows.size(); j += 3) {
+      const double c = Cosine(source_rows[i], target_rows[j]);
+      if (source_topics[i] == target_topics[j]) {
+        same += c;
+        ++n_same;
+      } else {
+        diff += c;
+        ++n_diff;
+      }
+    }
+  }
+  out.same_topic_cos = same / static_cast<double>(n_same);
+  out.diff_topic_cos = diff / static_cast<double>(n_diff);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  const auto ws = bench::MakeWorld("foursquare", opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture("foursquare", deep);
+  if (opts.epochs == 0) deep.num_epochs = 6;
+
+  std::printf("[extra] embedding alignment with vs without the MMD "
+              "transfer layer (foursquare-like world)\n");
+  TextTable table({"model", "MMD(source,target)", "cos same-topic x-city",
+                   "cos diff-topic x-city", "alignment gap"});
+  for (const bool use_mmd : {false, true}) {
+    StTransRecConfig cfg = deep;
+    cfg.use_mmd = use_mmd;
+    StTransRec model(cfg);
+    STTR_CHECK_OK(model.Fit(ws.world.dataset, ws.split));
+    const Alignment a = Measure(model, ws.world, ws.split.target_city);
+    table.AddRow({use_mmd ? "ST-TransRec (full)" : "no MMD (variant 1)",
+                  bench::FormatMetric(a.mmd),
+                  bench::FormatMetric(a.same_topic_cos),
+                  bench::FormatMetric(a.diff_topic_cos),
+                  bench::FormatMetric(a.same_topic_cos - a.diff_topic_cos)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nexpected shape: the full model shows a smaller MMD and a "
+              "same-topic/different-topic gap at least as large — the "
+              "mechanism behind Fig. 1a.\n");
+  return 0;
+}

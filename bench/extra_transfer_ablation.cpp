@@ -1,0 +1,54 @@
+// Extra ablations of the transfer design choices called out in DESIGN.md:
+//
+//   A. weight lambda of the MMD term (Eq. 3 uses an unweighted sum;
+//      lambda=0 degenerates to variant 1, large lambda over-regularises);
+//   B. linear-time vs quadratic MMD estimator inside the training loop —
+//      the paper adopts the O(D) form for cost (§3.2); this measures what
+//      that choice trades away in quality and buys in time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+#include "util/timer.h"
+
+using namespace sttr;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  const auto ws = bench::MakeWorld("foursquare", opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture("foursquare", deep);
+  if (opts.epochs == 0) deep.num_epochs = 6;
+
+  std::printf("[extra] A: MMD weight lambda sweep (foursquare-like)\n");
+  bench::RunParameterSweep(
+      ws.world.dataset, ws.split, deep, opts.Eval(), "lambda",
+      {0.0, 0.1, 1.0, 10.0},
+      [](double v, StTransRecConfig& cfg) {
+        cfg.lambda_mmd = v;
+        cfg.use_mmd = v > 0.0;
+      },
+      {10}, opts.out_prefix, opts.verbose);
+
+  std::printf("\n[extra] B: linear-time vs quadratic MMD estimator\n");
+  TextTable table({"estimator", "fit s", "Recall@10", "NDCG@10"});
+  for (const bool linear : {true, false}) {
+    StTransRecConfig cfg = deep;
+    cfg.use_linear_mmd = linear;
+    StTransRec model(cfg);
+    Timer timer;
+    STTR_CHECK_OK(model.Fit(ws.world.dataset, ws.split));
+    const double secs = timer.ElapsedSeconds();
+    EvalConfig ec = opts.Eval();
+    const EvalResult r = EvaluateRanking(ws.world.dataset, ws.split, model, ec);
+    table.AddRow({linear ? "linear O(D)" : "quadratic O(D^2)",
+                  bench::FormatMetric(secs),
+                  bench::FormatMetric(r.At(10).recall),
+                  bench::FormatMetric(r.At(10).ndcg)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nexpected shape: comparable quality, the quadratic form "
+              "costs more per step (grows with mmd_batch^2).\n");
+  return 0;
+}

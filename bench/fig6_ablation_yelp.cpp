@@ -1,0 +1,21 @@
+// Figure 6: ablation of ST-TransRec on the Yelp-like world (see Figure 5).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  const auto ws = bench::MakeWorld("yelp", opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture("yelp", deep);
+  std::printf("[fig6] ablation on yelp-like world (%zu test users)\n",
+              ws.split.test_users.size());
+  const auto runs =
+      bench::RunMethods(ws.world.dataset, ws.split,
+                        baselines::AblationMethodNames(), deep, opts.Eval(),
+                        opts.verbose);
+  bench::PrintMetricTables(runs, opts.Eval().ks, opts.out_prefix);
+  return 0;
+}

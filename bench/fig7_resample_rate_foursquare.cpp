@@ -1,0 +1,25 @@
+// Figure 7: performance vs resampling rate alpha on the Foursquare-like
+// world, k in {2, 6, 10}. Paper: an interior optimum at alpha ~= 0.10 —
+// too little resampling leaves sparse regions under-matched, too much lets
+// marginal POIs dominate the transfer.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  const auto ws = bench::MakeWorld("foursquare", opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture("foursquare", deep);
+  if (opts.epochs == 0) deep.num_epochs = 6;
+  std::printf("[fig7] resample-rate sweep, foursquare-like world\n");
+  bench::RunParameterSweep(
+      ws.world.dataset, ws.split, deep, opts.Eval(), "alpha",
+      {0.0, 0.06, 0.10, 0.15, 0.5, 1.0},
+      [](double v, StTransRecConfig& cfg) { cfg.resample_alpha = v; },
+      {2, 6, 10}, opts.out_prefix, opts.verbose);
+  return 0;
+}

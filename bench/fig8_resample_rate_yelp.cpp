@@ -1,0 +1,23 @@
+// Figure 8: performance vs resampling rate alpha on the Yelp-like world,
+// k in {2, 6, 10}. Paper optimum: alpha ~= 0.11.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  const auto ws = bench::MakeWorld("yelp", opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture("yelp", deep);
+  if (opts.epochs == 0) deep.num_epochs = 6;
+  std::printf("[fig8] resample-rate sweep, yelp-like world\n");
+  bench::RunParameterSweep(
+      ws.world.dataset, ws.split, deep, opts.Eval(), "alpha",
+      {0.0, 0.06, 0.11, 0.15, 0.5, 1.0},
+      [](double v, StTransRecConfig& cfg) { cfg.resample_alpha = v; },
+      {2, 6, 10}, opts.out_prefix, opts.verbose);
+  return 0;
+}

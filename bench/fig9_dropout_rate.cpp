@@ -1,0 +1,30 @@
+// Figure 9: performance vs dropout rate at k=10 on both worlds. Paper:
+// interior optimum (0.1 on Foursquare, 0.2 on Yelp); large rates underfit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  for (const char* dataset : {"foursquare", "yelp"}) {
+    const auto ws = bench::MakeWorld(dataset, opts);
+    StTransRecConfig deep = opts.DeepConfig();
+    bench::ApplyPaperArchitecture(dataset, deep);
+    // Sweeps retrain the model many times; default to a lighter epoch
+    // budget unless --epochs overrides it.
+    if (opts.epochs == 0) deep.num_epochs = 5;
+    std::printf("\n[fig9] dropout sweep, %s-like world\n", dataset);
+    bench::RunParameterSweep(
+        ws.world.dataset, ws.split, deep, opts.Eval(), "dropout",
+        {0.0, 0.1, 0.2, 0.35, 0.5},
+        [](double v, StTransRecConfig& cfg) {
+          cfg.dropout_rate = static_cast<float>(v);
+        },
+        {10}, opts.out_prefix.empty() ? "" : opts.out_prefix + "_" + dataset,
+        opts.verbose);
+  }
+  return 0;
+}

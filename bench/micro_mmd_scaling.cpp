@@ -1,0 +1,68 @@
+// Micro-benchmark backing the paper's §3.2 complexity analysis: the
+// quadratic MMD estimator costs O(D^2) while the linear-time form (adopted
+// from Long et al.) costs O(D). google-benchmark sweeps the sample size so
+// the scaling exponents are visible in the reported times.
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/tensor.h"
+#include "transfer/mmd.h"
+#include "util/rng.h"
+
+namespace {
+
+sttr::Tensor MakeSamples(size_t n, size_t d, double mean, uint64_t seed) {
+  sttr::Rng rng(seed);
+  return sttr::Tensor::RandomNormal({n, d}, rng, static_cast<float>(mean),
+                                    1.0f);
+}
+
+void BM_MmdQuadratic(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const sttr::Tensor a = MakeSamples(n, 32, 0.0, 1);
+  const sttr::Tensor b = MakeSamples(n, 32, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sttr::MmdBiased(a, b, 1.0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MmdQuadratic)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_MmdLinear(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const sttr::Tensor a = MakeSamples(n, 32, 0.0, 1);
+  const sttr::Tensor b = MakeSamples(n, 32, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sttr::MmdLinear(a, b, 1.0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MmdLinear)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_MmdLossBackwardQuadratic(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sttr::ag::Variable xs(MakeSamples(n, 32, 0.0, 1), true);
+    sttr::ag::Variable xt(MakeSamples(n, 32, 1.0, 2), true);
+    sttr::ag::Variable loss = sttr::ag_ops::MmdLoss(xs, xt, {1.0});
+    sttr::ag::Backward(loss);
+    benchmark::DoNotOptimize(xs.grad().data());
+  }
+}
+BENCHMARK(BM_MmdLossBackwardQuadratic)->Arg(64)->Arg(128);
+
+void BM_MmdLossBackwardLinear(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sttr::ag::Variable xs(MakeSamples(n, 32, 0.0, 1), true);
+    sttr::ag::Variable xt(MakeSamples(n, 32, 1.0, 2), true);
+    sttr::ag::Variable loss = sttr::ag_ops::MmdLossLinear(xs, xt, {1.0});
+    sttr::ag::Backward(loss);
+    benchmark::DoNotOptimize(xs.grad().data());
+  }
+}
+BENCHMARK(BM_MmdLossBackwardLinear)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+#include "bench/sweep_util.h"
+
+#include <cstdio>
+
+#include "core/st_transrec.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/svg_chart.h"
+#include "util/timer.h"
+
+namespace sttr::bench {
+
+void RunParameterSweep(
+    const Dataset& dataset, const CrossCitySplit& split,
+    const StTransRecConfig& base, const EvalConfig& eval_config,
+    const std::string& param_label, const std::vector<double>& values,
+    const std::function<void(double, StTransRecConfig&)>& mutate,
+    const std::vector<size_t>& ks, const std::string& out_prefix,
+    bool verbose) {
+  struct Row {
+    double value;
+    EvalResult result;
+  };
+  std::vector<Row> rows;
+  for (double v : values) {
+    StTransRecConfig cfg = base;
+    mutate(v, cfg);
+    StTransRec model(cfg);
+    Timer timer;
+    STTR_CHECK_OK(model.Fit(dataset, split));
+    EvalConfig ec = eval_config;
+    ec.ks = ks;
+    rows.push_back({v, EvaluateRanking(dataset, split, model, ec)});
+    if (verbose) {
+      STTR_LOG(Info) << param_label << "=" << v << " fit "
+                     << timer.ElapsedSeconds() << "s Recall@" << ks.back()
+                     << "=" << rows.back().result.At(ks.back()).recall;
+    }
+  }
+
+  struct MetricDef {
+    const char* label;
+    double RankingMetrics::*field;
+  };
+  const MetricDef defs[] = {{"Recall", &RankingMetrics::recall},
+                            {"Precision", &RankingMetrics::precision},
+                            {"NDCG", &RankingMetrics::ndcg},
+                            {"MAP", &RankingMetrics::map}};
+
+  std::vector<std::string> header{param_label};
+  for (const auto& def : defs) {
+    for (size_t k : ks) {
+      header.push_back(std::string(def.label) + "@" + std::to_string(k));
+    }
+  }
+  TextTable table(header);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{StrFormat("%.2f", row.value)};
+    for (const auto& def : defs) {
+      for (size_t k : ks) {
+        cells.push_back(FormatMetric(row.result.At(k).*(def.field)));
+      }
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Argmax summary per metric at the largest k.
+  const size_t k = ks.back();
+  std::printf("\nbest %s per metric (at k=%zu):\n", param_label.c_str(), k);
+  for (const auto& def : defs) {
+    double best_v = rows.front().value;
+    double best_m = rows.front().result.At(k).*(def.field);
+    for (const Row& row : rows) {
+      const double m = row.result.At(k).*(def.field);
+      if (m > best_m) {
+        best_m = m;
+        best_v = row.value;
+      }
+    }
+    std::printf("  %-10s %.2f (%.4f)\n", def.label, best_v, best_m);
+  }
+  if (!out_prefix.empty()) {
+    STTR_CHECK_OK(table.WriteCsv(out_prefix + "_sweep.csv"));
+    // Render the figure itself: one SVG per metric, one line per cutoff.
+    for (const auto& def : defs) {
+      SvgLineChart chart(std::string(def.label) + " vs " + param_label,
+                         param_label, def.label);
+      for (size_t cutoff : ks) {
+        std::vector<double> xs, ys;
+        for (const Row& row : rows) {
+          xs.push_back(row.value);
+          ys.push_back(row.result.At(cutoff).*(def.field));
+        }
+        chart.AddSeries("k=" + std::to_string(cutoff), std::move(xs),
+                        std::move(ys));
+      }
+      STTR_CHECK_OK(chart.WriteTo(out_prefix + "_" +
+                                  ToLower(def.label) + ".svg"));
+    }
+  }
+}
+
+}  // namespace sttr::bench

@@ -1,0 +1,26 @@
+#ifndef STTR_BENCH_SWEEP_UTIL_H_
+#define STTR_BENCH_SWEEP_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sttr::bench {
+
+/// Runs a 1-D hyper-parameter sweep of the full ST-TransRec model: for each
+/// value, `mutate` adjusts the config, the model trains, and metrics at the
+/// given ks are collected. Prints a paper-style metric-vs-value table and
+/// flags the argmax per metric.
+void RunParameterSweep(
+    const Dataset& dataset, const CrossCitySplit& split,
+    const StTransRecConfig& base, const EvalConfig& eval_config,
+    const std::string& param_label, const std::vector<double>& values,
+    const std::function<void(double, StTransRecConfig&)>& mutate,
+    const std::vector<size_t>& ks, const std::string& out_prefix,
+    bool verbose);
+
+}  // namespace sttr::bench
+
+#endif  // STTR_BENCH_SWEEP_UTIL_H_

@@ -1,0 +1,53 @@
+// Table 1: statistics of the datasets. Prints the generated synthetic
+// worlds' statistics next to the paper's values for the real Foursquare and
+// Yelp dumps (which are not redistributable; see DESIGN.md).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct PaperStats {
+  size_t users, pois, words, checkins, cross_users, cross_checkins;
+};
+
+void PrintOne(const char* name, const sttr::DatasetStats& s,
+              const PaperStats& paper) {
+  sttr::TextTable table({"", "generated", "paper"});
+  auto row = [&](const char* label, size_t got, size_t want) {
+    table.AddRow({label, std::to_string(got), std::to_string(want)});
+  };
+  row("#Users", s.num_users, paper.users);
+  row("#POIs", s.num_pois, paper.pois);
+  row("#Words", s.num_words, paper.words);
+  row("#Check-ins", s.num_checkins, paper.checkins);
+  row("#Crossing users", s.num_crossing_users, paper.cross_users);
+  row("#Crossing check-ins", s.num_crossing_checkins, paper.cross_checkins);
+  std::printf("\n-- %s --\n%s", name, table.ToString().c_str());
+  const double frac = 100.0 * static_cast<double>(s.num_crossing_checkins) /
+                      static_cast<double>(s.num_checkins);
+  std::printf("crossing check-ins are %.2f%% of the total (paper cites "
+              "0.47-0.75%% for the real data)\n",
+              frac);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  std::printf("[table1] dataset statistics at scale=%s\n",
+              opts.scale == synth::Scale::kPaper
+                  ? "paper"
+                  : (opts.scale == synth::Scale::kTiny ? "tiny" : "small"));
+
+  const auto fsq = bench::MakeWorld("foursquare", opts);
+  PrintOne("Foursquare-like", fsq.world.dataset.ComputeStats(0),
+           {3600, 31784, 3619, 191515, 732, 3520});
+
+  const auto yelp = bench::MakeWorld("yelp", opts);
+  PrintOne("Yelp-like", yelp.world.dataset.ComputeStats(0),
+           {9805, 6910, 1648, 433305, 983, 6137});
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 4: recommendation performance vs embedding size {16, 32, 64, 128}
+// at k in {2, 4}, on both worlds. The MLP tower scales with the embedding
+// (first hidden = 2x embedding, halving per layer, as in the paper's
+// architectures). Paper: optimum 64 on Foursquare (overfit past it),
+// 128 on Yelp.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  for (const char* dataset : {"foursquare", "yelp"}) {
+    const auto ws = bench::MakeWorld(dataset, opts);
+    StTransRecConfig deep = opts.DeepConfig();
+    bench::ApplyPaperArchitecture(dataset, deep);
+    // Sweeps retrain the model many times; default to a lighter epoch
+    // budget unless --epochs overrides it.
+    if (opts.epochs == 0) deep.num_epochs = 5;
+    std::printf("\n[table4] embedding-size sweep, %s-like world\n", dataset);
+    bench::RunParameterSweep(
+        ws.world.dataset, ws.split, deep, opts.Eval(), "dim",
+        {16, 32, 64, 128},
+        [](double v, StTransRecConfig& cfg) {
+          const size_t d = static_cast<size_t>(v);
+          cfg.embedding_dim = d;
+          cfg.hidden_dims = {2 * d, d, d / 2, d / 4};
+        },
+        {2, 4}, opts.out_prefix.empty() ? "" : opts.out_prefix + "_" + dataset,
+        opts.verbose);
+  }
+  return 0;
+}

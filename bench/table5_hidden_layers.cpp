@@ -1,0 +1,37 @@
+// Table 5: recommendation performance vs number of hidden layers
+// {1, 2, 3, 4} at k in {2, 4}. Deeper towers model the user-POI
+// interaction better; the paper finds 4 layers best on both datasets.
+// Layer widths follow the paper's tower: depth L keeps the last L widths
+// of the full pyramid (e.g. Foursquare depth 2 -> 32 -> 16).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sttr;
+  const auto opts = bench::BenchOptions::Parse(argc, argv);
+  for (const char* dataset : {"foursquare", "yelp"}) {
+    const auto ws = bench::MakeWorld(dataset, opts);
+    StTransRecConfig deep = opts.DeepConfig();
+    bench::ApplyPaperArchitecture(dataset, deep);
+    // Sweeps retrain the model many times; default to a lighter epoch
+    // budget unless --epochs overrides it.
+    if (opts.epochs == 0) deep.num_epochs = 5;
+    const std::vector<size_t> full = deep.hidden_dims;
+    std::printf("\n[table5] hidden-layer-depth sweep, %s-like world\n",
+                dataset);
+    bench::RunParameterSweep(
+        ws.world.dataset, ws.split, deep, opts.Eval(), "layers",
+        {1, 2, 3, 4},
+        [full](double v, StTransRecConfig& cfg) {
+          const size_t depth = static_cast<size_t>(v);
+          cfg.hidden_dims.assign(full.end() - static_cast<long>(depth),
+                                 full.end());
+        },
+        {2, 4}, opts.out_prefix.empty() ? "" : opts.out_prefix + "_" + dataset,
+        opts.verbose);
+  }
+  return 0;
+}

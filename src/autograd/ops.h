@@ -1,0 +1,70 @@
+#ifndef STTR_AUTOGRAD_OPS_H_
+#define STTR_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace sttr::ag {
+
+// Differentiable op library. Each function runs the forward kernel eagerly
+// and registers a closure that accumulates gradients into the inputs.
+
+/// Matrix product: a(n,k) * b(k,m).
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Elementwise sum (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise difference (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Hadamard product (same shape).
+Variable Mul(const Variable& a, const Variable& b);
+
+/// alpha * x.
+Variable Scale(const Variable& x, float alpha);
+
+/// x(n,m) + bias(m) broadcast over rows.
+Variable AddRowBroadcast(const Variable& x, const Variable& bias);
+
+/// max(0, x).
+Variable Relu(const Variable& x);
+
+/// Logistic sigmoid.
+Variable SigmoidOp(const Variable& x);
+
+/// tanh(x).
+Variable TanhOp(const Variable& x);
+
+/// [a | b] along columns (equal rows).
+Variable ConcatCols(const Variable& a, const Variable& b);
+
+/// Row lookup into an embedding table. Records touched rows on the table
+/// node so optimisers can apply lazy sparse updates.
+Variable GatherRows(const Variable& table, const std::vector<int64_t>& indices);
+
+/// Inverted dropout. Identity when !training or rate == 0.
+Variable Dropout(const Variable& x, float rate, bool training, Rng& rng);
+
+/// Scalar sum of all entries.
+Variable Sum(const Variable& x);
+
+/// Scalar mean of all entries.
+Variable Mean(const Variable& x);
+
+/// Row-wise dot of two (n,d) inputs -> (n).
+Variable RowwiseDot(const Variable& a, const Variable& b);
+
+/// Mean binary cross-entropy over logits(n) against labels(n) in {0,1}
+/// (computed stably from logits; gradient is (sigmoid(x)-y)/n).
+Variable BceWithLogits(const Variable& logits, const Tensor& labels);
+
+/// Constant (non-trainable) wrapper.
+inline Variable Constant(Tensor t) { return Variable(std::move(t), false); }
+
+}  // namespace sttr::ag
+
+#endif  // STTR_AUTOGRAD_OPS_H_

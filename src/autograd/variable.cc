@@ -1,0 +1,128 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace sttr::ag {
+
+namespace internal {
+
+Tensor& Node::EnsureGrad() {
+  if (!grad_allocated) {
+    grad = Tensor(value.shape());
+    grad_allocated = true;
+  }
+  return grad;
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  STTR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  STTR_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  STTR_CHECK(defined());
+  return const_cast<internal::Node*>(node_.get())->EnsureGrad();
+}
+
+Tensor& Variable::mutable_grad() {
+  STTR_CHECK(defined());
+  return node_->EnsureGrad();
+}
+
+bool Variable::requires_grad() const {
+  STTR_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  STTR_CHECK(defined());
+  if (node_->grad_allocated) node_->grad.Fill(0.0f);
+  node_->touched_rows.clear();
+}
+
+const std::vector<int64_t>& Variable::touched_rows() const {
+  STTR_CHECK(defined());
+  return node_->touched_rows;
+}
+
+void Variable::set_name(std::string name) {
+  STTR_CHECK(defined());
+  node_->name = std::move(name);
+}
+
+const std::string& Variable::name() const {
+  STTR_CHECK(defined());
+  return node_->name;
+}
+
+Variable MakeNode(Tensor value,
+                  std::vector<std::shared_ptr<internal::Node>> parents,
+                  std::function<void(internal::Node&)> backward_fn,
+                  std::string name) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->backward_fn = std::move(backward_fn);
+  node->name = std::move(name);
+  // An interior node needs gradients iff any ancestor is trainable.
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return Variable(std::move(node));
+}
+
+void Backward(const Variable& root) {
+  STTR_CHECK(root.defined());
+  STTR_CHECK_EQ(root.value().size(), 1u)
+      << "Backward() roots must be scalar losses";
+
+  // Iterative post-order DFS producing a topological order (parents first in
+  // `topo`, so we propagate in reverse).
+  std::vector<internal::Node*> topo;
+  std::unordered_set<internal::Node*> visited;
+  std::vector<std::pair<internal::Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal::Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (!visited.count(child) && child->requires_grad) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root.node()->EnsureGrad().Fill(1.0f);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+}  // namespace sttr::ag

@@ -1,0 +1,101 @@
+#ifndef STTR_AUTOGRAD_VARIABLE_H_
+#define STTR_AUTOGRAD_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sttr::ag {
+
+namespace internal {
+
+/// One node of the dynamic computation graph. Owned via shared_ptr by the
+/// Variables referencing it and by its children (through `parents`).
+struct Node {
+  Tensor value;
+  Tensor grad;  // Allocated on first use; same shape as value.
+  bool requires_grad = false;
+  bool grad_allocated = false;
+
+  /// Upstream nodes this value was computed from (empty for leaves).
+  std::vector<std::shared_ptr<Node>> parents;
+
+  /// Propagates this->grad into the parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// For embedding tables: rows whose grad is non-zero after backward.
+  /// Lets optimisers run lazy (sparse) updates. Maintained by GatherRows.
+  std::vector<int64_t> touched_rows;
+
+  /// Debug label.
+  std::string name;
+
+  /// Zero-allocates grad if needed and returns it.
+  Tensor& EnsureGrad();
+};
+
+}  // namespace internal
+
+/// Handle to a computation-graph node. Copying a Variable aliases the node.
+///
+/// Leaves created with requires_grad=true act as trainable parameters: their
+/// grad persists across backward passes (accumulated) until ZeroGrad().
+class Variable {
+ public:
+  /// Null handle; defined() is false.
+  Variable() = default;
+
+  /// Leaf node holding `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// Gradient w.r.t. this variable; zeros if backward has not touched it.
+  const Tensor& grad() const;
+  Tensor& mutable_grad();
+
+  bool requires_grad() const;
+
+  /// Clears the accumulated gradient (and the touched-row list).
+  void ZeroGrad();
+
+  /// Rows recorded as touched by sparse (embedding) backward passes since the
+  /// last ZeroGrad(). May contain duplicates.
+  const std::vector<int64_t>& touched_rows() const;
+
+  /// Debug name (optional).
+  void set_name(std::string name);
+  const std::string& name() const;
+
+  std::shared_ptr<internal::Node> node() const { return node_; }
+
+  /// Wraps an existing node.
+  explicit Variable(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Runs reverse-mode differentiation from `root`, which must hold a single
+/// scalar. Gradients are accumulated (+=) into every reachable node with
+/// requires_grad set (directly or transitively).
+void Backward(const Variable& root);
+
+/// Creates an interior node. Used by the op library; exposed for custom ops
+/// (e.g. the MMD loss in src/transfer).
+Variable MakeNode(Tensor value,
+                  std::vector<std::shared_ptr<internal::Node>> parents,
+                  std::function<void(internal::Node&)> backward_fn,
+                  std::string name = {});
+
+}  // namespace sttr::ag
+
+#endif  // STTR_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,110 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace sttr::baselines {
+
+TrainView MakeTrainView(const Dataset& dataset, const CrossCitySplit& split) {
+  TrainView view;
+  view.positives.reserve(split.train.size());
+  view.user_pois.assign(dataset.num_users(), {});
+  view.poi_popularity.assign(dataset.num_pois(), 0);
+  view.city_pois.assign(dataset.num_cities(), {});
+  for (size_t idx : split.train) {
+    const CheckinRecord& rec = dataset.checkins()[idx];
+    view.positives.emplace_back(rec.user, rec.poi);
+    view.user_pois[static_cast<size_t>(rec.user)].push_back(rec.poi);
+    view.poi_popularity[static_cast<size_t>(rec.poi)] += 1;
+  }
+  for (auto& v : view.user_pois) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  for (const Poi& p : dataset.pois()) {
+    view.city_pois[static_cast<size_t>(p.city)].push_back(p.id);
+  }
+  return view;
+}
+
+std::vector<std::vector<DocToken>> BuildUserDocuments(
+    const Dataset& dataset, const CrossCitySplit& split) {
+  std::vector<std::vector<DocToken>> docs(dataset.num_users());
+  for (size_t idx : split.train) {
+    const CheckinRecord& rec = dataset.checkins()[idx];
+    const Poi& poi = dataset.poi(rec.poi);
+    for (WordId w : poi.words) {
+      docs[static_cast<size_t>(rec.user)].push_back(DocToken{w, poi.city});
+    }
+  }
+  return docs;
+}
+
+TfIdfModel::TfIdfModel(const Dataset& dataset) : dataset_(&dataset) {
+  const size_t num_words = dataset.vocabulary().size();
+  std::vector<size_t> df(num_words, 0);
+  for (const Poi& p : dataset.pois()) {
+    std::unordered_set<WordId> seen;
+    for (WordId w : p.words) {
+      if (seen.insert(w).second) df[static_cast<size_t>(w)] += 1;
+    }
+  }
+  idf_.resize(num_words);
+  const double n = static_cast<double>(dataset.num_pois());
+  for (size_t w = 0; w < num_words; ++w) {
+    idf_[w] = std::log((n + 1.0) / (static_cast<double>(df[w]) + 1.0)) + 1.0;
+  }
+
+  poi_vectors_.resize(dataset.num_pois());
+  for (const Poi& p : dataset.pois()) {
+    auto& vec = poi_vectors_[static_cast<size_t>(p.id)];
+    for (WordId w : p.words) vec[w] += idf_[static_cast<size_t>(w)];
+    double norm = 0;
+    for (const auto& [w, x] : vec) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (auto& [w, x] : vec) x /= norm;
+    }
+  }
+}
+
+const std::unordered_map<WordId, double>& TfIdfModel::PoiVector(
+    PoiId poi) const {
+  STTR_CHECK_GE(poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi), poi_vectors_.size());
+  return poi_vectors_[static_cast<size_t>(poi)];
+}
+
+std::unordered_map<WordId, double> TfIdfModel::UserProfile(
+    const std::vector<PoiId>& visited) const {
+  std::unordered_map<WordId, double> profile;
+  for (PoiId v : visited) {
+    for (WordId w : dataset_->poi(v).words) {
+      profile[w] += idf_[static_cast<size_t>(w)];
+    }
+  }
+  double norm = 0;
+  for (const auto& [w, x] : profile) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [w, x] : profile) x /= norm;
+  }
+  return profile;
+}
+
+double TfIdfModel::Cosine(const std::unordered_map<WordId, double>& a,
+                          const std::unordered_map<WordId, double>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  double dot = 0;
+  for (const auto& [w, x] : small) {
+    auto it = big.find(w);
+    if (it != big.end()) dot += x * it->second;
+  }
+  return dot;  // inputs are L2-normalised
+}
+
+}  // namespace sttr::baselines

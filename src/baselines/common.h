@@ -1,0 +1,67 @@
+#ifndef STTR_BASELINES_COMMON_H_
+#define STTR_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace sttr::baselines {
+
+/// Training-side views shared by several baselines.
+struct TrainView {
+  /// (user, poi) training interactions, with multiplicity.
+  std::vector<std::pair<UserId, PoiId>> positives;
+  /// Distinct POIs each user visited in training.
+  std::vector<std::vector<PoiId>> user_pois;
+  /// Train check-in count per POI.
+  std::vector<size_t> poi_popularity;
+  /// POIs per city.
+  std::vector<std::vector<PoiId>> city_pois;
+};
+
+/// Extracts the view from a split.
+TrainView MakeTrainView(const Dataset& dataset, const CrossCitySplit& split);
+
+/// One token of a user document for the topic-model baselines: a word from
+/// the description of a POI the user checked into, tagged with the POI's
+/// city (cross-collection models condition on it).
+struct DocToken {
+  WordId word = -1;
+  CityId city = -1;
+};
+
+/// Builds the per-user documents from training check-ins: every check-in
+/// contributes all words of its POI (with multiplicity).
+std::vector<std::vector<DocToken>> BuildUserDocuments(
+    const Dataset& dataset, const CrossCitySplit& split);
+
+/// Sparse TF-IDF vectors over the vocabulary.
+class TfIdfModel {
+ public:
+  /// Document frequency computed over POIs' word lists.
+  TfIdfModel(const Dataset& dataset);
+
+  /// TF-IDF vector of one POI (word -> weight), L2-normalised.
+  const std::unordered_map<WordId, double>& PoiVector(PoiId poi) const;
+
+  /// L2-normalised TF-IDF profile of a user: the word counts of all their
+  /// training POIs.
+  std::unordered_map<WordId, double> UserProfile(
+      const std::vector<PoiId>& visited) const;
+
+  /// Cosine similarity of two sparse vectors.
+  static double Cosine(const std::unordered_map<WordId, double>& a,
+                       const std::unordered_map<WordId, double>& b);
+
+ private:
+  std::vector<double> idf_;
+  std::vector<std::unordered_map<WordId, double>> poi_vectors_;
+  const Dataset* dataset_;
+};
+
+}  // namespace sttr::baselines
+
+#endif  // STTR_BASELINES_COMMON_H_

@@ -1,0 +1,23 @@
+#include "baselines/pace.h"
+
+namespace sttr::baselines {
+
+StTransRecConfig Pace::MakeConfig(StTransRecConfig base) {
+  base.use_mmd = false;
+  base.resample_alpha = 0.0;
+  base.use_text = true;
+  base.use_geo_context = true;
+  return base;
+}
+
+Pace::Pace(StTransRecConfig base) : inner_(MakeConfig(std::move(base))) {}
+
+Status Pace::Fit(const Dataset& dataset, const CrossCitySplit& split) {
+  return inner_.Fit(dataset, split);
+}
+
+double Pace::Score(UserId user, PoiId poi) const {
+  return inner_.Score(user, poi);
+}
+
+}  // namespace sttr::baselines

@@ -1,0 +1,71 @@
+#include "baselines/registry.h"
+
+#include "baselines/crcf.h"
+#include "baselines/ctlm.h"
+#include "baselines/item_pop.h"
+#include "baselines/lce.h"
+#include "baselines/pace.h"
+#include "baselines/pr_uidt.h"
+#include "baselines/sh_cdl.h"
+#include "baselines/st_lda.h"
+
+namespace sttr::baselines {
+
+StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const StTransRecConfig& deep_config) {
+  if (name == "ItemPop") {
+    return std::unique_ptr<Recommender>(new ItemPop());
+  }
+  if (name == "LCE") {
+    return std::unique_ptr<Recommender>(new Lce());
+  }
+  if (name == "CRCF") {
+    return std::unique_ptr<Recommender>(new Crcf());
+  }
+  if (name == "PR-UIDT") {
+    return std::unique_ptr<Recommender>(new PrUidt());
+  }
+  if (name == "ST-LDA") {
+    return std::unique_ptr<Recommender>(new StLda());
+  }
+  if (name == "CTLM") {
+    return std::unique_ptr<Recommender>(new Ctlm());
+  }
+  if (name == "SH-CDL") {
+    // The paper gives SH-CDL the same sizes as ST-TransRec.
+    ShCdl::Config cfg;
+    cfg.representation_dim = deep_config.embedding_dim / 2;
+    cfg.seed = deep_config.seed;
+    return std::unique_ptr<Recommender>(new ShCdl(cfg));
+  }
+  if (name == "PACE") {
+    return std::unique_ptr<Recommender>(new Pace(deep_config));
+  }
+  if (name == "ST-TransRec") {
+    return std::unique_ptr<Recommender>(new StTransRec(deep_config));
+  }
+  if (name == "ST-TransRec-1") {
+    return std::unique_ptr<Recommender>(
+        new StTransRec(MakeVariant1(deep_config)));
+  }
+  if (name == "ST-TransRec-2") {
+    return std::unique_ptr<Recommender>(
+        new StTransRec(MakeVariant2(deep_config)));
+  }
+  if (name == "ST-TransRec-3") {
+    return std::unique_ptr<Recommender>(
+        new StTransRec(MakeVariant3(deep_config)));
+  }
+  return Status::NotFound("unknown recommender: " + name);
+}
+
+std::vector<std::string> ComparisonMethodNames() {
+  return {"ItemPop", "LCE",    "CRCF",   "PR-UIDT",    "ST-LDA",
+          "CTLM",    "SH-CDL", "PACE",   "ST-TransRec"};
+}
+
+std::vector<std::string> AblationMethodNames() {
+  return {"ST-TransRec", "ST-TransRec-1", "ST-TransRec-2", "ST-TransRec-3"};
+}
+
+}  // namespace sttr::baselines

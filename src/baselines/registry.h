@@ -1,0 +1,29 @@
+#ifndef STTR_BASELINES_REGISTRY_H_
+#define STTR_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/st_transrec.h"
+
+namespace sttr::baselines {
+
+/// Builds a recommender by its paper name. Recognised names:
+/// "ItemPop", "LCE", "CRCF", "PR-UIDT", "ST-LDA", "CTLM", "SH-CDL", "PACE",
+/// "ST-TransRec", "ST-TransRec-1", "ST-TransRec-2", "ST-TransRec-3".
+/// `deep_config` parameterises the deep models (ST-TransRec family, PACE;
+/// SH-CDL derives its sizes from it). Returns NotFound for unknown names.
+StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const StTransRecConfig& deep_config = {});
+
+/// The Figure 3/4 method roster, in the paper's order.
+std::vector<std::string> ComparisonMethodNames();
+
+/// The Figure 5/6 ablation roster.
+std::vector<std::string> AblationMethodNames();
+
+}  // namespace sttr::baselines
+
+#endif  // STTR_BASELINES_REGISTRY_H_

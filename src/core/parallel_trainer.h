@@ -1,0 +1,50 @@
+#ifndef STTR_CORE_PARALLEL_TRAINER_H_
+#define STTR_CORE_PARALLEL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/st_transrec.h"
+#include "util/thread_pool.h"
+
+namespace sttr {
+
+/// Synchronous data-parallel trainer: the CPU-thread stand-in for the
+/// paper's multi-GPU training (Table 2). Each worker holds a full model
+/// replica, computes gradients on its shard of every batch, the gradients
+/// are averaged into the master, the master steps, and the updated weights
+/// are broadcast back — exactly the all-reduce pattern of multi-GPU
+/// TensorFlow data parallelism.
+class ParallelTrainer {
+ public:
+  /// `num_workers` >= 1; per-worker batch size is config.batch_size /
+  /// num_workers (so total work per iteration is constant across worker
+  /// counts, as in the paper's comparison).
+  ParallelTrainer(StTransRecConfig config, size_t num_workers);
+
+  /// Prepares master and replicas on the split.
+  Status Init(const Dataset& dataset, const CrossCitySplit& split);
+
+  /// Runs `iterations` synchronous steps; returns total wall seconds.
+  double RunIterations(size_t iterations);
+
+  /// Runs `epochs` full epochs (StepsPerEpoch iterations each).
+  Status TrainEpochs(size_t epochs);
+
+  StTransRec& master() { return *master_; }
+  size_t num_workers() const { return num_workers_; }
+
+ private:
+  void OneIteration();
+
+  StTransRecConfig config_;
+  size_t num_workers_;
+  std::unique_ptr<StTransRec> master_;
+  std::vector<std::unique_ptr<StTransRec>> replicas_;
+  std::vector<Rng> worker_rngs_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_CORE_PARALLEL_TRAINER_H_

@@ -1,0 +1,25 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+
+namespace sttr {
+
+std::vector<std::pair<PoiId, double>> Recommender::RecommendTopK(
+    const Dataset& dataset, CityId city, UserId user, size_t k,
+    const std::unordered_set<PoiId>* exclude) const {
+  std::vector<std::pair<PoiId, double>> scored;
+  for (PoiId v : dataset.PoisInCity(city)) {
+    if (exclude != nullptr && exclude->count(v)) continue;
+    scored.emplace_back(v, Score(user, v));
+  }
+  const size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(top),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(top);
+  return scored;
+}
+
+}  // namespace sttr

@@ -1,0 +1,470 @@
+#include "core/st_transrec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "autograd/ops.h"
+#include "geo/grid.h"
+#include "geo/region_segmentation.h"
+#include "tensor/tensor_ops.h"
+#include "transfer/mmd.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace sttr {
+
+namespace {
+
+bool SortedContains(const std::vector<int64_t>& v, int64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+StTransRec::StTransRec(StTransRecConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      eval_rng_(config_.seed ^ 0xE5A1u) {
+  STTR_CHECK_GT(config_.embedding_dim, 0u);
+  STTR_CHECK_GT(config_.batch_size, 0u);
+  STTR_CHECK_GE(config_.resample_alpha, 0.0);
+  STTR_CHECK_LE(config_.resample_alpha, 1.0);
+}
+
+std::string StTransRec::name() const {
+  if (!config_.use_mmd && config_.use_text) return "ST-TransRec-1";
+  if (!config_.use_text) return "ST-TransRec-2";
+  if (config_.resample_alpha == 0.0) return "ST-TransRec-3";
+  return "ST-TransRec";
+}
+
+Status StTransRec::Prepare(const Dataset& dataset,
+                           const CrossCitySplit& split) {
+  dataset_ = &dataset;
+  target_city_ = split.target_city;
+  if (split.train.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+
+  // ---- Interaction data. ------------------------------------------------------
+  positives_.clear();
+  positives_.reserve(split.train.size());
+  user_visited_.assign(dataset.num_users(), {});
+  for (size_t idx : split.train) {
+    const CheckinRecord& rec = dataset.checkins()[idx];
+    positives_.emplace_back(rec.user, rec.poi);
+    user_visited_[static_cast<size_t>(rec.user)].push_back(rec.poi);
+  }
+  for (auto& v : user_visited_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  poi_city_.resize(dataset.num_pois());
+  city_pois_.assign(dataset.num_cities(), {});
+  for (const Poi& p : dataset.pois()) {
+    poi_city_[static_cast<size_t>(p.id)] = p.city;
+    city_pois_[static_cast<size_t>(p.city)].push_back(p.id);
+  }
+
+  // ---- Textual context graph (Definition 2). -----------------------------------
+  context_graph_ = std::make_unique<TextualContextGraph>(
+      dataset.num_pois(), dataset.vocabulary().size());
+  for (const Poi& p : dataset.pois()) {
+    for (WordId w : p.words) context_graph_->AddEdge(p.id, w);
+  }
+  if (config_.use_text) {
+    if (context_graph_->num_edges() == 0) {
+      return Status::FailedPrecondition(
+          "use_text requires POIs with textual descriptions");
+    }
+    word_sampler_ = std::make_unique<UnigramNegativeSampler>(
+        context_graph_->word_counts());
+  }
+
+  // ---- Region segmentation + resampling pools. ----------------------------------
+  BuildRegionPools(dataset, split);
+
+  // ---- Geographic context edges (PACE): k nearest same-city neighbours. -----
+  geo_edge_a_.clear();
+  geo_edge_b_.clear();
+  if (config_.use_geo_context) {
+    for (size_t c = 0; c < dataset.num_cities(); ++c) {
+      const auto& pois = city_pois_[c];
+      const size_t k = std::min(config_.geo_neighbors,
+                                pois.empty() ? size_t{0} : pois.size() - 1);
+      if (k == 0) continue;
+      for (size_t i = 0; i < pois.size(); ++i) {
+        std::vector<std::pair<double, int64_t>> dists;
+        dists.reserve(pois.size() - 1);
+        const GeoPoint& pi = dataset.poi(pois[i]).location;
+        for (size_t j = 0; j < pois.size(); ++j) {
+          if (i == j) continue;
+          dists.emplace_back(HaversineKm(pi, dataset.poi(pois[j]).location),
+                             pois[j]);
+        }
+        std::partial_sort(dists.begin(),
+                          dists.begin() + static_cast<long>(k), dists.end());
+        for (size_t j = 0; j < k; ++j) {
+          geo_edge_a_.push_back(pois[i]);
+          geo_edge_b_.push_back(dists[j].second);
+        }
+      }
+    }
+  }
+
+  // ---- Parameters. ---------------------------------------------------------------
+  const size_t d = config_.embedding_dim;
+  const float init = config_.embedding_init_stddev;
+  user_emb_ =
+      std::make_unique<nn::Embedding>(dataset.num_users(), d, rng_, init);
+  poi_emb_ =
+      std::make_unique<nn::Embedding>(dataset.num_pois(), d, rng_, init);
+  word_emb_ = std::make_unique<nn::Embedding>(dataset.vocabulary().size(), d,
+                                              rng_, init);
+  mlp_ = std::make_unique<nn::Mlp>(2 * d, config_.hidden_dims,
+                                   config_.dropout_rate, rng_);
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), config_.learning_rate);
+  loss_history_.clear();
+  fitted_ = false;
+  return Status::OK();
+}
+
+void StTransRec::BuildRegionPools(const Dataset& dataset,
+                                  const CrossCitySplit& split) {
+  mmd_pool_source_.clear();
+  mmd_pool_target_.clear();
+  resamplers_.clear();
+
+  // Group training check-ins per city.
+  std::vector<std::vector<size_t>> city_checkins(dataset.num_cities());
+  for (size_t idx : split.train) {
+    city_checkins[static_cast<size_t>(dataset.checkins()[idx].city)]
+        .push_back(idx);
+  }
+
+  for (size_t c = 0; c < dataset.num_cities(); ++c) {
+    auto& pool = (static_cast<CityId>(c) == target_city_) ? mmd_pool_target_
+                                                          : mmd_pool_source_;
+    if (city_checkins[c].empty()) {
+      // Still need a resampler slot to keep indices aligned with city ids.
+      resamplers_.emplace_back(std::vector<size_t>{1}, std::vector<int>{},
+                               std::vector<int64_t>{});
+      continue;
+    }
+
+    // Segment the city into uniformly accessible regions (Algorithm 1).
+    GridIndex grid(dataset.city(static_cast<CityId>(c)).box,
+                   config_.grid_rows, config_.grid_cols);
+    RegionSegmenter segmenter(grid, config_.region_delta);
+    for (size_t idx : city_checkins[c]) {
+      const CheckinRecord& rec = dataset.checkins()[idx];
+      segmenter.AddVisit(grid.CellOf(dataset.poi(rec.poi).location), rec.user);
+    }
+    RegionAssignment regions;
+    if (config_.use_region_merging) {
+      regions = segmenter.Segment(rng_);
+    } else {
+      // Naive baseline: every cell is a singleton region.
+      regions.cell_to_region.resize(grid.NumCells());
+      regions.region_cells.resize(grid.NumCells());
+      for (size_t cell = 0; cell < grid.NumCells(); ++cell) {
+        regions.cell_to_region[cell] = static_cast<int>(cell);
+        regions.region_cells[cell] = {cell};
+      }
+    }
+
+    std::vector<size_t> region_sizes(regions.num_regions());
+    for (size_t r = 0; r < regions.num_regions(); ++r) {
+      region_sizes[r] = regions.region_cells[r].size();
+    }
+    std::vector<int> checkin_regions;
+    std::vector<int64_t> checkin_pois;
+    checkin_regions.reserve(city_checkins[c].size());
+    for (size_t idx : city_checkins[c]) {
+      const CheckinRecord& rec = dataset.checkins()[idx];
+      const size_t cell = grid.CellOf(dataset.poi(rec.poi).location);
+      checkin_regions.push_back(regions.cell_to_region[cell]);
+      checkin_pois.push_back(rec.poi);
+    }
+    resamplers_.emplace_back(std::move(region_sizes), checkin_regions,
+                             checkin_pois);
+
+    // The MMD pool: raw check-ins plus alpha-scaled synthetic draws (Eq. 9).
+    pool.insert(pool.end(), checkin_pois.begin(), checkin_pois.end());
+    const std::vector<int64_t> extra =
+        resamplers_.back().SampleExtra(config_.resample_alpha, rng_);
+    pool.insert(pool.end(), extra.begin(), extra.end());
+    if (config_.verbose) {
+      STTR_LOG(Info) << dataset.city(static_cast<CityId>(c)).name << ": "
+                     << regions.num_regions() << " regions, "
+                     << checkin_pois.size() << " raw + " << extra.size()
+                     << " resampled check-ins in MMD pool";
+    }
+  }
+}
+
+size_t StTransRec::StepsPerEpoch() const {
+  STTR_CHECK(!positives_.empty()) << "Prepare() not called";
+  return (positives_.size() + config_.batch_size - 1) / config_.batch_size;
+}
+
+TrainingBatch StTransRec::SampleBatch(Rng& rng) const {
+  STTR_CHECK(!positives_.empty()) << "Prepare() not called";
+  TrainingBatch batch;
+
+  // ---- Interaction batch with uniform unvisited negatives. ---------------------
+  const size_t rows =
+      config_.batch_size * (1 + config_.negatives_per_positive);
+  batch.users.reserve(rows);
+  batch.pois.reserve(rows);
+  std::vector<float> labels;
+  labels.reserve(rows);
+  for (size_t b = 0; b < config_.batch_size; ++b) {
+    const auto& [u, v] = positives_[rng.UniformInt(positives_.size())];
+    batch.users.push_back(u);
+    batch.pois.push_back(v);
+    labels.push_back(1.0f);
+    const auto& pool = city_pois_[static_cast<size_t>(
+        poi_city_[static_cast<size_t>(v)])];
+    for (size_t k = 0; k < config_.negatives_per_positive; ++k) {
+      int64_t neg = static_cast<int64_t>(pool[rng.UniformInt(pool.size())]);
+      for (int tries = 0;
+           tries < 8 &&
+           SortedContains(user_visited_[static_cast<size_t>(u)], neg);
+           ++tries) {
+        neg = static_cast<int64_t>(pool[rng.UniformInt(pool.size())]);
+      }
+      batch.users.push_back(u);
+      batch.pois.push_back(neg);
+      labels.push_back(0.0f);
+    }
+  }
+  const size_t n_labels = labels.size();
+  batch.labels = Tensor({n_labels}, std::move(labels));
+
+  // ---- Skip-gram batch over the textual context graph (Eq. 4). ----------------
+  if (config_.use_text && context_graph_->num_edges() > 0) {
+    const size_t n_edges = config_.batch_size;
+    std::vector<float> sg_labels;
+    sg_labels.reserve(n_edges * (1 + config_.word_negatives));
+    for (size_t b = 0; b < n_edges; ++b) {
+      const size_t e = rng.UniformInt(context_graph_->num_edges());
+      const int64_t v = context_graph_->edge_pois()[e];
+      batch.sg_pois.push_back(v);
+      batch.sg_words.push_back(context_graph_->edge_words()[e]);
+      sg_labels.push_back(1.0f);
+      for (size_t k = 0; k < config_.word_negatives; ++k) {
+        batch.sg_pois.push_back(v);
+        batch.sg_words.push_back(
+            word_sampler_->SampleNegativeFor(*context_graph_, v, rng));
+        sg_labels.push_back(0.0f);
+      }
+    }
+    const size_t n_sg = sg_labels.size();
+    batch.sg_labels = Tensor({n_sg}, std::move(sg_labels));
+  }
+
+  // ---- Geographic context batch (PACE). ----------------------------------------
+  if (config_.use_geo_context && !geo_edge_a_.empty()) {
+    std::vector<float> geo_labels;
+    geo_labels.reserve(config_.batch_size * 2);
+    for (size_t b = 0; b < config_.batch_size; ++b) {
+      const size_t e = rng.UniformInt(geo_edge_a_.size());
+      const int64_t a = geo_edge_a_[e];
+      batch.geo_pois_a.push_back(a);
+      batch.geo_pois_b.push_back(geo_edge_b_[e]);
+      geo_labels.push_back(1.0f);
+      const auto& pool =
+          city_pois_[static_cast<size_t>(poi_city_[static_cast<size_t>(a)])];
+      batch.geo_pois_a.push_back(a);
+      batch.geo_pois_b.push_back(
+          static_cast<int64_t>(pool[rng.UniformInt(pool.size())]));
+      geo_labels.push_back(0.0f);
+    }
+    const size_t n_geo = geo_labels.size();
+    batch.geo_labels = Tensor({n_geo}, std::move(geo_labels));
+  }
+
+  // ---- MMD pools (Eq. 10 on a minibatch). -------------------------------------
+  if (config_.use_mmd && !mmd_pool_source_.empty() &&
+      !mmd_pool_target_.empty()) {
+    batch.mmd_source.reserve(config_.mmd_batch);
+    batch.mmd_target.reserve(config_.mmd_batch);
+    for (size_t i = 0; i < config_.mmd_batch; ++i) {
+      batch.mmd_source.push_back(
+          mmd_pool_source_[rng.UniformInt(mmd_pool_source_.size())]);
+      batch.mmd_target.push_back(
+          mmd_pool_target_[rng.UniformInt(mmd_pool_target_.size())]);
+    }
+  }
+  return batch;
+}
+
+StepLosses StTransRec::ComputeGradients(const TrainingBatch& batch, Rng& rng) {
+  STTR_CHECK(user_emb_ != nullptr) << "Prepare() not called";
+  StepLosses losses;
+
+  // Interaction tower: L_I (Eq. 11-13).
+  ag::Variable xu = user_emb_->Forward(batch.users);
+  ag::Variable xv = poi_emb_->Forward(batch.pois);
+  ag::Variable logits =
+      mlp_->Forward(ag::ConcatCols(xu, xv), /*training=*/true, rng);
+  ag::Variable total = ag::BceWithLogits(logits, batch.labels);
+  losses.interaction = total.value()[0];
+
+  // Textual context prediction: L_G (Eq. 4).
+  if (!batch.sg_pois.empty()) {
+    ag::Variable pv = poi_emb_->Forward(batch.sg_pois);
+    ag::Variable wv = word_emb_->Forward(batch.sg_words);
+    ag::Variable lg =
+        ag::BceWithLogits(ag::RowwiseDot(pv, wv), batch.sg_labels);
+    losses.text = lg.value()[0];
+    total = ag::Add(total, ag::Scale(lg, config_.text_loss_weight));
+  }
+
+  // Geographic context prediction (PACE).
+  if (!batch.geo_pois_a.empty()) {
+    ag::Variable pa = poi_emb_->Forward(batch.geo_pois_a);
+    ag::Variable pb = poi_emb_->Forward(batch.geo_pois_b);
+    ag::Variable lgeo =
+        ag::BceWithLogits(ag::RowwiseDot(pa, pb), batch.geo_labels);
+    losses.geo = lgeo.value()[0];
+    total = ag::Add(total, lgeo);
+  }
+
+  // Transfer: lambda * D(P, Q) (Eq. 10).
+  if (!batch.mmd_source.empty() && !batch.mmd_target.empty()) {
+    ag::Variable xs = poi_emb_->Forward(batch.mmd_source);
+    ag::Variable xt = poi_emb_->Forward(batch.mmd_target);
+    double sigma = config_.mmd_sigma;
+    if (sigma <= 0.0) {
+      sigma = MedianHeuristicSigma(xs.value(), xt.value(), 256, rng);
+    }
+    ag::Variable mmd =
+        config_.use_linear_mmd
+            ? ag_ops::MmdLossLinear(xs, xt, {sigma})
+            : ag_ops::MmdLoss(xs, xt, {sigma});
+    losses.mmd = mmd.value()[0];
+    total = ag::Add(total, ag::Scale(mmd, static_cast<float>(
+                                              config_.lambda_mmd)));
+  }
+
+  losses.total = total.value()[0];
+  ag::Backward(total);
+  return losses;
+}
+
+void StTransRec::OptimizerStep() { optimizer_->Step(); }
+
+std::vector<ag::Variable> StTransRec::Parameters() const {
+  STTR_CHECK(user_emb_ != nullptr) << "Prepare() not called";
+  std::vector<ag::Variable> params;
+  for (auto& p : user_emb_->Parameters()) params.push_back(p);
+  for (auto& p : poi_emb_->Parameters()) params.push_back(p);
+  for (auto& p : word_emb_->Parameters()) params.push_back(p);
+  for (auto& p : mlp_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
+  STTR_RETURN_IF_ERROR(Prepare(dataset, split));
+  const size_t steps = StepsPerEpoch();
+  for (size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+    double epoch_loss = 0;
+    for (size_t s = 0; s < steps; ++s) {
+      const TrainingBatch batch = SampleBatch(rng_);
+      epoch_loss += ComputeGradients(batch, rng_).total;
+      OptimizerStep();
+    }
+    loss_history_.push_back(epoch_loss / static_cast<double>(steps));
+    if (config_.verbose) {
+      STTR_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                     << config_.num_epochs
+                     << " mean loss=" << loss_history_.back();
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double StTransRec::Score(UserId user, PoiId poi) const {
+  STTR_CHECK(fitted_) << "Score() before Fit()";
+  // Inference path: plain tensor maths, no graph, no dropout.
+  const Tensor xu = sttr::GatherRows(user_emb_->table().value(), {user});
+  const Tensor xv = sttr::GatherRows(poi_emb_->table().value(), {poi});
+  Tensor h = sttr::ConcatCols(xu, xv);
+  // Re-run the MLP layers manually (weights live in mlp_->Parameters(),
+  // ordered W0, b0, W1, b1, ..., W_out, b_out).
+  const auto params = mlp_->Parameters();
+  STTR_CHECK_EQ(params.size() % 2, 0u);
+  const size_t num_layers = params.size() / 2;
+  for (size_t l = 0; l < num_layers; ++l) {
+    h = sttr::AddRowBroadcast(sttr::MatMul(h, params[2 * l].value()),
+                              params[2 * l + 1].value());
+    if (l + 1 < num_layers) h = sttr::Relu(h);
+  }
+  return SigmoidScalar(h[0]);
+}
+
+std::vector<float> StTransRec::PoiEmbedding(PoiId poi) const {
+  STTR_CHECK(fitted_);
+  const Tensor& table = poi_emb_->table().value();
+  STTR_CHECK_GE(poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi), table.rows());
+  const float* row = table.row(static_cast<size_t>(poi));
+  return std::vector<float>(row, row + table.cols());
+}
+
+Status StTransRec::Save(std::ostream& out) const {
+  if (user_emb_ == nullptr) {
+    return Status::FailedPrecondition("Save() before Prepare()");
+  }
+  for (const auto& p : Parameters()) {
+    STTR_RETURN_IF_ERROR(p.value().Serialize(out));
+  }
+  return Status::OK();
+}
+
+Status StTransRec::Load(std::istream& in) {
+  if (user_emb_ == nullptr) {
+    return Status::FailedPrecondition("Load() before Prepare()");
+  }
+  for (auto& p : Parameters()) {
+    StatusOr<Tensor> t = Tensor::Deserialize(in);
+    if (!t.ok()) return t.status();
+    if (!t->SameShape(p.value())) {
+      return Status::InvalidArgument("parameter shape mismatch on Load");
+    }
+    p.mutable_value() = std::move(t).value();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<float> StTransRec::WordEmbedding(WordId word) const {
+  STTR_CHECK(fitted_);
+  const Tensor& table = word_emb_->table().value();
+  STTR_CHECK_GE(word, 0);
+  STTR_CHECK_LT(static_cast<size_t>(word), table.rows());
+  const float* row = table.row(static_cast<size_t>(word));
+  return std::vector<float>(row, row + table.cols());
+}
+
+StTransRecConfig MakeVariant1(StTransRecConfig base) {
+  base.use_mmd = false;
+  return base;
+}
+
+StTransRecConfig MakeVariant2(StTransRecConfig base) {
+  base.use_text = false;
+  return base;
+}
+
+StTransRecConfig MakeVariant3(StTransRecConfig base) {
+  base.resample_alpha = 0.0;
+  return base;
+}
+
+}  // namespace sttr

@@ -1,0 +1,119 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace sttr {
+
+void Dataset::AddCity(City city) {
+  STTR_CHECK_EQ(static_cast<size_t>(city.id), cities_.size())
+      << "city ids must be dense";
+  cities_.push_back(std::move(city));
+  poi_index_built_ = false;
+}
+
+void Dataset::AddUser(User user) {
+  STTR_CHECK_EQ(static_cast<size_t>(user.id), users_.size())
+      << "user ids must be dense";
+  users_.push_back(user);
+  checkin_index_built_ = false;
+}
+
+void Dataset::AddPoi(Poi poi) {
+  STTR_CHECK_EQ(static_cast<size_t>(poi.id), pois_.size())
+      << "poi ids must be dense";
+  STTR_CHECK_GE(poi.city, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi.city), cities_.size());
+  pois_.push_back(std::move(poi));
+  poi_index_built_ = false;
+}
+
+void Dataset::AddCheckin(CheckinRecord rec) {
+  STTR_CHECK_GE(rec.user, 0);
+  STTR_CHECK_LT(static_cast<size_t>(rec.user), users_.size());
+  STTR_CHECK_GE(rec.poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(rec.poi), pois_.size());
+  checkins_.push_back(rec);
+  checkin_index_built_ = false;
+}
+
+void Dataset::BuildIndexes() {
+  user_checkins_.assign(users_.size(), {});
+  city_pois_.assign(cities_.size(), {});
+  for (size_t i = 0; i < checkins_.size(); ++i) {
+    user_checkins_[static_cast<size_t>(checkins_[i].user)].push_back(i);
+  }
+  for (const Poi& p : pois_) {
+    city_pois_[static_cast<size_t>(p.city)].push_back(p.id);
+  }
+  poi_index_built_ = true;
+  checkin_index_built_ = true;
+}
+
+const User& Dataset::user(UserId id) const {
+  STTR_CHECK_GE(id, 0);
+  STTR_CHECK_LT(static_cast<size_t>(id), users_.size());
+  return users_[static_cast<size_t>(id)];
+}
+
+const Poi& Dataset::poi(PoiId id) const {
+  STTR_CHECK_GE(id, 0);
+  STTR_CHECK_LT(static_cast<size_t>(id), pois_.size());
+  return pois_[static_cast<size_t>(id)];
+}
+
+const City& Dataset::city(CityId id) const {
+  STTR_CHECK_GE(id, 0);
+  STTR_CHECK_LT(static_cast<size_t>(id), cities_.size());
+  return cities_[static_cast<size_t>(id)];
+}
+
+const std::vector<size_t>& Dataset::CheckinsOfUser(UserId u) const {
+  STTR_CHECK(checkin_index_built_) << "call BuildIndexes() first";
+  STTR_CHECK_GE(u, 0);
+  STTR_CHECK_LT(static_cast<size_t>(u), user_checkins_.size());
+  return user_checkins_[static_cast<size_t>(u)];
+}
+
+const std::vector<PoiId>& Dataset::PoisInCity(CityId c) const {
+  STTR_CHECK(poi_index_built_) << "call BuildIndexes() first";
+  STTR_CHECK_GE(c, 0);
+  STTR_CHECK_LT(static_cast<size_t>(c), city_pois_.size());
+  return city_pois_[static_cast<size_t>(c)];
+}
+
+DatasetStats Dataset::ComputeStats(CityId target_city) const {
+  STTR_CHECK(checkin_index_built_) << "call BuildIndexes() first";
+  DatasetStats s;
+  s.num_users = users_.size();
+  s.num_pois = pois_.size();
+  s.num_words = vocab_.size();
+  s.num_checkins = checkins_.size();
+  for (const User& u : users_) {
+    bool in_target = false;
+    bool in_source = false;
+    std::unordered_set<CityId> cities_seen;
+    for (size_t idx : CheckinsOfUser(u.id)) {
+      const CityId c = checkins_[idx].city;
+      cities_seen.insert(c);
+      if (target_city >= 0) {
+        (c == target_city ? in_target : in_source) = true;
+      }
+    }
+    const bool crossing =
+        target_city >= 0 ? (in_target && in_source) : cities_seen.size() > 1;
+    if (!crossing) continue;
+    s.num_crossing_users += 1;
+    for (size_t idx : CheckinsOfUser(u.id)) {
+      const bool counts =
+          target_city >= 0
+              ? checkins_[idx].city == target_city
+              : checkins_[idx].city != u.home_city;
+      if (counts) s.num_crossing_checkins += 1;
+    }
+  }
+  return s;
+}
+
+}  // namespace sttr

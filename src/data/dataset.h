@@ -1,0 +1,91 @@
+#ifndef STTR_DATA_DATASET_H_
+#define STTR_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "text/vocabulary.h"
+
+namespace sttr {
+
+/// Summary statistics in the shape of the paper's Table 1.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_pois = 0;
+  size_t num_words = 0;
+  size_t num_checkins = 0;
+  size_t num_crossing_users = 0;     ///< users with check-ins in >= 2 cities
+  size_t num_crossing_checkins = 0;  ///< their check-ins outside the home city
+};
+
+/// In-memory check-in collection: users, POIs, cities, vocabulary and the
+/// check-in table. Built once (via the synthetic generator or a loader) and
+/// then read-only for models.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // -- Construction -----------------------------------------------------------
+
+  /// Appends a city; its id must equal the current city count.
+  void AddCity(City city);
+
+  /// Appends a user; its id must equal the current user count.
+  void AddUser(User user);
+
+  /// Appends a POI; its id must equal the current POI count.
+  void AddPoi(Poi poi);
+
+  /// Appends a check-in referencing existing user/POI ids.
+  void AddCheckin(CheckinRecord rec);
+
+  Vocabulary& mutable_vocabulary() { return vocab_; }
+
+  /// Rebuilds the per-user and per-city indexes; call after the last Add*.
+  void BuildIndexes();
+
+  // -- Access -------------------------------------------------------------------
+
+  size_t num_users() const { return users_.size(); }
+  size_t num_pois() const { return pois_.size(); }
+  size_t num_cities() const { return cities_.size(); }
+  size_t num_checkins() const { return checkins_.size(); }
+
+  const User& user(UserId id) const;
+  const Poi& poi(PoiId id) const;
+  const City& city(CityId id) const;
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  const std::vector<CheckinRecord>& checkins() const { return checkins_; }
+  const std::vector<Poi>& pois() const { return pois_; }
+  const std::vector<User>& users() const { return users_; }
+  const std::vector<City>& cities() const { return cities_; }
+
+  /// Indexes of this user's check-ins in checkins(). Requires BuildIndexes().
+  const std::vector<size_t>& CheckinsOfUser(UserId u) const;
+
+  /// POI ids located in city `c`. Requires BuildIndexes().
+  const std::vector<PoiId>& PoisInCity(CityId c) const;
+
+  /// Table-1 style statistics. `target_city` defines "crossing" users as
+  /// those with check-ins both inside and outside that city; pass -1 to
+  /// count users spanning any two cities.
+  DatasetStats ComputeStats(CityId target_city = -1) const;
+
+ private:
+  std::vector<User> users_;
+  std::vector<Poi> pois_;
+  std::vector<City> cities_;
+  std::vector<CheckinRecord> checkins_;
+  Vocabulary vocab_;
+
+  bool poi_index_built_ = false;
+  bool checkin_index_built_ = false;
+  std::vector<std::vector<size_t>> user_checkins_;
+  std::vector<std::vector<PoiId>> city_pois_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_DATA_DATASET_H_

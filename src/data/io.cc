@@ -1,0 +1,219 @@
+#include "data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sttr {
+
+namespace {
+
+/// Parses one data line into tab-separated fields; empty and '#' lines are
+/// skipped by the caller.
+std::vector<std::string> Fields(const std::string& line) {
+  return Split(line, '\t');
+}
+
+Status ParseError(const std::string& file, size_t lineno,
+                  const std::string& what) {
+  return Status::InvalidArgument(file + ":" + std::to_string(lineno) + ": " +
+                                 what);
+}
+
+/// Reads all data lines of `path`, invoking `fn(fields, lineno)`.
+template <typename Fn>
+Status ForEachLine(const std::string& path, Fn fn) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    STTR_RETURN_IF_ERROR(fn(Fields(line), lineno));
+  }
+  return Status::OK();
+}
+
+StatusOr<double> ToDouble(const std::string& s, const std::string& file,
+                          size_t lineno) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return ParseError(file, lineno, "not a number: '" + s + "'");
+  }
+  return v;
+}
+
+StatusOr<int64_t> ToInt(const std::string& s, const std::string& file,
+                        size_t lineno) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return ParseError(file, lineno, "not an integer: '" + s + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+DatasetPaths DatasetPaths::InDirectory(const std::string& dir) {
+  return DatasetPaths{dir + "/cities.tsv", dir + "/users.tsv",
+                      dir + "/pois.tsv", dir + "/checkins.tsv"};
+}
+
+Status SaveDataset(const Dataset& dataset, const DatasetPaths& paths) {
+  {
+    std::ofstream out(paths.cities);
+    if (!out) return Status::IOError("cannot open " + paths.cities);
+    out << "# city_id\tname\tmin_lat\tmax_lat\tmin_lon\tmax_lon\n";
+    for (const City& c : dataset.cities()) {
+      out << c.id << '\t' << c.name << '\t' << c.box.min_lat << '\t'
+          << c.box.max_lat << '\t' << c.box.min_lon << '\t' << c.box.max_lon
+          << '\n';
+    }
+    if (!out) return Status::IOError("write failed: " + paths.cities);
+  }
+  {
+    std::ofstream out(paths.users);
+    if (!out) return Status::IOError("cannot open " + paths.users);
+    out << "# user_id\thome_city\n";
+    for (const User& u : dataset.users()) {
+      out << u.id << '\t' << u.home_city << '\n';
+    }
+    if (!out) return Status::IOError("write failed: " + paths.users);
+  }
+  {
+    std::ofstream out(paths.pois);
+    if (!out) return Status::IOError("cannot open " + paths.pois);
+    out << "# poi_id\tcity_id\tlat\tlon\twords\n";
+    out.precision(10);
+    for (const Poi& p : dataset.pois()) {
+      out << p.id << '\t' << p.city << '\t' << p.location.lat << '\t'
+          << p.location.lon << '\t';
+      for (size_t i = 0; i < p.words.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << dataset.vocabulary().WordOf(p.words[i]);
+      }
+      out << '\n';
+    }
+    if (!out) return Status::IOError("write failed: " + paths.pois);
+  }
+  {
+    std::ofstream out(paths.checkins);
+    if (!out) return Status::IOError("cannot open " + paths.checkins);
+    out << "# user_id\tpoi_id\ttime\n";
+    for (const CheckinRecord& r : dataset.checkins()) {
+      out << r.user << '\t' << r.poi << '\t' << r.time << '\n';
+    }
+    if (!out) return Status::IOError("write failed: " + paths.checkins);
+  }
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDataset(const DatasetPaths& paths) {
+  Dataset ds;
+
+  STTR_RETURN_IF_ERROR(ForEachLine(
+      paths.cities, [&](const std::vector<std::string>& f, size_t n) {
+        if (f.size() != 6) {
+          return ParseError(paths.cities, n, "expected 6 fields");
+        }
+        auto id = ToInt(f[0], paths.cities, n);
+        if (!id.ok()) return id.status();
+        City city;
+        city.id = static_cast<CityId>(*id);
+        city.name = f[1];
+        double vals[4];
+        for (int i = 0; i < 4; ++i) {
+          auto v = ToDouble(f[static_cast<size_t>(i) + 2], paths.cities, n);
+          if (!v.ok()) return v.status();
+          vals[i] = *v;
+        }
+        city.box = BoundingBox{vals[0], vals[1], vals[2], vals[3]};
+        if (static_cast<size_t>(city.id) != ds.num_cities()) {
+          return ParseError(paths.cities, n, "city ids must be dense");
+        }
+        ds.AddCity(std::move(city));
+        return Status::OK();
+      }));
+
+  STTR_RETURN_IF_ERROR(ForEachLine(
+      paths.users, [&](const std::vector<std::string>& f, size_t n) {
+        if (f.size() != 2) {
+          return ParseError(paths.users, n, "expected 2 fields");
+        }
+        auto id = ToInt(f[0], paths.users, n);
+        if (!id.ok()) return id.status();
+        auto home = ToInt(f[1], paths.users, n);
+        if (!home.ok()) return home.status();
+        if (static_cast<size_t>(*id) != ds.num_users()) {
+          return ParseError(paths.users, n, "user ids must be dense");
+        }
+        if (*home < 0 || static_cast<size_t>(*home) >= ds.num_cities()) {
+          return ParseError(paths.users, n, "home_city out of range");
+        }
+        ds.AddUser(User{*id, static_cast<CityId>(*home)});
+        return Status::OK();
+      }));
+
+  STTR_RETURN_IF_ERROR(ForEachLine(
+      paths.pois, [&](const std::vector<std::string>& f, size_t n) {
+        if (f.size() != 5) {
+          return ParseError(paths.pois, n, "expected 5 fields");
+        }
+        auto id = ToInt(f[0], paths.pois, n);
+        if (!id.ok()) return id.status();
+        auto city = ToInt(f[1], paths.pois, n);
+        if (!city.ok()) return city.status();
+        auto lat = ToDouble(f[2], paths.pois, n);
+        if (!lat.ok()) return lat.status();
+        auto lon = ToDouble(f[3], paths.pois, n);
+        if (!lon.ok()) return lon.status();
+        if (static_cast<size_t>(*id) != ds.num_pois()) {
+          return ParseError(paths.pois, n, "poi ids must be dense");
+        }
+        if (*city < 0 || static_cast<size_t>(*city) >= ds.num_cities()) {
+          return ParseError(paths.pois, n, "city_id out of range");
+        }
+        Poi poi;
+        poi.id = *id;
+        poi.city = static_cast<CityId>(*city);
+        poi.location = GeoPoint{*lat, *lon};
+        for (const std::string& w : SplitWhitespace(f[4])) {
+          poi.words.push_back(ds.mutable_vocabulary().Add(w));
+        }
+        ds.AddPoi(std::move(poi));
+        return Status::OK();
+      }));
+
+  STTR_RETURN_IF_ERROR(ForEachLine(
+      paths.checkins, [&](const std::vector<std::string>& f, size_t n) {
+        if (f.size() != 3) {
+          return ParseError(paths.checkins, n, "expected 3 fields");
+        }
+        auto user = ToInt(f[0], paths.checkins, n);
+        if (!user.ok()) return user.status();
+        auto poi = ToInt(f[1], paths.checkins, n);
+        if (!poi.ok()) return poi.status();
+        auto time = ToDouble(f[2], paths.checkins, n);
+        if (!time.ok()) return time.status();
+        if (*user < 0 || static_cast<size_t>(*user) >= ds.num_users()) {
+          return ParseError(paths.checkins, n, "user_id out of range");
+        }
+        if (*poi < 0 || static_cast<size_t>(*poi) >= ds.num_pois()) {
+          return ParseError(paths.checkins, n, "poi_id out of range");
+        }
+        ds.AddCheckin(CheckinRecord{*user, *poi,
+                                    ds.poi(*poi).city, *time});
+        return Status::OK();
+      }));
+
+  ds.BuildIndexes();
+  return ds;
+}
+
+}  // namespace sttr

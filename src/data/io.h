@@ -1,0 +1,47 @@
+#ifndef STTR_DATA_IO_H_
+#define STTR_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sttr {
+
+/// On-disk interchange format for check-in datasets: a directory of four
+/// TSV files, designed so real Foursquare/Yelp-style dumps can be converted
+/// with a few lines of scripting.
+///
+///   cities.tsv    city_id \t name \t min_lat \t max_lat \t min_lon \t max_lon
+///   users.tsv     user_id \t home_city
+///   pois.tsv      poi_id \t city_id \t lat \t lon \t words (space-separated)
+///   checkins.tsv  user_id \t poi_id \t time
+///
+/// Ids must be dense and 0-based (the loader validates). Lines starting
+/// with '#' are comments. The vocabulary is derived from pois.tsv, so word
+/// ids are assigned in first-seen order; vocabulary entries never used by
+/// any POI are not representable (a save/load round trip drops them and
+/// re-numbers word ids, while every POI's word *strings* are preserved).
+/// Consequently load(save(load(x))) == load(x): the format is a fixpoint
+/// after one round trip.
+struct DatasetPaths {
+  std::string cities;
+  std::string users;
+  std::string pois;
+  std::string checkins;
+
+  /// The four conventional file names under `dir`.
+  static DatasetPaths InDirectory(const std::string& dir);
+};
+
+/// Writes `dataset` in the interchange format. Creates/overwrites files;
+/// the caller is responsible for the directory existing.
+Status SaveDataset(const Dataset& dataset, const DatasetPaths& paths);
+
+/// Loads a dataset written by SaveDataset (or hand-converted data).
+/// Returns the dataset with indexes built.
+StatusOr<Dataset> LoadDataset(const DatasetPaths& paths);
+
+}  // namespace sttr
+
+#endif  // STTR_DATA_IO_H_

@@ -1,0 +1,49 @@
+#include "data/split.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace sttr {
+
+CrossCitySplit MakeCrossCitySplit(const Dataset& dataset, CityId target_city) {
+  STTR_CHECK_GE(target_city, 0);
+  STTR_CHECK_LT(static_cast<size_t>(target_city), dataset.num_cities());
+
+  CrossCitySplit split;
+  split.target_city = target_city;
+
+  for (const User& u : dataset.users()) {
+    bool in_target = false;
+    bool in_source = false;
+    for (size_t idx : dataset.CheckinsOfUser(u.id)) {
+      (dataset.checkins()[idx].city == target_city ? in_target : in_source) =
+          true;
+    }
+    const bool crossing = in_target && in_source;
+
+    if (!crossing) {
+      for (size_t idx : dataset.CheckinsOfUser(u.id)) {
+        split.train.push_back(idx);
+      }
+      continue;
+    }
+
+    CrossCitySplit::TestUser test;
+    test.user = u.id;
+    std::unordered_set<PoiId> seen;
+    for (size_t idx : dataset.CheckinsOfUser(u.id)) {
+      const CheckinRecord& rec = dataset.checkins()[idx];
+      if (rec.city == target_city) {
+        split.num_heldout_checkins += 1;
+        if (seen.insert(rec.poi).second) test.ground_truth.push_back(rec.poi);
+      } else {
+        split.train.push_back(idx);
+      }
+    }
+    split.test_users.push_back(std::move(test));
+  }
+  return split;
+}
+
+}  // namespace sttr

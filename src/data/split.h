@@ -1,0 +1,40 @@
+#ifndef STTR_DATA_SPLIT_H_
+#define STTR_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sttr {
+
+/// The crossing-city evaluation split of §4.1 ("Dataset Construction").
+///
+/// One city is the target; crossing-city users (who checked in both inside
+/// and outside the target) become test users and their target-city check-ins
+/// become ground truth. Everything else trains: all source-city check-ins
+/// (including the crossing users' source history) and the target-city
+/// check-ins of local users.
+struct CrossCitySplit {
+  CityId target_city = -1;
+
+  /// Training check-ins (indices into dataset.checkins()).
+  std::vector<size_t> train;
+
+  struct TestUser {
+    UserId user = -1;
+    /// Target-city POIs the user actually visited (deduplicated).
+    std::vector<PoiId> ground_truth;
+  };
+  std::vector<TestUser> test_users;
+
+  /// Check-ins held out as ground truth (count, for stats).
+  size_t num_heldout_checkins = 0;
+};
+
+/// Builds the split. Users whose check-ins are exclusively in the target
+/// city are treated as locals (their data trains the target side).
+CrossCitySplit MakeCrossCitySplit(const Dataset& dataset, CityId target_city);
+
+}  // namespace sttr
+
+#endif  // STTR_DATA_SPLIT_H_

@@ -1,0 +1,70 @@
+#include "data/synth/lexicon.h"
+
+namespace sttr::synth {
+
+const std::vector<Topic>& TopicLexicon() {
+  static const std::vector<Topic>* kTopics = new std::vector<Topic>{
+      {"outdoors",
+       {"park", "scenic", "views", "trail", "hiking", "garden", "picnic",
+        "nature", "lake", "sunset", "tours", "wildlife"}},
+      {"art",
+       {"museum", "gallery", "exhibit", "sculpture", "paintings", "historic",
+        "culture", "artwalk", "installation", "curator", "mural", "antique"}},
+      {"nightlife",
+       {"bar", "club", "cocktails", "dancing", "nightlife", "lounge",
+        "drinks", "rooftop", "karaoke", "bouncer", "neon", "afterparty"}},
+      {"italian_food",
+       {"italian", "pizza", "pasta", "bakery", "trattoria", "wine",
+        "risotto", "gelato", "cannoli", "portobello", "bruschetta",
+        "tiramisu"}},
+      {"asian_food",
+       {"thai", "sushi", "noodles", "ramen", "spicy", "dumplings", "curry",
+        "pho", "wok", "tempura", "padthai", "lemongrass"}},
+      {"shopping",
+       {"mall", "shopping", "boutique", "fashion", "outlet", "souvenirs",
+        "market", "deals", "brands", "accessories", "window", "arcade"}},
+      {"music",
+       {"concert", "music", "stage", "blues", "jazz", "band", "vinyl",
+        "acoustic", "festival", "rock", "encore", "orchestra"}},
+      {"sports",
+       {"stadium", "arena", "game", "basketball", "baseball", "fans",
+        "tailgate", "jersey", "court", "field", "playoffs", "scoreboard"}},
+      {"beach",
+       {"beach", "surf", "boardwalk", "waves", "sand", "pier", "volleyball",
+        "ocean", "breeze", "tide", "lifeguard", "seashell"}},
+      {"casino",
+       {"casino", "slots", "poker", "blackjack", "jackpot", "chips",
+        "betting", "roulette", "highroller", "dealer", "craps", "bellhop"}},
+      {"cinema",
+       {"cinema", "movies", "multiplex", "popcorn", "premiere", "screening",
+        "matinee", "imax", "film", "tickets", "trailer", "caramel"}},
+      {"coffee",
+       {"coffee", "latte", "brew", "roastery", "pastry", "croissant", "wifi",
+        "cozy", "mocha", "beans", "barista", "espresso"}},
+      {"education",
+       {"college", "campus", "library", "lecture", "books", "study",
+        "professors", "quad", "seminar", "research", "dormitory",
+        "graduation"}},
+  };
+  return *kTopics;
+}
+
+std::vector<std::string> CityLandmarkWords(const std::string& city_name,
+                                           size_t count) {
+  static const char* kLandmarks[] = {
+      "boulevard", "bridge",   "tower",    "plaza",   "harbor",  "canyon",
+      "palace",    "fountain", "district", "heights", "gardens", "terminal",
+      "junction",  "square",   "strip",    "bay",     "summit",  "crossing",
+      "grove",     "landing",  "quarter",  "yards",   "wharf",   "promenade"};
+  constexpr size_t kNumLandmarks = sizeof(kLandmarks) / sizeof(kLandmarks[0]);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string w = city_name + "_" + kLandmarks[i % kNumLandmarks];
+    if (i >= kNumLandmarks) w += "_" + std::to_string(i / kNumLandmarks);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace sttr::synth

@@ -1,0 +1,29 @@
+#ifndef STTR_DATA_SYNTH_LEXICON_H_
+#define STTR_DATA_SYNTH_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+namespace sttr::synth {
+
+/// One latent interest topic with a human-readable name and its
+/// city-independent word list (disjoint across topics so the latent signal
+/// is identifiable; mirrors Fig. 1a's "city-independent words").
+struct Topic {
+  std::string name;
+  std::vector<std::string> words;
+};
+
+/// The built-in topic lexicon (13 topics, ~12 words each). Readable words
+/// make the Table 3 case study meaningful.
+const std::vector<Topic>& TopicLexicon();
+
+/// City-dependent landmark words for a city, e.g. "los_angeles_boulevard".
+/// These play the role of "golden gate bridge" / "hollywood sign" in
+/// Fig. 1a: words that appear only in one city and poison naive matching.
+std::vector<std::string> CityLandmarkWords(const std::string& city_name,
+                                           size_t count);
+
+}  // namespace sttr::synth
+
+#endif  // STTR_DATA_SYNTH_LEXICON_H_

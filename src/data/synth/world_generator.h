@@ -1,0 +1,94 @@
+#ifndef STTR_DATA_SYNTH_WORLD_GENERATOR_H_
+#define STTR_DATA_SYNTH_WORLD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sttr::synth {
+
+/// Preset sizes. kTiny is for unit tests, kSmall runs the full benchmark
+/// suite on a one-core container in minutes, kPaper approximates the row
+/// counts of the paper's Table 1 (slow to train on; generation is cheap).
+enum class Scale { kTiny, kSmall, kPaper };
+
+/// Parses "tiny" | "small" | "paper" (case-insensitive); defaults to kSmall.
+Scale ParseScale(const std::string& s);
+
+/// Per-city knobs of the generative world model.
+struct SynthCityConfig {
+  std::string name;
+  size_t num_pois = 400;
+  size_t num_local_users = 200;
+  size_t num_downtown_centers = 3;
+  /// Fraction of POIs clustered around downtown centres (the paper's
+  /// "transportation convenient regions"); the rest are marginal.
+  double downtown_poi_frac = 0.55;
+  /// Topics over-represented in this city (behaviour-drift knob: Vegas gets
+  /// casinos, Boston gets colleges).
+  std::vector<size_t> signature_topics;
+};
+
+/// Full configuration of the synthetic check-in world. The defaults encode
+/// the paper's three data pathologies:
+///  * sparsity  - crossing users leave only 2-6 target check-ins;
+///  * drift     - city-dependent landmark words + per-city topic profiles;
+///  * imbalance - downtown POIs get `accessibility_boost` more traffic.
+struct SynthWorldConfig {
+  std::vector<SynthCityConfig> cities;
+  CityId target_city = 0;
+  size_t num_crossing_users = 60;
+
+  size_t topic_words_per_poi = 4;
+  size_t city_words_per_poi = 2;
+  size_t landmark_words_per_city = 24;
+
+  /// Dirichlet concentration of user interests (small -> focused users).
+  double user_topic_alpha = 0.25;
+  size_t min_user_checkins = 15;
+  size_t max_user_checkins = 45;
+  size_t min_crossing_target_checkins = 2;
+  size_t max_crossing_target_checkins = 6;
+
+  /// Multiplier on check-in probability for downtown POIs.
+  double accessibility_boost = 4.0;
+  /// Log-normal sigma of intrinsic POI attraction.
+  double attraction_sigma = 0.6;
+  /// Spatial locality of a user's movements (degrees).
+  double travel_sigma_deg = 0.08;
+  double city_span_deg = 0.4;
+  double downtown_sigma_deg = 0.02;
+
+  uint64_t seed = 42;
+
+  /// Four-city world (target: los_angeles) echoing the Foursquare setup.
+  static SynthWorldConfig FoursquareLike(Scale scale);
+
+  /// Two-city world (phoenix -> las_vegas) echoing the Yelp setup.
+  static SynthWorldConfig YelpLike(Scale scale);
+};
+
+/// Hidden variables of the generator, kept out of Dataset so models cannot
+/// cheat; tests use them to assert that learning recovers structure.
+struct WorldGroundTruth {
+  std::vector<size_t> poi_topic;                    ///< per PoiId
+  std::vector<bool> poi_downtown;                   ///< per PoiId
+  std::vector<double> poi_attraction;               ///< per PoiId
+  std::vector<std::vector<double>> user_topic_prefs;  ///< per UserId
+};
+
+/// A generated world: the observable dataset plus the generator's latents.
+struct SynthWorld {
+  Dataset dataset;
+  WorldGroundTruth truth;
+  SynthWorldConfig config;
+};
+
+/// Runs the generative process (deterministic in config.seed).
+SynthWorld GenerateWorld(const SynthWorldConfig& config);
+
+}  // namespace sttr::synth
+
+#endif  // STTR_DATA_SYNTH_WORLD_GENERATOR_H_

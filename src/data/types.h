@@ -1,0 +1,51 @@
+#ifndef STTR_DATA_TYPES_H_
+#define STTR_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace sttr {
+
+using UserId = int64_t;
+using PoiId = int64_t;
+using WordId = int64_t;
+using CityId = int32_t;
+
+/// A point of interest: identity, location, host city and the word ids of
+/// its textual description (categories + tips after tokenisation).
+struct Poi {
+  PoiId id = -1;
+  CityId city = -1;
+  GeoPoint location;
+  std::vector<WordId> words;
+};
+
+/// One check-in (Definition 1). The POI's location/words/city live on the
+/// Poi record; keeping the tuple slim makes the check-in table cache-friendly.
+struct CheckinRecord {
+  UserId user = -1;
+  PoiId poi = -1;
+  CityId city = -1;
+  /// Synthetic timestamp (ordering only).
+  double time = 0.0;
+};
+
+/// A user; `home_city` is where most of their check-ins happen.
+struct User {
+  UserId id = -1;
+  CityId home_city = -1;
+};
+
+/// A city with its bounding box.
+struct City {
+  CityId id = -1;
+  std::string name;
+  BoundingBox box;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_DATA_TYPES_H_

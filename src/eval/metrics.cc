@@ -1,0 +1,95 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sttr {
+
+RankingMetrics& RankingMetrics::operator+=(const RankingMetrics& o) {
+  recall += o.recall;
+  precision += o.precision;
+  ndcg += o.ndcg;
+  map += o.map;
+  return *this;
+}
+
+RankingMetrics RankingMetrics::operator/(double denom) const {
+  STTR_CHECK_NE(denom, 0.0);
+  return {recall / denom, precision / denom, ndcg / denom, map / denom};
+}
+
+namespace {
+size_t HitsInTopK(const std::vector<bool>& relevance, size_t k) {
+  size_t hits = 0;
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    hits += relevance[i] ? 1 : 0;
+  }
+  return hits;
+}
+}  // namespace
+
+double RecallAtK(const std::vector<bool>& relevance, size_t num_relevant,
+                 size_t k) {
+  if (num_relevant == 0) return 0.0;
+  return static_cast<double>(HitsInTopK(relevance, k)) /
+         static_cast<double>(num_relevant);
+}
+
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k) {
+  STTR_CHECK_GT(k, 0u);
+  return static_cast<double>(HitsInTopK(relevance, k)) /
+         static_cast<double>(k);
+}
+
+double NdcgAtK(const std::vector<bool>& relevance, size_t num_relevant,
+               size_t k) {
+  if (num_relevant == 0) return 0.0;
+  double dcg = 0;
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    if (relevance[i]) dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  double idcg = 0;
+  const size_t ideal = std::min(num_relevant, k);
+  for (size_t i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0 ? dcg / idcg : 0.0;
+}
+
+double ApAtK(const std::vector<bool>& relevance, size_t num_relevant,
+             size_t k) {
+  if (num_relevant == 0) return 0.0;
+  double sum = 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    if (relevance[i]) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const size_t denom = std::min(num_relevant, k);
+  return denom > 0 ? sum / static_cast<double>(denom) : 0.0;
+}
+
+double MrrAtK(const std::vector<bool>& relevance, size_t k) {
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    if (relevance[i]) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double HitRateAtK(const std::vector<bool>& relevance, size_t k) {
+  return HitsInTopK(relevance, k) > 0 ? 1.0 : 0.0;
+}
+
+RankingMetrics MetricsAtK(const std::vector<bool>& relevance,
+                          size_t num_relevant, size_t k) {
+  return {RecallAtK(relevance, num_relevant, k),
+          PrecisionAtK(relevance, k),
+          NdcgAtK(relevance, num_relevant, k),
+          ApAtK(relevance, num_relevant, k)};
+}
+
+}  // namespace sttr

@@ -1,0 +1,54 @@
+#ifndef STTR_EVAL_METRICS_H_
+#define STTR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sttr {
+
+/// The four ranking metrics the paper reports (definitions per Liu et al.,
+/// "An experimental evaluation of point-of-interest recommendation", which
+/// the paper cites as [20]).
+struct RankingMetrics {
+  double recall = 0.0;
+  double precision = 0.0;
+  double ndcg = 0.0;
+  double map = 0.0;
+
+  RankingMetrics& operator+=(const RankingMetrics& o);
+  RankingMetrics operator/(double denom) const;
+};
+
+/// `relevance[i]` marks whether the item ranked at position i (0-based) is a
+/// ground-truth hit; `num_relevant` is the total ground-truth size.
+
+/// |hits in top-k| / num_relevant.
+double RecallAtK(const std::vector<bool>& relevance, size_t num_relevant,
+                 size_t k);
+
+/// |hits in top-k| / k.
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k);
+
+/// Binary-relevance NDCG with IDCG = best possible DCG given num_relevant.
+double NdcgAtK(const std::vector<bool>& relevance, size_t num_relevant,
+               size_t k);
+
+/// Average precision at k, normalised by min(num_relevant, k).
+double ApAtK(const std::vector<bool>& relevance, size_t num_relevant,
+             size_t k);
+
+/// All four at once.
+RankingMetrics MetricsAtK(const std::vector<bool>& relevance,
+                          size_t num_relevant, size_t k);
+
+/// Mean reciprocal rank truncated at k: 1/rank of the first hit within the
+/// top-k, 0 if none. (Not reported by the paper; provided because much of
+/// the follow-up literature uses it.)
+double MrrAtK(const std::vector<bool>& relevance, size_t k);
+
+/// Hit ratio at k: 1 if any ground-truth item appears in the top-k.
+double HitRateAtK(const std::vector<bool>& relevance, size_t k);
+
+}  // namespace sttr
+
+#endif  // STTR_EVAL_METRICS_H_

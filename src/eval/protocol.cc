@@ -1,0 +1,83 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sttr {
+
+const RankingMetrics& EvalResult::At(size_t k) const {
+  auto it = at_k.find(k);
+  STTR_CHECK(it != at_k.end()) << "no metrics at k=" << k;
+  return it->second;
+}
+
+EvalResult EvaluateRanking(const Dataset& dataset, const CrossCitySplit& split,
+                           const PoiScorer& scorer, const EvalConfig& config) {
+  STTR_CHECK(!config.ks.empty());
+  STTR_CHECK_GT(config.num_negatives, 0u);
+  Rng rng(config.seed);
+
+  EvalResult result;
+  for (size_t k : config.ks) result.at_k[k] = RankingMetrics{};
+
+  const auto& target_pois = dataset.PoisInCity(split.target_city);
+
+  for (const auto& test_user : split.test_users) {
+    if (test_user.ground_truth.empty()) continue;
+
+    // POIs this user ever touched (train or test) are not negatives.
+    std::unordered_set<PoiId> visited;
+    for (size_t idx : dataset.CheckinsOfUser(test_user.user)) {
+      visited.insert(dataset.checkins()[idx].poi);
+    }
+
+    std::unordered_set<PoiId> truth(test_user.ground_truth.begin(),
+                                    test_user.ground_truth.end());
+
+    // Candidate pool: ground truth + sampled unvisited target POIs.
+    std::vector<PoiId> candidates(test_user.ground_truth);
+    std::unordered_set<PoiId> chosen(truth.begin(), truth.end());
+    size_t attempts = 0;
+    const size_t max_attempts = 50 * config.num_negatives + target_pois.size();
+    while (chosen.size() < truth.size() + config.num_negatives &&
+           attempts < max_attempts) {
+      ++attempts;
+      const PoiId cand = target_pois[rng.UniformInt(target_pois.size())];
+      if (visited.count(cand) || !chosen.insert(cand).second) continue;
+      candidates.push_back(cand);
+    }
+
+    // Rank by score, breaking ties by POI id for determinism.
+    std::vector<std::pair<double, PoiId>> scored;
+    scored.reserve(candidates.size());
+    for (PoiId v : candidates) {
+      scored.emplace_back(scorer.Score(test_user.user, v), v);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+
+    std::vector<bool> relevance(scored.size());
+    for (size_t i = 0; i < scored.size(); ++i) {
+      relevance[i] = truth.count(scored[i].second) > 0;
+    }
+
+    for (size_t k : config.ks) {
+      result.at_k[k] += MetricsAtK(relevance, truth.size(), k);
+    }
+    result.num_users_evaluated += 1;
+  }
+
+  if (result.num_users_evaluated > 0) {
+    for (auto& [k, m] : result.at_k) {
+      m = m / static_cast<double>(result.num_users_evaluated);
+    }
+  }
+  return result;
+}
+
+}  // namespace sttr

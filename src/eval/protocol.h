@@ -1,0 +1,49 @@
+#ifndef STTR_EVAL_PROTOCOL_H_
+#define STTR_EVAL_PROTOCOL_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+
+namespace sttr {
+
+/// Scoring interface every recommender (ST-TransRec, its variants and all
+/// baselines) implements. Higher scores rank earlier.
+class PoiScorer {
+ public:
+  virtual ~PoiScorer() = default;
+
+  /// Preference score of `user` for `poi` in the target city.
+  virtual double Score(UserId user, PoiId poi) const = 0;
+};
+
+/// Configuration of the paper's §4.1 ranking protocol.
+struct EvalConfig {
+  /// Cutoffs reported (paper: 2, 4, 6, 8, 10).
+  std::vector<size_t> ks = {2, 4, 6, 8, 10};
+  /// Unvisited target-city POIs sampled per test user (paper: 100).
+  size_t num_negatives = 100;
+  uint64_t seed = 7;
+};
+
+/// Averaged metrics per cutoff, plus bookkeeping.
+struct EvalResult {
+  std::map<size_t, RankingMetrics> at_k;
+  size_t num_users_evaluated = 0;
+
+  const RankingMetrics& At(size_t k) const;
+};
+
+/// Runs the protocol: for each crossing-city test user, samples
+/// `num_negatives` target-city POIs the user never visited, pools them with
+/// the ground truth, ranks by scorer and averages the metrics over users.
+/// Deterministic for a fixed config.seed (scorer permitting).
+EvalResult EvaluateRanking(const Dataset& dataset, const CrossCitySplit& split,
+                           const PoiScorer& scorer, const EvalConfig& config);
+
+}  // namespace sttr
+
+#endif  // STTR_EVAL_PROTOCOL_H_

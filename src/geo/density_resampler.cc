@@ -1,0 +1,98 @@
+#include "geo/density_resampler.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace sttr {
+
+DensityResampler::DensityResampler(std::vector<size_t> region_sizes,
+                                   const std::vector<int>& checkin_regions,
+                                   const std::vector<int64_t>& checkin_pois) {
+  STTR_CHECK_EQ(checkin_regions.size(), checkin_pois.size());
+  const size_t num_regions = region_sizes.size();
+  stats_.resize(num_regions);
+  for (size_t r = 0; r < num_regions; ++r) {
+    STTR_CHECK_GT(region_sizes[r], 0u) << "region " << r << " has no cells";
+    stats_[r].num_cells = region_sizes[r];
+  }
+
+  // Count check-ins per region and per (region, POI).
+  std::vector<std::unordered_map<int64_t, size_t>> poi_counts(num_regions);
+  for (size_t i = 0; i < checkin_regions.size(); ++i) {
+    const int r = checkin_regions[i];
+    STTR_CHECK_GE(r, 0);
+    STTR_CHECK_LT(static_cast<size_t>(r), num_regions);
+    stats_[r].num_checkins += 1;
+    poi_counts[r][checkin_pois[i]] += 1;
+  }
+
+  for (size_t r = 0; r < num_regions; ++r) {
+    stats_[r].density = static_cast<double>(stats_[r].num_checkins) /
+                        static_cast<double>(stats_[r].num_cells);
+    max_density_ = std::max(max_density_, stats_[r].density);
+  }
+
+  // Eq. 6 deficits and Eq. 8 region weights, over non-empty regions only.
+  for (size_t r = 0; r < num_regions; ++r) {
+    if (stats_[r].num_checkins == 0) continue;
+    const double target =
+        max_density_ * static_cast<double>(stats_[r].num_cells);
+    const double deficit =
+        target - static_cast<double>(stats_[r].num_checkins);
+    stats_[r].deficit = static_cast<size_t>(std::llround(std::max(0.0, deficit)));
+    total_deficit_ += stats_[r].deficit;
+
+    sampled_region_ids_.push_back(r);
+    region_weights_.push_back(max_density_ / stats_[r].density);
+    std::vector<int64_t> ids;
+    std::vector<double> weights;
+    ids.reserve(poi_counts[r].size());
+    for (const auto& [poi, count] : poi_counts[r]) {
+      ids.push_back(poi);
+      weights.push_back(static_cast<double>(count));
+    }
+    poi_ids_.push_back(std::move(ids));
+    poi_alias_.emplace_back(weights);
+  }
+  if (!region_weights_.empty()) {
+    region_alias_ = AliasTable(region_weights_);
+  }
+}
+
+size_t DensityResampler::NumExtra(double alpha) const {
+  STTR_CHECK_GE(alpha, 0.0);
+  STTR_CHECK_LE(alpha, 1.0);
+  return static_cast<size_t>(
+      std::llround(alpha * static_cast<double>(total_deficit_)));
+}
+
+std::vector<int64_t> DensityResampler::SampleExtra(double alpha,
+                                                   Rng& rng) const {
+  const size_t n = NumExtra(alpha);
+  std::vector<int64_t> out;
+  if (n == 0 || region_alias_.empty()) return out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t slot = region_alias_.Sample(rng);           // Eq. 8
+    const size_t poi_slot = poi_alias_[slot].Sample(rng);    // Eq. 7
+    out.push_back(poi_ids_[slot][poi_slot]);
+  }
+  return out;
+}
+
+double DensityResampler::RegionProbability(size_t r) const {
+  STTR_CHECK_LT(r, stats_.size());
+  if (stats_[r].num_checkins == 0) return 0.0;
+  double total = 0;
+  for (double w : region_weights_) total += w;
+  if (total <= 0) return 0.0;
+  // Find the weight slot for region r.
+  for (size_t i = 0; i < sampled_region_ids_.size(); ++i) {
+    if (sampled_region_ids_[i] == r) return region_weights_[i] / total;
+  }
+  return 0.0;
+}
+
+}  // namespace sttr

@@ -1,0 +1,74 @@
+#ifndef STTR_GEO_DENSITY_RESAMPLER_H_
+#define STTR_GEO_DENSITY_RESAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sttr {
+
+/// Per-region summary used by the resampler and by diagnostics.
+struct RegionDensity {
+  size_t num_cells = 0;     ///< S_r, number of grid cells in the region.
+  size_t num_checkins = 0;  ///< n_r, raw check-ins observed in the region.
+  double density = 0.0;     ///< rho_r = n_r / S_r.
+  size_t deficit = 0;       ///< n'_r from Eq. 6: check-ins needed to reach rho_max.
+};
+
+/// Density-based spatial resampling (paper §3.1.4, Eqs. 6-9).
+///
+/// Regions whose check-in density rho_r is below the maximum density rho_r*
+/// get their check-ins over-sampled so that transfer learning (MMD) sees a
+/// balanced distribution over POIs. The resampling procedure is the two-stage
+/// draw of Eq. 9: a region r with probability proportional to rho_r*/rho_r
+/// (Eq. 8), then a POI v within r with probability n_{r,v}/n_r (Eq. 7).
+/// The number of synthetic draws is alpha * sum_r n'_r where n'_r satisfies
+/// (n_r + n'_r)/S_r = rho_r* (Eq. 6) and alpha in [0,1] is the paper's
+/// punishment hyper-parameter.
+class DensityResampler {
+ public:
+  /// `region_sizes[r]`  = number of grid cells of region r (S_r);
+  /// `checkin_regions`  = region of every raw check-in;
+  /// `checkin_pois`     = POI of every raw check-in (parallel array).
+  /// Regions with zero check-ins take no part in resampling.
+  DensityResampler(std::vector<size_t> region_sizes,
+                   const std::vector<int>& checkin_regions,
+                   const std::vector<int64_t>& checkin_pois);
+
+  /// Total deficit sum_r n'_r implied by Eq. 6.
+  size_t TotalDeficit() const { return total_deficit_; }
+
+  /// Number of synthetic check-ins drawn at rate `alpha` (Eq. 6 scaled).
+  size_t NumExtra(double alpha) const;
+
+  /// Draws NumExtra(alpha) POIs per Eq. 9. Empty when alpha == 0 or the
+  /// distribution is already uniform across regions.
+  std::vector<int64_t> SampleExtra(double alpha, Rng& rng) const;
+
+  /// Per-region statistics (indexed by region id).
+  const std::vector<RegionDensity>& stats() const { return stats_; }
+
+  /// Highest region density rho_r* (0 when there are no check-ins).
+  double max_density() const { return max_density_; }
+
+  /// Probability of drawing region r under Eq. 8 (0 for empty regions).
+  double RegionProbability(size_t r) const;
+
+ private:
+  std::vector<RegionDensity> stats_;
+  double max_density_ = 0.0;
+  size_t total_deficit_ = 0;
+
+  // Sampling machinery: alias table over non-empty regions, plus one alias
+  // table per region over its POIs.
+  std::vector<size_t> sampled_region_ids_;
+  std::vector<double> region_weights_;
+  AliasTable region_alias_;
+  std::vector<AliasTable> poi_alias_;           // parallel to sampled_region_ids_
+  std::vector<std::vector<int64_t>> poi_ids_;   // parallel to sampled_region_ids_
+};
+
+}  // namespace sttr
+
+#endif  // STTR_GEO_DENSITY_RESAMPLER_H_

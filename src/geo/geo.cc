@@ -1,0 +1,38 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sttr {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+double Deg2Rad(double d) { return d * M_PI / 180.0; }
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = Deg2Rad(a.lat);
+  const double lat2 = Deg2Rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = Deg2Rad(b.lon - a.lon);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+void BoundingBox::ExpandToInclude(const GeoPoint& p) {
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lon = std::min(min_lon, p.lon);
+  max_lon = std::max(max_lon, p.lon);
+}
+
+std::string BoundingBox::ToString() const {
+  return StrFormat("[%.4f..%.4f]x[%.4f..%.4f]", min_lat, max_lat, min_lon,
+                   max_lon);
+}
+
+}  // namespace sttr

@@ -1,0 +1,42 @@
+#ifndef STTR_GEO_GEO_H_
+#define STTR_GEO_GEO_H_
+
+#include <string>
+
+namespace sttr {
+
+/// A WGS-84 coordinate (degrees).
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine formula).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Axis-aligned lat/lon rectangle.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double max_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lon = 0.0;
+
+  /// Half-open on the max edges so grid cells tile without overlap; points
+  /// exactly on the max edge are treated as inside (clamped by callers).
+  bool Contains(const GeoPoint& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+
+  /// Grows the box to include `p`.
+  void ExpandToInclude(const GeoPoint& p);
+
+  double lat_span() const { return max_lat - min_lat; }
+  double lon_span() const { return max_lon - min_lon; }
+
+  std::string ToString() const;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_GEO_GEO_H_

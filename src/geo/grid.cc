@@ -1,0 +1,50 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sttr {
+
+GridIndex::GridIndex(const BoundingBox& box, size_t rows, size_t cols)
+    : box_(box), rows_(rows), cols_(cols) {
+  STTR_CHECK_GE(rows, 1u);
+  STTR_CHECK_GE(cols, 1u);
+  STTR_CHECK_GT(box.lat_span(), 0.0);
+  STTR_CHECK_GT(box.lon_span(), 0.0);
+}
+
+size_t GridIndex::CellOf(const GeoPoint& p) const {
+  const double fr = (p.lat - box_.min_lat) / box_.lat_span();
+  const double fc = (p.lon - box_.min_lon) / box_.lon_span();
+  auto clamp_index = [](double f, size_t n) {
+    const auto i = static_cast<int64_t>(f * static_cast<double>(n));
+    return static_cast<size_t>(
+        std::clamp<int64_t>(i, 0, static_cast<int64_t>(n) - 1));
+  };
+  return clamp_index(fr, rows_) * cols_ + clamp_index(fc, cols_);
+}
+
+GeoPoint GridIndex::CellCenter(size_t cell) const {
+  STTR_CHECK_LT(cell, NumCells());
+  const double r = static_cast<double>(RowOf(cell)) + 0.5;
+  const double c = static_cast<double>(ColOf(cell)) + 0.5;
+  return GeoPoint{
+      box_.min_lat + box_.lat_span() * r / static_cast<double>(rows_),
+      box_.min_lon + box_.lon_span() * c / static_cast<double>(cols_)};
+}
+
+std::vector<size_t> GridIndex::Neighbors4(size_t cell) const {
+  STTR_CHECK_LT(cell, NumCells());
+  const size_t r = RowOf(cell);
+  const size_t c = ColOf(cell);
+  std::vector<size_t> out;
+  out.reserve(4);
+  if (r > 0) out.push_back(cell - cols_);
+  if (r + 1 < rows_) out.push_back(cell + cols_);
+  if (c > 0) out.push_back(cell - 1);
+  if (c + 1 < cols_) out.push_back(cell + 1);
+  return out;
+}
+
+}  // namespace sttr

@@ -1,0 +1,48 @@
+#ifndef STTR_GEO_GRID_H_
+#define STTR_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace sttr {
+
+/// Uniform n1 x n2 partition of a bounding box into grid cells, the first
+/// step of the paper's region segmentation ("we first uniformly divide a
+/// city into n1 x n2 equal-sized small grids").
+///
+/// Cells are indexed row-major: id = row * cols + col, row indexing latitude.
+class GridIndex {
+ public:
+  /// Precondition: rows, cols >= 1 and box has positive extent on both axes.
+  GridIndex(const BoundingBox& box, size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t NumCells() const { return rows_ * cols_; }
+
+  /// Cell containing `p`; points outside the box are clamped to the border
+  /// cells so every point maps somewhere deterministic.
+  size_t CellOf(const GeoPoint& p) const;
+
+  /// Centre coordinate of a cell.
+  GeoPoint CellCenter(size_t cell) const;
+
+  /// 4-neighbourhood (N/S/E/W) cell ids of `cell` within the grid.
+  std::vector<size_t> Neighbors4(size_t cell) const;
+
+  size_t RowOf(size_t cell) const { return cell / cols_; }
+  size_t ColOf(size_t cell) const { return cell % cols_; }
+
+  const BoundingBox& box() const { return box_; }
+
+ private:
+  BoundingBox box_;
+  size_t rows_;
+  size_t cols_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_GEO_GRID_H_

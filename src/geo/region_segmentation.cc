@@ -1,0 +1,83 @@
+#include "geo/region_segmentation.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace sttr {
+
+RegionSegmenter::RegionSegmenter(const GridIndex& grid, double delta)
+    : grid_(grid), delta_(delta), cell_users_(grid.NumCells()) {
+  STTR_CHECK_GE(delta, 0.0);
+  STTR_CHECK_LE(delta, 1.0);
+}
+
+void RegionSegmenter::AddVisit(size_t cell, int64_t user) {
+  STTR_CHECK_LT(cell, cell_users_.size());
+  cell_users_[cell].insert(user);
+}
+
+double RegionSegmenter::CellDistance(size_t a, size_t b) const {
+  STTR_CHECK_LT(a, cell_users_.size());
+  STTR_CHECK_LT(b, cell_users_.size());
+  const auto& ua = cell_users_[a];
+  const auto& ub = cell_users_[b];
+  if (ua.empty() || ub.empty()) return 0.0;
+  const auto& small = ua.size() <= ub.size() ? ua : ub;
+  const auto& big = ua.size() <= ub.size() ? ub : ua;
+  size_t common = 0;
+  for (int64_t u : small) common += big.count(u);
+  return static_cast<double>(common) / static_cast<double>(small.size());
+}
+
+size_t RegionSegmenter::CellUserCount(size_t cell) const {
+  STTR_CHECK_LT(cell, cell_users_.size());
+  return cell_users_[cell].size();
+}
+
+RegionAssignment RegionSegmenter::Segment(Rng& rng) const {
+  const size_t n = grid_.NumCells();
+  RegionAssignment out;
+  out.cell_to_region.assign(n, -1);
+
+  // Seed order: densest first (ties shuffled), matching the paper's
+  // "starting from the dense grids we extensively merge".
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cell_users_[a].size() > cell_users_[b].size();
+  });
+
+  for (size_t seed : order) {
+    if (out.cell_to_region[seed] != -1) continue;
+    const int region = static_cast<int>(out.region_cells.size());
+    out.region_cells.emplace_back();
+    // BFS flood fill: a cell joins when its Eq.5 distance to the frontier
+    // cell it was discovered from reaches delta.
+    std::deque<size_t> frontier{seed};
+    out.cell_to_region[seed] = region;
+    while (!frontier.empty()) {
+      const size_t cur = frontier.front();
+      frontier.pop_front();
+      out.region_cells[region].push_back(cur);
+      for (size_t nb : grid_.Neighbors4(cur)) {
+        if (out.cell_to_region[nb] != -1) continue;
+        if (CellDistance(cur, nb) >= delta_ && delta_ > 0.0 &&
+            !cell_users_[nb].empty()) {
+          out.cell_to_region[nb] = region;
+          frontier.push_back(nb);
+        } else if (delta_ == 0.0 && !cell_users_[nb].empty() &&
+                   !cell_users_[cur].empty()) {
+          // delta == 0 merges every connected non-empty neighbourhood.
+          out.cell_to_region[nb] = region;
+          frontier.push_back(nb);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sttr

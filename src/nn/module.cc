@@ -1,0 +1,49 @@
+#include "nn/module.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace sttr::nn {
+
+void Module::ZeroGrad() const {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+size_t Module::NumParams() const {
+  size_t n = 0;
+  for (const auto& p : Parameters()) n += p.value().size();
+  return n;
+}
+
+Status Module::Save(std::ostream& out) const {
+  for (const auto& p : Parameters()) {
+    STTR_RETURN_IF_ERROR(p.value().Serialize(out));
+  }
+  return Status::OK();
+}
+
+Status Module::Load(std::istream& in) const {
+  for (auto& p : Parameters()) {
+    StatusOr<Tensor> t = Tensor::Deserialize(in);
+    if (!t.ok()) return t.status();
+    if (!t->SameShape(p.value())) {
+      return Status::InvalidArgument("parameter shape mismatch on Load");
+    }
+    p.mutable_value() = std::move(t).value();
+  }
+  return Status::OK();
+}
+
+void Module::CopyParamsFrom(const Module& other) const {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  STTR_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    STTR_CHECK(dst[i].value().SameShape(src[i].value()));
+    dst[i].mutable_value() = src[i].value();
+  }
+}
+
+}  // namespace sttr::nn

@@ -1,0 +1,41 @@
+#ifndef STTR_NN_MODULE_H_
+#define STTR_NN_MODULE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/status.h"
+
+namespace sttr::nn {
+
+/// Base class for trainable components. A Module owns leaf Variables
+/// (parameters); composite modules expose their children's parameters too.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, in a stable order (used by Save/Load and by
+  /// CopyParamsFrom, which pair parameters positionally).
+  virtual std::vector<ag::Variable> Parameters() const = 0;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() const;
+
+  /// Total number of scalar parameters.
+  size_t NumParams() const;
+
+  /// Binary-serialises all parameters in Parameters() order.
+  Status Save(std::ostream& out) const;
+
+  /// Restores parameters written by Save(); shapes must match.
+  Status Load(std::istream& in) const;
+
+  /// Copies parameter values (not grads) from a module with an identical
+  /// parameter list. Used by the data-parallel trainer to sync replicas.
+  void CopyParamsFrom(const Module& other) const;
+};
+
+}  // namespace sttr::nn
+
+#endif  // STTR_NN_MODULE_H_

@@ -1,0 +1,151 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sttr::nn {
+
+Optimizer::Optimizer(std::vector<ag::Variable> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    STTR_CHECK(p.defined());
+    STTR_CHECK(p.requires_grad()) << "optimiser given a frozen parameter";
+  }
+}
+
+void Optimizer::Step() {
+  ++step_count_;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::vector<int64_t> rows(params_[i].touched_rows());
+    if (!rows.empty()) {
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    }
+    Update(i, rows);
+    // Clear gradient. For sparse parameters only the touched rows are dirty.
+    if (!rows.empty()) {
+      Tensor& g = params_[i].mutable_grad();
+      const size_t cols = g.cols();
+      for (int64_t r : rows) {
+        float* row = g.row(static_cast<size_t>(r));
+        for (size_t j = 0; j < cols; ++j) row[j] = 0.0f;
+      }
+      params_[i].node()->touched_rows.clear();
+    } else {
+      params_[i].ZeroGrad();
+    }
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  STTR_CHECK_GT(max_norm, 0.0);
+  double total = 0;
+  for (const auto& p : params_) total += p.grad().SquaredL2Norm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) p.mutable_grad().ScaleInPlace(scale);
+  }
+  return norm;
+}
+
+namespace {
+
+/// Applies `fn(offset)` to every scalar slot covered by the update: the rows
+/// listed in `rows`, or the whole tensor when `rows` is empty.
+template <typename Fn>
+void ForEachSlot(const Tensor& t, const std::vector<int64_t>& rows, Fn fn) {
+  if (rows.empty()) {
+    for (size_t i = 0; i < t.size(); ++i) fn(i);
+    return;
+  }
+  STTR_CHECK_EQ(t.ndim(), 2u) << "sparse rows require a 2-D parameter";
+  const size_t cols = t.cols();
+  for (int64_t r : rows) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    for (size_t j = 0; j < cols; ++j) fn(base + j);
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  STTR_CHECK_GT(lr, 0.0f);
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::Update(size_t i, const std::vector<int64_t>& rows) {
+  Tensor& w = params_[i].mutable_value();
+  const Tensor& g = params_[i].grad();
+  if (momentum_ > 0.0f) {
+    Tensor& vel = velocity_[i];
+    ForEachSlot(w, rows, [&](size_t s) {
+      vel[s] = momentum_ * vel[s] + g[s];
+      w[s] -= lr_ * vel[s];
+    });
+  } else {
+    ForEachSlot(w, rows, [&](size_t s) { w[s] -= lr_ * g[s]; });
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  STTR_CHECK_GT(lr, 0.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Update(size_t i, const std::vector<int64_t>& rows) {
+  Tensor& w = params_[i].mutable_value();
+  const Tensor& g = params_[i].grad();
+  Tensor& m = m_[i];
+  Tensor& v = v_[i];
+  const double t = static_cast<double>(step_count());
+  const float bc1 = static_cast<float>(1.0 - std::pow(beta1_, t));
+  const float bc2 = static_cast<float>(1.0 - std::pow(beta2_, t));
+  ForEachSlot(w, rows, [&](size_t s) {
+    m[s] = beta1_ * m[s] + (1.0f - beta1_) * g[s];
+    v[s] = beta2_ * v[s] + (1.0f - beta2_) * g[s] * g[s];
+    const float mhat = m[s] / bc1;
+    const float vhat = v[s] / bc2;
+    w[s] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  });
+}
+
+AdaGrad::AdaGrad(std::vector<ag::Variable> params, float lr, float eps)
+    : Optimizer(std::move(params)), lr_(lr), eps_(eps) {
+  STTR_CHECK_GT(lr, 0.0f);
+  accum_.reserve(params_.size());
+  for (const auto& p : params_) accum_.emplace_back(p.value().shape());
+}
+
+void AdaGrad::Update(size_t i, const std::vector<int64_t>& rows) {
+  Tensor& w = params_[i].mutable_value();
+  const Tensor& g = params_[i].grad();
+  Tensor& acc = accum_[i];
+  ForEachSlot(w, rows, [&](size_t s) {
+    acc[s] += g[s] * g[s];
+    w[s] -= lr_ * g[s] / (std::sqrt(acc[s]) + eps_);
+  });
+}
+
+}  // namespace sttr::nn

@@ -1,0 +1,94 @@
+#ifndef STTR_NN_OPTIMIZER_H_
+#define STTR_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace sttr::nn {
+
+/// Base class for first-order optimisers over a fixed parameter list.
+///
+/// Sparse contract: if a parameter's touched_rows() is non-empty at Step()
+/// time, only those rows carry gradient (this is what embedding lookups
+/// produce) and the optimiser applies a lazy row-wise update. Parameters
+/// whose gradient flows through dense ops must never also receive sparse
+/// gradients in the same step.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  int64_t step_count() const { return step_count_; }
+
+ protected:
+  /// Updates rows `rows` (deduplicated, sorted) of parameter `i`; rows empty
+  /// means a dense update of the whole tensor.
+  virtual void Update(size_t i, const std::vector<int64_t>& rows) = 0;
+
+  /// Row-range helper: iterates [row*cols, (row+1)*cols) for sparse rows or
+  /// the whole tensor when rows is empty.
+  std::vector<ag::Variable> params_;
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.0f);
+
+ protected:
+  void Update(size_t i, const std::vector<int64_t>& rows) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;  // allocated lazily when momentum > 0
+};
+
+/// Adam (Kingma & Ba). Embedding tables receive lazy row-wise updates with
+/// global-step bias correction (standard "lazy Adam").
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+ protected:
+  void Update(size_t i, const std::vector<int64_t>& rows) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// AdaGrad, kept for the LCE/PR-UIDT baselines.
+class AdaGrad : public Optimizer {
+ public:
+  AdaGrad(std::vector<ag::Variable> params, float lr, float eps = 1e-8f);
+
+ protected:
+  void Update(size_t i, const std::vector<int64_t>& rows) override;
+
+ private:
+  float lr_, eps_;
+  std::vector<Tensor> accum_;
+};
+
+}  // namespace sttr::nn
+
+#endif  // STTR_NN_OPTIMIZER_H_

@@ -1,0 +1,164 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace sttr {
+
+size_t ShapeSize(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string ShapeToString(const std::vector<size_t>& shape) {
+  std::string out;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(shape[i]);
+  }
+  return out.empty() ? "scalar0" : out;
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), fill) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  STTR_CHECK_EQ(ShapeSize(shape_), data_.size())
+      << "shape " << ShapeToString(shape_) << " vs data size " << data_.size();
+}
+
+Tensor Tensor::RandomUniform(std::vector<size_t> shape, Rng& rng, float lo,
+                             float hi) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<size_t> shape, Rng& rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(size_t fan_in, size_t fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+Tensor Tensor::Reshaped(std::vector<size_t> new_shape) const {
+  STTR_CHECK_EQ(ShapeSize(new_shape), size());
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+double Tensor::Sum() const {
+  double s = 0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Tensor::Mean() const {
+  STTR_CHECK(!empty());
+  return Sum() / static_cast<double>(size());
+}
+
+double Tensor::MaxAbs() const {
+  double m = 0;
+  for (float x : data_) m = std::max(m, static_cast<double>(std::fabs(x)));
+  return m;
+}
+
+double Tensor::SquaredL2Norm() const {
+  double s = 0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return s;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  STTR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  STTR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+bool Tensor::AllClose(const Tensor& other, double rtol, double atol) const {
+  if (!SameShape(other)) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double a = data_[i];
+    const double b = other.data_[i];
+    if (std::fabs(a - b) > atol + rtol * std::fabs(b)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(size_t max_entries) const {
+  std::ostringstream out;
+  out << "Tensor[" << ShapeToString(shape_) << "]{";
+  for (size_t i = 0; i < size() && i < max_entries; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[i];
+  }
+  if (size() > max_entries) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+Status Tensor::Serialize(std::ostream& out) const {
+  const uint64_t nd = shape_.size();
+  out.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
+  for (size_t d : shape_) {
+    const uint64_t v = d;
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (!out) return Status::IOError("tensor serialisation failed");
+  return Status::OK();
+}
+
+StatusOr<Tensor> Tensor::Deserialize(std::istream& in) {
+  uint64_t nd = 0;
+  in.read(reinterpret_cast<char*>(&nd), sizeof(nd));
+  if (!in) return Status::IOError("tensor header read failed");
+  if (nd > 8) return Status::IOError("implausible tensor rank");
+  std::vector<size_t> shape(nd);
+  for (auto& d : shape) {
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in) return Status::IOError("tensor shape read failed");
+    d = v;
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) return Status::IOError("tensor payload read failed");
+  return t;
+}
+
+}  // namespace sttr

@@ -1,0 +1,171 @@
+#ifndef STTR_TENSOR_TENSOR_H_
+#define STTR_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sttr {
+
+/// Dense, contiguous, row-major float32 N-dimensional array.
+///
+/// Tensor is a plain value type: copying copies the buffer. All shape and
+/// index contracts are enforced with STTR_CHECK (programmer errors). The
+/// numeric kernels used by the autodiff engine live in tensor_ops.h.
+class Tensor {
+ public:
+  /// Empty 0-d tensor (size 0).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Constant-filled tensor.
+  Tensor(std::vector<size_t> shape, float fill);
+
+  /// Takes ownership of `data`; data.size() must equal the shape product.
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  // -- Factories -------------------------------------------------------------
+
+  static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(std::vector<size_t> shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor Full(std::vector<size_t> shape, float v) { return Tensor(std::move(shape), v); }
+
+  /// Scalar (shape {1}).
+  static Tensor Scalar(float v) { return Tensor({1}, std::vector<float>{v}); }
+
+  /// Entries iid Uniform[lo, hi).
+  static Tensor RandomUniform(std::vector<size_t> shape, Rng& rng,
+                              float lo = 0.0f, float hi = 1.0f);
+
+  /// Entries iid Normal(mean, stddev).
+  static Tensor RandomNormal(std::vector<size_t> shape, Rng& rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+
+  /// Glorot/Xavier uniform initialisation for a (fan_in, fan_out) matrix.
+  static Tensor GlorotUniform(size_t fan_in, size_t fan_out, Rng& rng);
+
+  // -- Shape -----------------------------------------------------------------
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t ndim() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `i`.
+  size_t dim(size_t i) const {
+    STTR_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+
+  /// Rows/cols of a 2-D tensor.
+  size_t rows() const {
+    STTR_CHECK_EQ(ndim(), 2u);
+    return shape_[0];
+  }
+  size_t cols() const {
+    STTR_CHECK_EQ(ndim(), 2u);
+    return shape_[1];
+  }
+
+  /// Returns a tensor sharing no storage with this one but holding the same
+  /// data under a new shape (sizes must match).
+  Tensor Reshaped(std::vector<size_t> new_shape) const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // -- Element access ----------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](size_t i) {
+    STTR_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    STTR_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  /// 2-D element access.
+  float& at(size_t r, size_t c) {
+    STTR_CHECK_EQ(ndim(), 2u);
+    STTR_CHECK_LT(r, shape_[0]);
+    STTR_CHECK_LT(c, shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(size_t r, size_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  /// Pointer to the start of row `r` of a 2-D tensor.
+  float* row(size_t r) {
+    STTR_CHECK_EQ(ndim(), 2u);
+    STTR_CHECK_LT(r, shape_[0]);
+    return data_.data() + r * shape_[1];
+  }
+  const float* row(size_t r) const { return const_cast<Tensor*>(this)->row(r); }
+
+  // -- Whole-tensor helpers -----------------------------------------------------
+
+  /// Sets every entry to `v`.
+  void Fill(float v);
+
+  /// Sum of all entries (double accumulator).
+  double Sum() const;
+
+  /// Arithmetic mean of all entries. Precondition: non-empty.
+  double Mean() const;
+
+  /// Largest absolute entry (0 for empty tensors).
+  double MaxAbs() const;
+
+  /// Squared L2 norm.
+  double SquaredL2Norm() const;
+
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+
+  /// this += alpha * other (same shape).
+  void Axpy(float alpha, const Tensor& other);
+
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  /// True when every |a-b| <= atol + rtol*|b|.
+  bool AllClose(const Tensor& other, double rtol = 1e-5,
+                double atol = 1e-7) const;
+
+  /// Debug rendering, e.g. "Tensor[2x3]{1, 2, 3, ...}" (truncated).
+  std::string ToString(size_t max_entries = 12) const;
+
+  // -- Serialisation ------------------------------------------------------------
+
+  /// Binary write: ndim, dims, raw floats. Stream errors -> IOError.
+  Status Serialize(std::ostream& out) const;
+
+  /// Binary read matching Serialize().
+  static StatusOr<Tensor> Deserialize(std::istream& in);
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+size_t ShapeSize(const std::vector<size_t>& shape);
+
+/// "2x3x4" rendering of a shape.
+std::string ShapeToString(const std::vector<size_t>& shape);
+
+}  // namespace sttr
+
+#endif  // STTR_TENSOR_TENSOR_H_

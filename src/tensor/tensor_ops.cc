@@ -1,0 +1,226 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace sttr {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STTR_CHECK_EQ(a.ndim(), 2u);
+  STTR_CHECK_EQ(b.ndim(), 2u);
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  STTR_CHECK_EQ(k, b.rows()) << "MatMul inner dims";
+  Tensor c({n, m});
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  STTR_CHECK_EQ(a.ndim(), 2u);
+  STTR_CHECK_EQ(b.ndim(), 2u);
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  STTR_CHECK_EQ(n, b.rows()) << "MatMulTransA outer dims";
+  Tensor c({k, m});
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c.row(kk);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  STTR_CHECK_EQ(a.ndim(), 2u);
+  STTR_CHECK_EQ(b.ndim(), 2u);
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  STTR_CHECK_EQ(k, b.cols()) << "MatMulTransB inner dims";
+  Tensor c({n, m});
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = b.row(j);
+      double s = 0;
+      for (size_t kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  STTR_CHECK(a.SameShape(b));
+  Tensor out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  STTR_CHECK(a.SameShape(b));
+  Tensor out = a;
+  out.Axpy(-1.0f, b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  STTR_CHECK(a.SameShape(b));
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  Tensor out = a;
+  out.ScaleInPlace(alpha);
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  STTR_CHECK_EQ(x.ndim(), 2u);
+  const size_t n = x.rows(), m = x.cols();
+  STTR_CHECK_EQ(bias.size(), m) << "bias size must match columns";
+  Tensor out = x;
+  for (size_t i = 0; i < n; ++i) {
+    float* row = out.row(i);
+    for (size_t j = 0; j < m; ++j) row[j] += bias[j];
+  }
+  return out;
+}
+
+Tensor ColSum(const Tensor& x) {
+  STTR_CHECK_EQ(x.ndim(), 2u);
+  const size_t n = x.rows(), m = x.cols();
+  Tensor out({m});
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x.row(i);
+    for (size_t j = 0; j < m; ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
+  STTR_CHECK(a.SameShape(b));
+  STTR_CHECK_EQ(a.ndim(), 2u);
+  const size_t n = a.rows(), d = a.cols();
+  Tensor out({n});
+  for (size_t i = 0; i < n; ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    double s = 0;
+    for (size_t j = 0; j < d; ++j) s += static_cast<double>(ra[j]) * rb[j];
+    out[i] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  STTR_CHECK_EQ(a.ndim(), 2u);
+  STTR_CHECK_EQ(b.ndim(), 2u);
+  STTR_CHECK_EQ(a.rows(), b.rows());
+  const size_t n = a.rows(), p = a.cols(), q = b.cols();
+  Tensor out({n, p + q});
+  for (size_t i = 0; i < n; ++i) {
+    float* dst = out.row(i);
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    for (size_t j = 0; j < p; ++j) dst[j] = ra[j];
+    for (size_t j = 0; j < q; ++j) dst[p + j] = rb[j];
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& x, size_t begin, size_t end) {
+  STTR_CHECK_EQ(x.ndim(), 2u);
+  STTR_CHECK_LE(begin, end);
+  STTR_CHECK_LE(end, x.cols());
+  const size_t n = x.rows(), m = end - begin;
+  Tensor out({n, m});
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = x.row(i) + begin;
+    float* dst = out.row(i);
+    for (size_t j = 0; j < m; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices) {
+  STTR_CHECK_EQ(table.ndim(), 2u);
+  const size_t d = table.cols();
+  Tensor out({indices.size(), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    STTR_CHECK_GE(r, 0);
+    STTR_CHECK_LT(static_cast<size_t>(r), table.rows());
+    const float* src = table.row(static_cast<size_t>(r));
+    float* dst = out.row(i);
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+void ScatterRowsAdd(Tensor& dest, const std::vector<int64_t>& indices,
+                    const Tensor& src) {
+  STTR_CHECK_EQ(dest.ndim(), 2u);
+  STTR_CHECK_EQ(src.ndim(), 2u);
+  STTR_CHECK_EQ(src.rows(), indices.size());
+  STTR_CHECK_EQ(src.cols(), dest.cols());
+  const size_t d = dest.cols();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    STTR_CHECK_GE(r, 0);
+    STTR_CHECK_LT(static_cast<size_t>(r), dest.rows());
+    float* dst = dest.row(static_cast<size_t>(r));
+    const float* s = src.row(i);
+    for (size_t j = 0; j < d; ++j) dst[j] += s[j];
+  }
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = x;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0) out[i] = 0;
+  }
+  return out;
+}
+
+float SigmoidScalar(float x) {
+  if (x >= 0) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float LogSigmoid(float x) {
+  // log sigmoid(x) = -softplus(-x) = min(x,0) - log1p(exp(-|x|)).
+  return std::min(x, 0.0f) - std::log1p(std::exp(-std::fabs(x)));
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor out = x;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = SigmoidScalar(out[i]);
+  return out;
+}
+
+Tensor TanhT(const Tensor& x) {
+  Tensor out = x;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  return out;
+}
+
+}  // namespace sttr

@@ -1,0 +1,74 @@
+#ifndef STTR_TENSOR_TENSOR_OPS_H_
+#define STTR_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sttr {
+
+// Dense numeric kernels over 2-D tensors. These are the primitives the
+// autodiff layer composes; shapes are validated with STTR_CHECK.
+
+/// C = A(n,k) * B(k,m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A^T(n,k)^T * B(n,m) = (k,m). Used for dW in linear backward.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// C = A(n,k) * B(m,k)^T = (n,m). Used for dX in linear backward.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// out = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// out = a ⊙ b (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// out = a * alpha.
+Tensor Scale(const Tensor& a, float alpha);
+
+/// out(i,j) = x(i,j) + bias(j); x is (n,m), bias is (m) or (1,m).
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// Column sums of a 2-D tensor -> shape (m). Reduces over rows.
+Tensor ColSum(const Tensor& x);
+
+/// Row-wise dot product of two (n,d) tensors -> (n).
+Tensor RowwiseDot(const Tensor& a, const Tensor& b);
+
+/// Concatenates two 2-D tensors with equal row counts along columns.
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Extracts columns [begin, end) of a 2-D tensor.
+Tensor SliceCols(const Tensor& x, size_t begin, size_t end);
+
+/// Gathers rows of `table` (V,d) at `indices` -> (indices.size(), d).
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& indices);
+
+/// dest.row(indices[i]) += src.row(i) for all i. dest (V,d), src (n,d).
+void ScatterRowsAdd(Tensor& dest, const std::vector<int64_t>& indices,
+                    const Tensor& src);
+
+/// Elementwise ReLU / its mask-based derivative helper.
+Tensor Relu(const Tensor& x);
+
+/// Numerically stable logistic sigmoid.
+Tensor Sigmoid(const Tensor& x);
+
+/// Elementwise tanh.
+Tensor TanhT(const Tensor& x);
+
+/// Single-element stable sigmoid.
+float SigmoidScalar(float x);
+
+/// log(sigmoid(x)) computed stably (= -softplus(-x)).
+float LogSigmoid(float x);
+
+}  // namespace sttr
+
+#endif  // STTR_TENSOR_TENSOR_OPS_H_

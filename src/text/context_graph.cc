@@ -1,0 +1,75 @@
+#include "text/context_graph.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sttr {
+
+TextualContextGraph::TextualContextGraph(size_t num_pois, size_t num_words)
+    : num_words_(num_words),
+      poi_words_(num_pois),
+      poi_word_sets_(num_pois),
+      word_counts_(num_words, 0) {}
+
+void TextualContextGraph::AddEdge(int64_t poi, int64_t word) {
+  STTR_CHECK_GE(poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi), poi_words_.size());
+  STTR_CHECK_GE(word, 0);
+  STTR_CHECK_LT(static_cast<size_t>(word), num_words_);
+  word_counts_[static_cast<size_t>(word)] += 1;
+  auto& set = poi_word_sets_[static_cast<size_t>(poi)];
+  if (set.insert(word).second) {
+    poi_words_[static_cast<size_t>(poi)].push_back(word);
+    edge_pois_.push_back(poi);
+    edge_words_.push_back(word);
+  }
+}
+
+const std::vector<int64_t>& TextualContextGraph::WordsOf(int64_t poi) const {
+  STTR_CHECK_GE(poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi), poi_words_.size());
+  return poi_words_[static_cast<size_t>(poi)];
+}
+
+bool TextualContextGraph::HasEdge(int64_t poi, int64_t word) const {
+  STTR_CHECK_GE(poi, 0);
+  STTR_CHECK_LT(static_cast<size_t>(poi), poi_words_.size());
+  return poi_word_sets_[static_cast<size_t>(poi)].count(word) > 0;
+}
+
+double TextualContextGraph::MeanPoiDegree() const {
+  if (poi_words_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& w : poi_words_) total += w.size();
+  return static_cast<double>(total) / static_cast<double>(poi_words_.size());
+}
+
+UnigramNegativeSampler::UnigramNegativeSampler(
+    const std::vector<size_t>& counts, double power) {
+  STTR_CHECK(!counts.empty());
+  std::vector<double> weights(counts.size());
+  double total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(counts[i]), power);
+    total += weights[i];
+  }
+  STTR_CHECK_GT(total, 0.0) << "no word has a positive count";
+  alias_ = AliasTable(weights);
+}
+
+int64_t UnigramNegativeSampler::Sample(Rng& rng) const {
+  return static_cast<int64_t>(alias_.Sample(rng));
+}
+
+int64_t UnigramNegativeSampler::SampleNegativeFor(
+    const TextualContextGraph& graph, int64_t poi, Rng& rng) const {
+  constexpr int kMaxRetries = 32;
+  int64_t w = Sample(rng);
+  for (int tries = 0; tries < kMaxRetries && graph.HasEdge(poi, w); ++tries) {
+    w = Sample(rng);
+  }
+  return w;
+}
+
+}  // namespace sttr

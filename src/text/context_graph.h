@@ -1,0 +1,76 @@
+#ifndef STTR_TEXT_CONTEXT_GRAPH_H_
+#define STTR_TEXT_CONTEXT_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sttr {
+
+/// The textual context graph G_vw of Definition 2: a bipartite graph whose
+/// nodes are POIs and words, with an edge for every word appearing in a
+/// POI's textual descriptions. Duplicate (poi, word) pairs collapse to one
+/// edge but weights (occurrence counts) are retained for sampling.
+class TextualContextGraph {
+ public:
+  /// `num_pois` / `num_words` fix the id spaces.
+  TextualContextGraph(size_t num_pois, size_t num_words);
+
+  /// Adds (or re-weights) the edge poi -> word.
+  void AddEdge(int64_t poi, int64_t word);
+
+  /// Word context W_v of a POI (unique word ids, insertion order).
+  const std::vector<int64_t>& WordsOf(int64_t poi) const;
+
+  /// True if `word` is a positive context of `poi`.
+  bool HasEdge(int64_t poi, int64_t word) const;
+
+  /// All unique edges as parallel (poi, word) arrays.
+  const std::vector<int64_t>& edge_pois() const { return edge_pois_; }
+  const std::vector<int64_t>& edge_words() const { return edge_words_; }
+
+  size_t num_edges() const { return edge_pois_.size(); }
+  size_t num_pois() const { return poi_words_.size(); }
+  size_t num_words() const { return num_words_; }
+
+  /// Word occurrence totals over all edges (with multiplicity).
+  const std::vector<size_t>& word_counts() const { return word_counts_; }
+
+  /// Mean number of distinct words per POI (the paper's context degree n).
+  double MeanPoiDegree() const;
+
+ private:
+  size_t num_words_;
+  std::vector<std::vector<int64_t>> poi_words_;
+  std::vector<std::unordered_set<int64_t>> poi_word_sets_;
+  std::vector<int64_t> edge_pois_;
+  std::vector<int64_t> edge_words_;
+  std::vector<size_t> word_counts_;
+};
+
+/// Word2vec-style negative sampler over the word id space: draws from the
+/// unigram distribution raised to `power` (0.75 in Mikolov et al.).
+class UnigramNegativeSampler {
+ public:
+  /// `counts` indexed by word id; words with zero count are never drawn.
+  explicit UnigramNegativeSampler(const std::vector<size_t>& counts,
+                                  double power = 0.75);
+
+  /// Draws one word id.
+  int64_t Sample(Rng& rng) const;
+
+  /// Draws a word id that is NOT a positive context of `poi` in `graph`
+  /// (the paper's w' not in W_v), with bounded retries before giving up and
+  /// returning an arbitrary draw (degenerate vocabularies).
+  int64_t SampleNegativeFor(const TextualContextGraph& graph, int64_t poi,
+                            Rng& rng) const;
+
+ private:
+  AliasTable alias_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_TEXT_CONTEXT_GRAPH_H_

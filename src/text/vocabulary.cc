@@ -1,0 +1,54 @@
+#include "text/vocabulary.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace sttr {
+
+int64_t Vocabulary::Add(const std::string& word) {
+  auto [it, inserted] = ids_.try_emplace(word, static_cast<int64_t>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  counts_[static_cast<size_t>(it->second)] += 1;
+  return it->second;
+}
+
+int64_t Vocabulary::IdOf(const std::string& word) const {
+  auto it = ids_.find(word);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::WordOf(int64_t id) const {
+  STTR_CHECK_GE(id, 0);
+  STTR_CHECK_LT(static_cast<size_t>(id), words_.size());
+  return words_[static_cast<size_t>(id)];
+}
+
+size_t Vocabulary::CountOf(int64_t id) const {
+  STTR_CHECK_GE(id, 0);
+  STTR_CHECK_LT(static_cast<size_t>(id), counts_.size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+std::vector<size_t> Vocabulary::Counts() const { return counts_; }
+
+std::vector<std::string> Tokenize(const std::string& text, size_t min_len) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      if (cur.size() >= min_len) out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (cur.size() >= min_len) out.push_back(cur);
+  return out;
+}
+
+}  // namespace sttr

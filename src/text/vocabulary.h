@@ -1,0 +1,45 @@
+#ifndef STTR_TEXT_VOCABULARY_H_
+#define STTR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sttr {
+
+/// Bidirectional word <-> id map with occurrence counts. Ids are dense and
+/// assigned in first-seen order; the id space is shared across cities (this
+/// is what lets words bridge source and target POIs).
+class Vocabulary {
+ public:
+  /// Interns `word`, bumping its count; returns its id.
+  int64_t Add(const std::string& word);
+
+  /// Id of `word`, or -1 if absent (does not intern).
+  int64_t IdOf(const std::string& word) const;
+
+  /// Precondition: 0 <= id < size().
+  const std::string& WordOf(int64_t id) const;
+
+  /// Occurrence count accumulated by Add().
+  size_t CountOf(int64_t id) const;
+
+  /// Per-id counts, indexable by word id.
+  std::vector<size_t> Counts() const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> words_;
+  std::vector<size_t> counts_;
+};
+
+/// Lower-cases and splits free text on non-alphanumeric characters,
+/// dropping tokens shorter than `min_len`.
+std::vector<std::string> Tokenize(const std::string& text, size_t min_len = 2);
+
+}  // namespace sttr
+
+#endif  // STTR_TEXT_VOCABULARY_H_

@@ -1,0 +1,267 @@
+#include "transfer/mmd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sttr {
+
+namespace {
+
+double SquaredDistance(const float* x, const float* y, size_t d) {
+  double s = 0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(x[j]) - y[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+void CheckInputs(const Tensor& xs, const Tensor& xt) {
+  STTR_CHECK_EQ(xs.ndim(), 2u);
+  STTR_CHECK_EQ(xt.ndim(), 2u);
+  STTR_CHECK_EQ(xs.cols(), xt.cols());
+  STTR_CHECK_GT(xs.rows(), 0u);
+  STTR_CHECK_GT(xt.rows(), 0u);
+}
+
+}  // namespace
+
+double GaussianKernel(const float* x, const float* y, size_t d, double sigma) {
+  STTR_CHECK_GT(sigma, 0.0);
+  return std::exp(-SquaredDistance(x, y, d) / (2.0 * sigma * sigma));
+}
+
+double MmdBiased(const Tensor& xs, const Tensor& xt, double sigma) {
+  CheckInputs(xs, xt);
+  const size_t ns = xs.rows(), nt = xt.rows(), d = xs.cols();
+  double kss = 0, ktt = 0, kst = 0;
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < ns; ++j) {
+      kss += GaussianKernel(xs.row(i), xs.row(j), d, sigma);
+    }
+  }
+  for (size_t i = 0; i < nt; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      ktt += GaussianKernel(xt.row(i), xt.row(j), d, sigma);
+    }
+  }
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      kst += GaussianKernel(xs.row(i), xt.row(j), d, sigma);
+    }
+  }
+  const double dns = static_cast<double>(ns), dnt = static_cast<double>(nt);
+  return kss / (dns * dns) + ktt / (dnt * dnt) - 2.0 * kst / (dns * dnt);
+}
+
+double MmdUnbiased(const Tensor& xs, const Tensor& xt, double sigma) {
+  CheckInputs(xs, xt);
+  const size_t ns = xs.rows(), nt = xt.rows(), d = xs.cols();
+  STTR_CHECK_GT(ns, 1u);
+  STTR_CHECK_GT(nt, 1u);
+  double kss = 0, ktt = 0, kst = 0;
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < ns; ++j) {
+      if (i == j) continue;
+      kss += GaussianKernel(xs.row(i), xs.row(j), d, sigma);
+    }
+  }
+  for (size_t i = 0; i < nt; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      if (i == j) continue;
+      ktt += GaussianKernel(xt.row(i), xt.row(j), d, sigma);
+    }
+  }
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      kst += GaussianKernel(xs.row(i), xt.row(j), d, sigma);
+    }
+  }
+  const double dns = static_cast<double>(ns), dnt = static_cast<double>(nt);
+  return kss / (dns * (dns - 1)) + ktt / (dnt * (dnt - 1)) -
+         2.0 * kst / (dns * dnt);
+}
+
+double MmdLinear(const Tensor& xs, const Tensor& xt, double sigma) {
+  CheckInputs(xs, xt);
+  const size_t d = xs.cols();
+  const size_t m = std::min(xs.rows(), xt.rows()) / 2;
+  if (m == 0) return MmdBiased(xs, xt, sigma);
+  double sum = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const float* x0 = xs.row(2 * i);
+    const float* x1 = xs.row(2 * i + 1);
+    const float* y0 = xt.row(2 * i);
+    const float* y1 = xt.row(2 * i + 1);
+    sum += GaussianKernel(x0, x1, d, sigma) + GaussianKernel(y0, y1, d, sigma) -
+           GaussianKernel(x0, y1, d, sigma) - GaussianKernel(x1, y0, d, sigma);
+  }
+  return sum / static_cast<double>(m);
+}
+
+double MedianHeuristicSigma(const Tensor& xs, const Tensor& xt,
+                            size_t max_pairs, Rng& rng) {
+  CheckInputs(xs, xt);
+  const size_t d = xs.cols();
+  const size_t n = xs.rows() + xt.rows();
+  auto row_of = [&](size_t i) {
+    return i < xs.rows() ? xs.row(i) : xt.row(i - xs.rows());
+  };
+  std::vector<double> dists;
+  dists.reserve(max_pairs);
+  for (size_t k = 0; k < max_pairs; ++k) {
+    const size_t i = rng.UniformInt(n);
+    size_t j = rng.UniformInt(n);
+    if (i == j) j = (j + 1) % n;
+    const double d2 = SquaredDistance(row_of(i), row_of(j), d);
+    if (d2 > 0) dists.push_back(std::sqrt(d2));
+  }
+  if (dists.empty()) return 1.0;
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const double median = dists[dists.size() / 2];
+  return median > 0 ? median : 1.0;
+}
+
+namespace ag_ops {
+
+using sttr::ag::MakeNode;
+using sttr::ag::Variable;
+using Node = sttr::ag::internal::Node;
+
+Variable MmdLoss(const Variable& xs, const Variable& xt,
+                 const std::vector<double>& sigmas) {
+  CheckInputs(xs.value(), xt.value());
+  STTR_CHECK(!sigmas.empty());
+  double total = 0;
+  for (double sigma : sigmas) total += MmdBiased(xs.value(), xt.value(), sigma);
+
+  auto ns_node = xs.node();
+  auto nt_node = xt.node();
+  return MakeNode(
+      Tensor::Scalar(static_cast<float>(total)), {ns_node, nt_node},
+      [ns_node, nt_node, sigmas](Node& self) {
+        const Tensor& a = ns_node->value;
+        const Tensor& b = nt_node->value;
+        const size_t ns = a.rows(), nt = b.rows(), d = a.cols();
+        const double dns = static_cast<double>(ns);
+        const double dnt = static_cast<double>(nt);
+        const float g = self.grad[0];
+        Tensor* ga = ns_node->requires_grad ? &ns_node->EnsureGrad() : nullptr;
+        Tensor* gb = nt_node->requires_grad ? &nt_node->EnsureGrad() : nullptr;
+        if (ga == nullptr && gb == nullptr) return;
+        for (double sigma : sigmas) {
+          const double inv_s2 = 1.0 / (sigma * sigma);
+          // d/dx_i of 1/ns^2 sum_{jl} k(x_j, x_l): row i appears in both
+          // positions, giving 2/ns^2 sum_j k(x_i, x_j)(x_j - x_i)/s^2.
+          if (ga != nullptr) {
+            for (size_t i = 0; i < ns; ++i) {
+              float* grow = ga->row(i);
+              const float* xi = a.row(i);
+              for (size_t j = 0; j < ns; ++j) {
+                const double k = GaussianKernel(xi, a.row(j), d, sigma);
+                const double c = g * 2.0 / (dns * dns) * k * inv_s2;
+                const float* xj = a.row(j);
+                for (size_t l = 0; l < d; ++l) {
+                  grow[l] += static_cast<float>(c * (xj[l] - xi[l]));
+                }
+              }
+              for (size_t j = 0; j < nt; ++j) {
+                const double k = GaussianKernel(xi, b.row(j), d, sigma);
+                const double c = -g * 2.0 / (dns * dnt) * k * inv_s2;
+                const float* yj = b.row(j);
+                for (size_t l = 0; l < d; ++l) {
+                  grow[l] += static_cast<float>(c * (yj[l] - xi[l]));
+                }
+              }
+            }
+          }
+          if (gb != nullptr) {
+            for (size_t i = 0; i < nt; ++i) {
+              float* grow = gb->row(i);
+              const float* yi = b.row(i);
+              for (size_t j = 0; j < nt; ++j) {
+                const double k = GaussianKernel(yi, b.row(j), d, sigma);
+                const double c = g * 2.0 / (dnt * dnt) * k * inv_s2;
+                const float* yj = b.row(j);
+                for (size_t l = 0; l < d; ++l) {
+                  grow[l] += static_cast<float>(c * (yj[l] - yi[l]));
+                }
+              }
+              for (size_t j = 0; j < ns; ++j) {
+                const double k = GaussianKernel(yi, a.row(j), d, sigma);
+                const double c = -g * 2.0 / (dns * dnt) * k * inv_s2;
+                const float* xj = a.row(j);
+                for (size_t l = 0; l < d; ++l) {
+                  grow[l] += static_cast<float>(c * (xj[l] - yi[l]));
+                }
+              }
+            }
+          }
+        }
+      },
+      "mmd_biased");
+}
+
+Variable MmdLossLinear(const Variable& xs, const Variable& xt,
+                       const std::vector<double>& sigmas) {
+  CheckInputs(xs.value(), xt.value());
+  STTR_CHECK(!sigmas.empty());
+  const size_t m = std::min(xs.value().rows(), xt.value().rows()) / 2;
+  if (m == 0) return MmdLoss(xs, xt, sigmas);
+
+  double total = 0;
+  for (double sigma : sigmas) total += MmdLinear(xs.value(), xt.value(), sigma);
+
+  auto ns_node = xs.node();
+  auto nt_node = xt.node();
+  return MakeNode(
+      Tensor::Scalar(static_cast<float>(total)), {ns_node, nt_node},
+      [ns_node, nt_node, sigmas, m](Node& self) {
+        const Tensor& a = ns_node->value;
+        const Tensor& b = nt_node->value;
+        const size_t d = a.cols();
+        const float g = self.grad[0];
+        Tensor* ga = ns_node->requires_grad ? &ns_node->EnsureGrad() : nullptr;
+        Tensor* gb = nt_node->requires_grad ? &nt_node->EnsureGrad() : nullptr;
+        if (ga == nullptr && gb == nullptr) return;
+        const double inv_m = 1.0 / static_cast<double>(m);
+        // Adds c * k(u,v) * (v-u)/s^2 to grad_u and the mirror term to
+        // grad_v, for one kernel pair inside the h_i average.
+        auto add_pair = [&](Tensor* gu, size_t iu, const Tensor& u, Tensor* gv,
+                            size_t iv, const Tensor& v, double sign,
+                            double sigma) {
+          const double inv_s2 = 1.0 / (sigma * sigma);
+          const double k = GaussianKernel(u.row(iu), v.row(iv), d, sigma);
+          const double c = g * sign * inv_m * k * inv_s2;
+          const float* pu = u.row(iu);
+          const float* pv = v.row(iv);
+          if (gu != nullptr) {
+            float* grow = gu->row(iu);
+            for (size_t l = 0; l < d; ++l) {
+              grow[l] += static_cast<float>(c * (pv[l] - pu[l]));
+            }
+          }
+          if (gv != nullptr) {
+            float* grow = gv->row(iv);
+            for (size_t l = 0; l < d; ++l) {
+              grow[l] += static_cast<float>(c * (pu[l] - pv[l]));
+            }
+          }
+        };
+        for (double sigma : sigmas) {
+          for (size_t i = 0; i < m; ++i) {
+            add_pair(ga, 2 * i, a, ga, 2 * i + 1, a, +1.0, sigma);
+            add_pair(gb, 2 * i, b, gb, 2 * i + 1, b, +1.0, sigma);
+            add_pair(ga, 2 * i, a, gb, 2 * i + 1, b, -1.0, sigma);
+            add_pair(ga, 2 * i + 1, a, gb, 2 * i, b, -1.0, sigma);
+          }
+        }
+      },
+      "mmd_linear");
+}
+
+}  // namespace ag_ops
+}  // namespace sttr

@@ -1,0 +1,56 @@
+#ifndef STTR_TRANSFER_MMD_H_
+#define STTR_TRANSFER_MMD_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace sttr {
+
+/// Gaussian (RBF) kernel value k(x, y) = exp(-||x-y||^2 / (2 sigma^2)) for
+/// two d-dimensional rows. The paper uses a Gaussian kernel with fixed
+/// bandwidth (§3.1.4).
+double GaussianKernel(const float* x, const float* y, size_t d, double sigma);
+
+/// Biased (V-statistic) quadratic-time MMD^2 estimate between the rows of
+/// `xs` (ns, d) and `xt` (nt, d) — the form of Eq. (2)/(10).
+double MmdBiased(const Tensor& xs, const Tensor& xt, double sigma);
+
+/// Unbiased (U-statistic) quadratic-time MMD^2 (Gretton et al., Lemma 6):
+/// diagonal terms removed. Can be negative for close distributions.
+double MmdUnbiased(const Tensor& xs, const Tensor& xt, double sigma);
+
+/// Linear-time MMD^2 estimate (Gretton et al. §6), the O(D) technique the
+/// paper adopts from Long et al. for training cost: averages
+///   h_i = k(x_{2i},x_{2i+1}) + k(y_{2i},y_{2i+1})
+///       - k(x_{2i},y_{2i+1}) - k(x_{2i+1},y_{2i})
+/// over floor(min(ns, nt)/2) disjoint quadruples.
+double MmdLinear(const Tensor& xs, const Tensor& xt, double sigma);
+
+/// Median-of-pairwise-distances bandwidth heuristic, estimated from up to
+/// `max_pairs` random pairs of the pooled sample.
+double MedianHeuristicSigma(const Tensor& xs, const Tensor& xt,
+                            size_t max_pairs, Rng& rng);
+
+namespace ag_ops {
+
+/// Differentiable biased quadratic MMD^2 between two (n, d) Variables,
+/// optionally summed over several bandwidths (multi-kernel MMD as in Long
+/// et al.; pass one sigma for the paper's fixed-bandwidth kernel).
+/// Gradients are analytic: d k(x,y)/dx = k(x,y) (y - x) / sigma^2.
+sttr::ag::Variable MmdLoss(const sttr::ag::Variable& xs,
+                           const sttr::ag::Variable& xt,
+                           const std::vector<double>& sigmas);
+
+/// Differentiable linear-time MMD^2 (same estimator as MmdLinear).
+/// O(n d) per evaluation; the estimator used inside the training loop.
+sttr::ag::Variable MmdLossLinear(const sttr::ag::Variable& xs,
+                                 const sttr::ag::Variable& xt,
+                                 const std::vector<double>& sigmas);
+
+}  // namespace ag_ops
+}  // namespace sttr
+
+#endif  // STTR_TRANSFER_MMD_H_

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace sttr::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[FATAL] %s:%d: STTR_CHECK(%s) failed", file, line,
+               expr);
+  if (!extra.empty()) std::fprintf(stderr, ": %s", extra.c_str());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sttr::internal

@@ -1,0 +1,61 @@
+#ifndef STTR_UTIL_CHECK_H_
+#define STTR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sttr::internal {
+
+/// Aborts the process with a formatted diagnostic. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// Stream sink used by the STTR_CHECK macros to collect an optional message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sttr::internal
+
+/// Fatal assertion for programmer errors (violated API contracts). Active in
+/// all build modes; failures abort with file/line and the failed expression.
+/// Usage: STTR_CHECK(i < size()) << "index " << i;
+#define STTR_CHECK(cond)                                               \
+  while (!(cond))                                                      \
+  ::sttr::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define STTR_CHECK_EQ(a, b) STTR_CHECK((a) == (b))
+#define STTR_CHECK_NE(a, b) STTR_CHECK((a) != (b))
+#define STTR_CHECK_LT(a, b) STTR_CHECK((a) < (b))
+#define STTR_CHECK_LE(a, b) STTR_CHECK((a) <= (b))
+#define STTR_CHECK_GT(a, b) STTR_CHECK((a) > (b))
+#define STTR_CHECK_GE(a, b) STTR_CHECK((a) >= (b))
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define STTR_CHECK_OK(expr)                                       \
+  do {                                                            \
+    ::sttr::Status _s = (expr);                                   \
+    STTR_CHECK(_s.ok()) << _s.ToString();                         \
+  } while (0)
+
+#endif  // STTR_UTIL_CHECK_H_

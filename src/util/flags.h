@@ -1,0 +1,40 @@
+#ifndef STTR_UTIL_FLAGS_H_
+#define STTR_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sttr {
+
+/// Minimal command-line flag parser used by examples and benchmark drivers.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Unrecognised positional arguments are collected in positional().
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed flags.
+  Status Parse(int argc, char** argv);
+
+  /// True if the flag appeared on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults.
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_FLAGS_H_

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace sttr {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace sttr

@@ -1,0 +1,46 @@
+#ifndef STTR_UTIL_LOGGING_H_
+#define STTR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sttr {
+
+/// Severity levels for the project logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sttr
+
+/// Streaming log macros; one line per statement, level-filtered at runtime.
+#define STTR_LOG(level)                                             \
+  ::sttr::internal::LogMessage(::sttr::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // STTR_UTIL_LOGGING_H_

@@ -1,0 +1,204 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace sttr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Guard against the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Split(uint64_t stream_id) {
+  return Rng(Next() ^ (0xA0761D6478BD642FULL + stream_id * 0xE7037ED1A0B428DBULL));
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  STTR_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  STTR_CHECK_LT(lo, hi);
+  return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo)));
+}
+
+double Rng::Normal() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = Uniform();
+  double u2 = Uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    STTR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  STTR_CHECK_GT(total, 0.0) << "Discrete() requires a positive total weight";
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::Gamma(double shape) {
+  STTR_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    double u = Uniform();
+    if (u < 1e-300) u = 1e-300;
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u < 1e-300) u = 1e-300;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::Dirichlet(double alpha, size_t dim) {
+  STTR_CHECK_GT(dim, 0u);
+  std::vector<double> out(dim);
+  double sum = 0;
+  for (auto& x : out) {
+    x = Gamma(alpha);
+    sum += x;
+  }
+  if (sum <= 0) {
+    // Extremely unlikely underflow; fall back to uniform.
+    for (auto& x : out) x = 1.0 / static_cast<double>(dim);
+    return out;
+  }
+  for (auto& x : out) x /= sum;
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  STTR_CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Floyd's algorithm for sparse sampling.
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformInt(j + 1);
+    bool found = false;
+    for (size_t x : out) {
+      if (x == t) {
+        found = true;
+        break;
+      }
+    }
+    out.push_back(found ? j : t);
+  }
+  return out;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  STTR_CHECK_GT(n, 0u);
+  double total = 0;
+  for (double w : weights) {
+    STTR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  STTR_CHECK_GT(total, 0.0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  STTR_CHECK(!empty());
+  size_t i = rng.UniformInt(prob_.size());
+  return rng.Uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace sttr

@@ -1,0 +1,231 @@
+#include "util/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sttr {
+
+namespace {
+
+/// Categorical palette (colour-blind-friendly Okabe-Ito subset).
+const char* const kPalette[] = {"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+                                "#E69F00", "#56B4E9", "#F0E442", "#000000"};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Chooses a "nice" tick step covering roughly `target` intervals.
+double NiceStep(double span, int target) {
+  if (span <= 0) return 1.0;
+  const double raw = span / target;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.5) {
+    step = 1.0;
+  } else if (norm <= 3.0) {
+    step = 2.0;
+  } else if (norm <= 7.0) {
+    step = 5.0;
+  }
+  return step * mag;
+}
+
+std::string FormatTick(double v) {
+  // Trim trailing zeros of a %.4g-ish rendering.
+  std::string s = StrFormat("%.4g", v);
+  return s;
+}
+
+}  // namespace
+
+SvgLineChart::SvgLineChart(std::string title, std::string x_label,
+                           std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgLineChart::AddSeries(std::string name, std::vector<double> xs,
+                             std::vector<double> ys) {
+  STTR_CHECK_EQ(xs.size(), ys.size());
+  STTR_CHECK(!xs.empty()) << "series '" << name << "' is empty";
+  series_.push_back(Series{std::move(name), std::move(xs), std::move(ys)});
+}
+
+void SvgLineChart::SetSize(int width, int height) {
+  STTR_CHECK_GT(width, 100);
+  STTR_CHECK_GT(height, 100);
+  width_ = width;
+  height_ = height;
+}
+
+void SvgLineChart::SetYRange(double y_min, double y_max) {
+  STTR_CHECK_LT(y_min, y_max);
+  fixed_y_ = true;
+  y_min_ = y_min;
+  y_max_ = y_max;
+}
+
+std::string SvgLineChart::Render() const {
+  // Data bounds.
+  double x_min = 0, x_max = 1, y_min = 0, y_max = 1;
+  bool first = true;
+  for (const Series& s : series_) {
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      if (first) {
+        x_min = x_max = s.xs[i];
+        y_min = y_max = s.ys[i];
+        first = false;
+      }
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_min = std::min(y_min, s.ys[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  if (fixed_y_) {
+    y_min = y_min_;
+    y_max = y_max_;
+  } else if (y_max - y_min < 1e-12) {
+    y_max = y_min + 1.0;  // flat series: open up a unit band
+  }
+  if (x_max - x_min < 1e-12) x_max = x_min + 1.0;
+  // Pad the auto y-range slightly so lines don't sit on the frame.
+  if (!fixed_y_) {
+    const double pad = 0.05 * (y_max - y_min);
+    y_min -= pad;
+    y_max += pad;
+  }
+
+  const double ml = 64, mr = 16, mt = 36, mb = 48;  // margins
+  const double pw = width_ - ml - mr;               // plot width
+  const double ph = height_ - mt - mb;              // plot height
+  auto px = [&](double x) { return ml + (x - x_min) / (x_max - x_min) * pw; };
+  auto py = [&](double y) {
+    return mt + ph - (y - y_min) / (y_max - y_min) * ph;
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << " "
+      << height_ << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out << "<text x=\"" << width_ / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-family=\"sans-serif\" font-size=\"14\" font-weight=\"bold\">"
+      << EscapeXml(title_) << "</text>\n";
+
+  // Axes frame.
+  out << StrFormat(
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"none\" stroke=\"#444\"/>\n",
+      ml, mt, pw, ph);
+
+  // Ticks + gridlines.
+  const double xstep = NiceStep(x_max - x_min, 6);
+  for (double x = std::ceil(x_min / xstep) * xstep; x <= x_max + 1e-9;
+       x += xstep) {
+    out << StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#ddd\"/>\n",
+        px(x), mt, px(x), mt + ph);
+    out << StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+        "font-family=\"sans-serif\" font-size=\"11\">%s</text>\n",
+        px(x), mt + ph + 16, FormatTick(x).c_str());
+  }
+  const double ystep = NiceStep(y_max - y_min, 5);
+  for (double y = std::ceil(y_min / ystep) * ystep; y <= y_max + 1e-9;
+       y += ystep) {
+    out << StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#ddd\"/>\n",
+        ml, py(y), ml + pw, py(y));
+    out << StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" "
+        "font-family=\"sans-serif\" font-size=\"11\">%s</text>\n",
+        ml - 6, py(y) + 4, FormatTick(y).c_str());
+  }
+
+  // Axis labels.
+  out << StrFormat(
+      "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+      "font-family=\"sans-serif\" font-size=\"12\">%s</text>\n",
+      ml + pw / 2, static_cast<double>(height_) - 8,
+      EscapeXml(x_label_).c_str());
+  out << StrFormat(
+      "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" "
+      "font-family=\"sans-serif\" font-size=\"12\" "
+      "transform=\"rotate(-90 14 %.1f)\">%s</text>\n",
+      mt + ph / 2, mt + ph / 2, EscapeXml(y_label_).c_str());
+
+  // Series polylines + markers.
+  for (size_t si = 0; si < series_.size(); ++si) {
+    const Series& s = series_[si];
+    const char* color = kPalette[si % kPaletteSize];
+    std::string points;
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      points += StrFormat("%.1f,%.1f ", px(s.xs[i]), py(s.ys[i]));
+    }
+    out << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\" points=\"" << points << "\"/>\n";
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      out << StrFormat(
+          "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n",
+          px(s.xs[i]), py(s.ys[i]), color);
+    }
+  }
+
+  // Legend (top-right inside the plot).
+  for (size_t si = 0; si < series_.size(); ++si) {
+    const double ly = mt + 14 + 16 * static_cast<double>(si);
+    out << StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"%s\" stroke-width=\"2\"/>\n",
+        ml + pw - 110, ly, ml + pw - 92, ly,
+        kPalette[si % kPaletteSize]);
+    out << StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+        "font-size=\"11\">%s</text>\n",
+        ml + pw - 86, ly + 4, EscapeXml(series_[si].name).c_str());
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+Status SvgLineChart::WriteTo(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  f << Render();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sttr

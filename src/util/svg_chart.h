@@ -1,0 +1,62 @@
+#ifndef STTR_UTIL_SVG_CHART_H_
+#define STTR_UTIL_SVG_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sttr {
+
+/// Minimal dependency-free SVG line-chart writer, used by the benchmark
+/// harness to render the paper's figure-style sweeps (metric vs
+/// hyper-parameter) as actual figures next to the printed tables.
+///
+/// Usage:
+///   SvgLineChart chart("Recall vs alpha", "alpha", "Recall@10");
+///   chart.AddSeries("ST-TransRec", xs, ys);
+///   STTR_CHECK_OK(chart.WriteTo("fig7_recall.svg"));
+class SvgLineChart {
+ public:
+  SvgLineChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds one polyline; xs/ys must be the same non-zero length. Series are
+  /// coloured from a built-in palette in insertion order.
+  void AddSeries(std::string name, std::vector<double> xs,
+                 std::vector<double> ys);
+
+  /// Pixel dimensions (default 640x420).
+  void SetSize(int width, int height);
+
+  /// Forces the y-axis range instead of auto-fitting the data.
+  void SetYRange(double y_min, double y_max);
+
+  /// Renders the SVG document. Valid with zero series (empty axes).
+  std::string Render() const;
+
+  /// Renders and writes to `path`.
+  Status WriteTo(const std::string& path) const;
+
+  size_t num_series() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_ = 640;
+  int height_ = 420;
+  bool fixed_y_ = false;
+  double y_min_ = 0.0;
+  double y_max_ = 1.0;
+  std::vector<Series> series_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_SVG_CHART_H_

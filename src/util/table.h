@@ -1,0 +1,38 @@
+#ifndef STTR_UTIL_TABLE_H_
+#define STTR_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sttr {
+
+/// Small fixed-column text table used by the benchmark harnesses to print
+/// paper-style tables, and to dump the same rows as CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a separator under the header.
+  std::string ToString() const;
+
+  /// Renders as CSV (no escaping of commas; callers avoid commas in cells).
+  std::string ToCsv() const;
+
+  /// Writes the CSV form to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_TABLE_H_

@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/st_transrec.h"
+#include "data/synth/world_generator.h"
+
+namespace sttr {
+namespace {
+
+struct Fixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+Fixture MakeFixture() {
+  auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+  Fixture f{synth::GenerateWorld(cfg), {}};
+  f.split = MakeCrossCitySplit(f.world.dataset, cfg.target_city);
+  return f;
+}
+
+StTransRecConfig SmallConfig() {
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dims = {16};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 32;
+  cfg.mmd_batch = 8;
+  return cfg;
+}
+
+TEST(StTransRecSaveLoadTest, RoundTripReproducesScores) {
+  auto f = MakeFixture();
+  StTransRec a(SmallConfig());
+  ASSERT_TRUE(a.Fit(f.world.dataset, f.split).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+
+  StTransRec b(SmallConfig());
+  ASSERT_TRUE(b.Prepare(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(b.Load(ss).ok());
+
+  const UserId u = f.split.test_users.front().user;
+  for (PoiId v : f.world.dataset.PoisInCity(0)) {
+    EXPECT_DOUBLE_EQ(a.Score(u, v), b.Score(u, v));
+  }
+}
+
+TEST(StTransRecSaveLoadTest, SaveBeforePrepareFails) {
+  StTransRec model(SmallConfig());
+  std::stringstream ss;
+  EXPECT_EQ(model.Save(ss).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(model.Load(ss).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StTransRecSaveLoadTest, LoadWrongShapeFails) {
+  auto f = MakeFixture();
+  StTransRec a(SmallConfig());
+  ASSERT_TRUE(a.Prepare(f.world.dataset, f.split).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+
+  auto other_cfg = SmallConfig();
+  other_cfg.embedding_dim = 16;
+  StTransRec b(other_cfg);
+  ASSERT_TRUE(b.Prepare(f.world.dataset, f.split).ok());
+  EXPECT_FALSE(b.Load(ss).ok());
+}
+
+TEST(StTransRecSaveLoadTest, LoadTruncatedStreamFails) {
+  auto f = MakeFixture();
+  StTransRec a(SmallConfig());
+  ASSERT_TRUE(a.Prepare(f.world.dataset, f.split).ok());
+  std::stringstream ss;
+  ss << "garbage";
+  EXPECT_FALSE(a.Load(ss).ok());
+}
+
+}  // namespace
+}  // namespace sttr

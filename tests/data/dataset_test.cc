@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+City MakeCity(CityId id, const std::string& name) {
+  City c;
+  c.id = id;
+  c.name = name;
+  c.box = BoundingBox{0.0, 1.0, 0.0, 1.0};
+  return c;
+}
+
+Dataset TwoCityDataset() {
+  Dataset ds;
+  ds.AddCity(MakeCity(0, "target"));
+  ds.AddCity(MakeCity(1, "source"));
+  for (UserId u = 0; u < 3; ++u) ds.AddUser(User{u, u == 0 ? 0 : 1});
+  const WordId w0 = ds.mutable_vocabulary().Add("park");
+  const WordId w1 = ds.mutable_vocabulary().Add("museum");
+  ds.AddPoi(Poi{0, 0, {0.5, 0.5}, {w0}});
+  ds.AddPoi(Poi{1, 1, {0.5, 0.5}, {w1}});
+  ds.AddPoi(Poi{2, 1, {0.2, 0.2}, {w0, w1}});
+  // User 0: local of city 0. User 1: source only. User 2: crossing.
+  ds.AddCheckin(CheckinRecord{0, 0, 0, 0.0});
+  ds.AddCheckin(CheckinRecord{1, 1, 1, 1.0});
+  ds.AddCheckin(CheckinRecord{1, 2, 1, 2.0});
+  ds.AddCheckin(CheckinRecord{2, 1, 1, 3.0});
+  ds.AddCheckin(CheckinRecord{2, 0, 0, 4.0});
+  ds.BuildIndexes();
+  return ds;
+}
+
+TEST(DatasetTest, SizesAndAccessors) {
+  Dataset ds = TwoCityDataset();
+  EXPECT_EQ(ds.num_users(), 3u);
+  EXPECT_EQ(ds.num_pois(), 3u);
+  EXPECT_EQ(ds.num_cities(), 2u);
+  EXPECT_EQ(ds.num_checkins(), 5u);
+  EXPECT_EQ(ds.city(1).name, "source");
+  EXPECT_EQ(ds.poi(2).words.size(), 2u);
+  EXPECT_EQ(ds.user(2).home_city, 1);
+}
+
+TEST(DatasetTest, CheckinsOfUserIndex) {
+  Dataset ds = TwoCityDataset();
+  EXPECT_EQ(ds.CheckinsOfUser(0).size(), 1u);
+  EXPECT_EQ(ds.CheckinsOfUser(1).size(), 2u);
+  EXPECT_EQ(ds.CheckinsOfUser(2).size(), 2u);
+  const auto& idx = ds.CheckinsOfUser(2);
+  EXPECT_EQ(ds.checkins()[idx[0]].poi, 1);
+  EXPECT_EQ(ds.checkins()[idx[1]].poi, 0);
+}
+
+TEST(DatasetTest, PoisInCityIndex) {
+  Dataset ds = TwoCityDataset();
+  EXPECT_EQ(ds.PoisInCity(0), (std::vector<PoiId>{0}));
+  EXPECT_EQ(ds.PoisInCity(1), (std::vector<PoiId>{1, 2}));
+}
+
+TEST(DatasetTest, StatsWithTargetCity) {
+  Dataset ds = TwoCityDataset();
+  const DatasetStats s = ds.ComputeStats(0);
+  EXPECT_EQ(s.num_users, 3u);
+  EXPECT_EQ(s.num_words, 2u);
+  EXPECT_EQ(s.num_checkins, 5u);
+  // Only user 2 spans target + source.
+  EXPECT_EQ(s.num_crossing_users, 1u);
+  EXPECT_EQ(s.num_crossing_checkins, 1u);  // their single target check-in
+}
+
+TEST(DatasetTest, StatsAnyCityPair) {
+  Dataset ds = TwoCityDataset();
+  const DatasetStats s = ds.ComputeStats(-1);
+  EXPECT_EQ(s.num_crossing_users, 1u);
+}
+
+TEST(DatasetDeathTest, NonDenseIdsAbort) {
+  Dataset ds;
+  ds.AddCity(MakeCity(0, "a"));
+  EXPECT_DEATH(ds.AddCity(MakeCity(2, "b")), "dense");
+  EXPECT_DEATH(ds.AddUser(User{5, 0}), "dense");
+}
+
+TEST(DatasetDeathTest, CheckinValidatesReferences) {
+  Dataset ds;
+  ds.AddCity(MakeCity(0, "a"));
+  ds.AddUser(User{0, 0});
+  EXPECT_DEATH(ds.AddCheckin(CheckinRecord{0, 0, 0, 0.0}), "");
+}
+
+TEST(DatasetDeathTest, IndexAccessBeforeBuildAborts) {
+  Dataset ds;
+  ds.AddCity(MakeCity(0, "a"));
+  ds.AddUser(User{0, 0});
+  EXPECT_DEATH(ds.CheckinsOfUser(0), "BuildIndexes");
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,92 @@
+#include "data/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synth/world_generator.h"
+
+namespace sttr {
+namespace {
+
+synth::SynthWorld TinyWorld() {
+  auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+  return synth::GenerateWorld(cfg);
+}
+
+TEST(SplitTest, TrainAndTestPartitionCheckins) {
+  auto world = TinyWorld();
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  EXPECT_EQ(split.train.size() + split.num_heldout_checkins,
+            world.dataset.num_checkins());
+}
+
+TEST(SplitTest, TestUsersAreExactlyCrossingUsers) {
+  auto world = TinyWorld();
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  const auto stats = world.dataset.ComputeStats(0);
+  EXPECT_EQ(split.test_users.size(), stats.num_crossing_users);
+  EXPECT_EQ(split.test_users.size(), world.config.num_crossing_users);
+}
+
+TEST(SplitTest, GroundTruthIsInTargetCityAndHeldOut) {
+  auto world = TinyWorld();
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  std::set<size_t> train(split.train.begin(), split.train.end());
+  for (const auto& tu : split.test_users) {
+    EXPECT_FALSE(tu.ground_truth.empty());
+    for (PoiId v : tu.ground_truth) {
+      EXPECT_EQ(world.dataset.poi(v).city, 0);
+    }
+    // None of the user's target-city check-ins appear in train.
+    for (size_t idx : world.dataset.CheckinsOfUser(tu.user)) {
+      if (world.dataset.checkins()[idx].city == 0) {
+        EXPECT_EQ(train.count(idx), 0u);
+      } else {
+        EXPECT_EQ(train.count(idx), 1u);
+      }
+    }
+  }
+}
+
+TEST(SplitTest, GroundTruthDeduplicated) {
+  auto world = TinyWorld();
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  for (const auto& tu : split.test_users) {
+    std::set<PoiId> uniq(tu.ground_truth.begin(), tu.ground_truth.end());
+    EXPECT_EQ(uniq.size(), tu.ground_truth.size());
+  }
+}
+
+TEST(SplitTest, LocalUsersFullyInTrain) {
+  auto world = TinyWorld();
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  std::set<UserId> test_users;
+  for (const auto& tu : split.test_users) test_users.insert(tu.user);
+  std::set<size_t> train(split.train.begin(), split.train.end());
+  for (const User& u : world.dataset.users()) {
+    if (test_users.count(u.id)) continue;
+    for (size_t idx : world.dataset.CheckinsOfUser(u.id)) {
+      EXPECT_EQ(train.count(idx), 1u);
+    }
+  }
+}
+
+TEST(SplitTest, DifferentTargetCityChangesSplit) {
+  auto world = TinyWorld();
+  const auto split0 = MakeCrossCitySplit(world.dataset, 0);
+  const auto split1 = MakeCrossCitySplit(world.dataset, 1);
+  // The tiny world has crossing users into city 0 only; with city 1 as
+  // target the same users cross in the other direction.
+  EXPECT_EQ(split1.target_city, 1);
+  EXPECT_EQ(split0.test_users.size(), split1.test_users.size());
+}
+
+TEST(SplitDeathTest, InvalidCityAborts) {
+  auto world = TinyWorld();
+  EXPECT_DEATH(MakeCrossCitySplit(world.dataset, 99), "");
+  EXPECT_DEATH(MakeCrossCitySplit(world.dataset, -1), "");
+}
+
+}  // namespace
+}  // namespace sttr

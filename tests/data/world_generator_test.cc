@@ -1,0 +1,197 @@
+#include "data/synth/world_generator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/synth/lexicon.h"
+#include "util/string_util.h"
+
+namespace sttr::synth {
+namespace {
+
+TEST(LexiconTest, TopicsAreDisjoint) {
+  std::set<std::string> seen;
+  for (const Topic& t : TopicLexicon()) {
+    EXPECT_GE(t.words.size(), 10u);
+    for (const std::string& w : t.words) {
+      EXPECT_TRUE(seen.insert(w).second) << "duplicate word " << w;
+    }
+  }
+  EXPECT_GE(TopicLexicon().size(), 10u);
+}
+
+TEST(LexiconTest, CityLandmarkWordsArePrefixedAndUnique) {
+  const auto words = CityLandmarkWords("vegas", 30);
+  EXPECT_EQ(words.size(), 30u);
+  std::set<std::string> uniq(words.begin(), words.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const auto& w : words) EXPECT_TRUE(StartsWith(w, "vegas_"));
+}
+
+TEST(WorldGeneratorTest, DeterministicForSeed) {
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kTiny);
+  auto a = GenerateWorld(cfg);
+  auto b = GenerateWorld(cfg);
+  ASSERT_EQ(a.dataset.num_checkins(), b.dataset.num_checkins());
+  for (size_t i = 0; i < a.dataset.num_checkins(); ++i) {
+    EXPECT_EQ(a.dataset.checkins()[i].poi, b.dataset.checkins()[i].poi);
+    EXPECT_EQ(a.dataset.checkins()[i].user, b.dataset.checkins()[i].user);
+  }
+}
+
+TEST(WorldGeneratorTest, SeedChangesData) {
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kTiny);
+  auto a = GenerateWorld(cfg);
+  cfg.seed += 1;
+  auto b = GenerateWorld(cfg);
+  bool any_diff = a.dataset.num_checkins() != b.dataset.num_checkins();
+  for (size_t i = 0; !any_diff && i < a.dataset.num_checkins(); ++i) {
+    any_diff = a.dataset.checkins()[i].poi != b.dataset.checkins()[i].poi;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorldGeneratorTest, SizesMatchConfig) {
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kTiny);
+  auto world = GenerateWorld(cfg);
+  size_t expected_pois = 0, expected_users = cfg.num_crossing_users;
+  for (const auto& c : cfg.cities) {
+    expected_pois += c.num_pois;
+    expected_users += c.num_local_users;
+  }
+  EXPECT_EQ(world.dataset.num_pois(), expected_pois);
+  EXPECT_EQ(world.dataset.num_users(), expected_users);
+  EXPECT_EQ(world.dataset.num_cities(), cfg.cities.size());
+}
+
+TEST(WorldGeneratorTest, CityWordsStayInTheirCity) {
+  auto world = GenerateWorld(SynthWorldConfig::FoursquareLike(Scale::kTiny));
+  const auto& ds = world.dataset;
+  for (const Poi& p : ds.pois()) {
+    const std::string& city_name = ds.city(p.city).name;
+    for (WordId w : p.words) {
+      const std::string& word = ds.vocabulary().WordOf(w);
+      // A word containing a city prefix must belong to that city's POIs.
+      for (const City& other : ds.cities()) {
+        if (other.id != p.city) {
+          EXPECT_FALSE(StartsWith(word, other.name + "_"))
+              << word << " leaked into " << city_name;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorldGeneratorTest, EveryPoiHasTopicAndCityWords) {
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kTiny);
+  auto world = GenerateWorld(cfg);
+  for (const Poi& p : world.dataset.pois()) {
+    EXPECT_EQ(p.words.size(),
+              cfg.topic_words_per_poi + cfg.city_words_per_poi);
+  }
+}
+
+TEST(WorldGeneratorTest, PoisInsideCityBox) {
+  auto world = GenerateWorld(SynthWorldConfig::YelpLike(Scale::kTiny));
+  for (const Poi& p : world.dataset.pois()) {
+    EXPECT_TRUE(world.dataset.city(p.city).box.Contains(p.location))
+        << "poi " << p.id;
+  }
+}
+
+TEST(WorldGeneratorTest, CheckinsRespectCityOfPoi) {
+  auto world = GenerateWorld(SynthWorldConfig::FoursquareLike(Scale::kTiny));
+  for (const CheckinRecord& r : world.dataset.checkins()) {
+    EXPECT_EQ(r.city, world.dataset.poi(r.poi).city);
+  }
+}
+
+TEST(WorldGeneratorTest, CrossingUsersAreSparseInTarget) {
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kSmall);
+  auto world = GenerateWorld(cfg);
+  const auto stats = world.dataset.ComputeStats(cfg.target_city);
+  EXPECT_EQ(stats.num_crossing_users, cfg.num_crossing_users);
+  // The paper's motivating observation: crossing check-ins are a tiny
+  // fraction (<5%) of the total volume.
+  EXPECT_LT(static_cast<double>(stats.num_crossing_checkins) /
+                static_cast<double>(stats.num_checkins),
+            0.05);
+  EXPECT_GT(stats.num_crossing_checkins,
+            cfg.num_crossing_users * cfg.min_crossing_target_checkins - 1);
+}
+
+TEST(WorldGeneratorTest, DowntownImbalanceExists) {
+  // Downtown POIs must absorb disproportionately many check-ins — the
+  // imbalance the density resampler corrects.
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kSmall);
+  auto world = GenerateWorld(cfg);
+  size_t downtown_checkins = 0;
+  for (const CheckinRecord& r : world.dataset.checkins()) {
+    if (world.truth.poi_downtown[static_cast<size_t>(r.poi)]) {
+      ++downtown_checkins;
+    }
+  }
+  size_t downtown_pois = 0;
+  for (bool d : world.truth.poi_downtown) downtown_pois += d;
+  const double poi_frac = static_cast<double>(downtown_pois) /
+                          static_cast<double>(world.dataset.num_pois());
+  const double checkin_frac =
+      static_cast<double>(downtown_checkins) /
+      static_cast<double>(world.dataset.num_checkins());
+  EXPECT_GT(checkin_frac, poi_frac + 0.1);
+}
+
+TEST(WorldGeneratorTest, GroundTruthAligned) {
+  auto world = GenerateWorld(SynthWorldConfig::FoursquareLike(Scale::kTiny));
+  EXPECT_EQ(world.truth.poi_topic.size(), world.dataset.num_pois());
+  EXPECT_EQ(world.truth.poi_downtown.size(), world.dataset.num_pois());
+  EXPECT_EQ(world.truth.poi_attraction.size(), world.dataset.num_pois());
+  EXPECT_EQ(world.truth.user_topic_prefs.size(), world.dataset.num_users());
+  for (const auto& prefs : world.truth.user_topic_prefs) {
+    double sum = 0;
+    for (double p : prefs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(WorldGeneratorTest, UserCheckinsMatchTopicPreferences) {
+  // Users should check into their preferred topics far more often than a
+  // uniform-topic baseline would.
+  auto cfg = SynthWorldConfig::FoursquareLike(Scale::kTiny);
+  auto world = GenerateWorld(cfg);
+  double aligned = 0, total = 0;
+  for (const CheckinRecord& r : world.dataset.checkins()) {
+    const auto& prefs =
+        world.truth.user_topic_prefs[static_cast<size_t>(r.user)];
+    aligned += prefs[world.truth.poi_topic[static_cast<size_t>(r.poi)]];
+    total += 1;
+  }
+  // Mean preference mass on the visited topic must far exceed 1/num_topics.
+  EXPECT_GT(aligned / total,
+            2.0 / static_cast<double>(TopicLexicon().size()));
+}
+
+TEST(WorldGeneratorTest, ParseScale) {
+  EXPECT_EQ(ParseScale("tiny"), Scale::kTiny);
+  EXPECT_EQ(ParseScale("PAPER"), Scale::kPaper);
+  EXPECT_EQ(ParseScale("small"), Scale::kSmall);
+  EXPECT_EQ(ParseScale("unknown"), Scale::kSmall);
+}
+
+TEST(WorldGeneratorTest, YelpLikeHasTwoCities) {
+  auto cfg = SynthWorldConfig::YelpLike(Scale::kTiny);
+  EXPECT_EQ(cfg.cities.size(), 2u);
+  EXPECT_EQ(cfg.cities[static_cast<size_t>(cfg.target_city)].name,
+            "las_vegas");
+}
+
+TEST(WorldGeneratorDeathTest, SingleCityAborts) {
+  SynthWorldConfig cfg;
+  cfg.cities = {{"only", 10, 10, 1, 0.5, {}}};
+  EXPECT_DEATH(GenerateWorld(cfg), "source");
+}
+
+}  // namespace
+}  // namespace sttr::synth

@@ -1,0 +1,160 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sttr {
+namespace {
+
+// Ranked relevance: hit at positions 1 and 4 (0-based), 3 relevant total.
+const std::vector<bool> kRel = {false, true, false, false, true, false};
+
+TEST(RecallTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(RecallAtK(kRel, 3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(kRel, 3, 2), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(RecallAtK(kRel, 3, 5), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(RecallAtK(kRel, 3, 100), 2.0 / 3);
+}
+
+TEST(RecallTest, ZeroRelevantGivesZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK(kRel, 0, 5), 0.0);
+}
+
+TEST(RecallTest, MonotoneNonDecreasingInK) {
+  double prev = 0;
+  for (size_t k = 1; k <= kRel.size(); ++k) {
+    const double r = RecallAtK(kRel, 3, k);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PrecisionTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRel, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRel, 5), 0.4);
+}
+
+TEST(PrecisionTest, KLargerThanListCountsMisses) {
+  // Positions beyond the list contribute nothing but divide by k.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRel, 12), 2.0 / 12);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  const std::vector<bool> perfect = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(NdcgAtK(perfect, 2, 4), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(perfect, 2, 2), 1.0);
+}
+
+TEST(NdcgTest, HandComputed) {
+  // Hit at rank 2 (0-based 1): DCG = 1/log2(3). One relevant: IDCG = 1.
+  const std::vector<bool> rel = {false, true};
+  EXPECT_NEAR(NdcgAtK(rel, 1, 2), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgTest, WorseRankGivesLowerScore) {
+  const std::vector<bool> early = {true, false, false};
+  const std::vector<bool> late = {false, false, true};
+  EXPECT_GT(NdcgAtK(early, 1, 3), NdcgAtK(late, 1, 3));
+}
+
+TEST(NdcgTest, ZeroRelevantGivesZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(kRel, 0, 5), 0.0);
+}
+
+TEST(ApTest, HandComputed) {
+  // kRel hits at ranks 2 and 5 (1-based): precisions 1/2 and 2/5.
+  // AP@6 = (0.5 + 0.4) / min(3, 6) = 0.3.
+  EXPECT_NEAR(ApAtK(kRel, 3, 6), 0.3, 1e-12);
+  // AP@2 = 0.5 / min(3, 2) = 0.25.
+  EXPECT_NEAR(ApAtK(kRel, 3, 2), 0.25, 1e-12);
+}
+
+TEST(ApTest, PerfectRankingIsOne) {
+  const std::vector<bool> perfect = {true, true, true};
+  EXPECT_DOUBLE_EQ(ApAtK(perfect, 3, 3), 1.0);
+}
+
+TEST(MetricsAtKTest, BundlesAllFour) {
+  const RankingMetrics m = MetricsAtK(kRel, 3, 5);
+  EXPECT_DOUBLE_EQ(m.recall, RecallAtK(kRel, 3, 5));
+  EXPECT_DOUBLE_EQ(m.precision, PrecisionAtK(kRel, 5));
+  EXPECT_DOUBLE_EQ(m.ndcg, NdcgAtK(kRel, 3, 5));
+  EXPECT_DOUBLE_EQ(m.map, ApAtK(kRel, 3, 5));
+}
+
+TEST(RankingMetricsTest, Arithmetic) {
+  RankingMetrics a{0.2, 0.4, 0.6, 0.8};
+  RankingMetrics b{0.2, 0.2, 0.2, 0.2};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.recall, 0.4);
+  const RankingMetrics c = a / 2.0;
+  EXPECT_DOUBLE_EQ(c.precision, 0.3);
+  EXPECT_DOUBLE_EQ(c.map, 0.5);
+}
+
+TEST(MrrTest, FirstHitRankDecides) {
+  // kRel has its first hit at rank 2 (1-based).
+  EXPECT_DOUBLE_EQ(MrrAtK(kRel, 10), 0.5);
+  EXPECT_DOUBLE_EQ(MrrAtK(kRel, 1), 0.0);  // truncated before the hit
+  const std::vector<bool> top = {true, false};
+  EXPECT_DOUBLE_EQ(MrrAtK(top, 5), 1.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({}, 5), 0.0);
+}
+
+TEST(HitRateTest, AnyHitCounts) {
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRel, 1), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRel, 2), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRel, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK({}, 3), 0.0);
+}
+
+TEST(MrrHitRateTest, MrrBoundedByHitRate) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> rel(15);
+    for (size_t i = 0; i < rel.size(); ++i) rel[i] = rng.Bernoulli(0.2);
+    for (size_t k : {1u, 5u, 10u}) {
+      EXPECT_LE(MrrAtK(rel, k), HitRateAtK(rel, k));
+      EXPECT_GE(MrrAtK(rel, k), 0.0);
+    }
+  }
+}
+
+TEST(MetricsEdgeTest, EmptyRelevanceList) {
+  const std::vector<bool> empty;
+  EXPECT_DOUBLE_EQ(RecallAtK(empty, 2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(empty, 5), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(empty, 2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ApAtK(empty, 2, 5), 0.0);
+}
+
+class KSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KSweep, AllMetricsInUnitInterval) {
+  const size_t k = GetParam();
+  Rng rng(k);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> rel(20);
+    size_t num_rel = 0;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      rel[i] = rng.Bernoulli(0.3);
+      num_rel += rel[i];
+    }
+    // num_relevant >= hits in the list (some relevant may be outside).
+    num_rel += rng.UniformInt(3);
+    const RankingMetrics m = MetricsAtK(rel, num_rel, k);
+    for (double v : {m.recall, m.precision, m.ndcg, m.map}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KSweep, ::testing::Values(1, 2, 4, 6, 8, 10, 25));
+
+}  // namespace
+}  // namespace sttr

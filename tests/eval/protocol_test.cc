@@ -1,0 +1,161 @@
+#include "eval/protocol.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "data/synth/world_generator.h"
+#include "util/rng.h"
+
+namespace sttr {
+namespace {
+
+struct Fixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+Fixture MakeFixture() {
+  auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+  Fixture f{synth::GenerateWorld(cfg), {}};
+  f.split = MakeCrossCitySplit(f.world.dataset, cfg.target_city);
+  return f;
+}
+
+/// Scores ground truth items above everything else.
+class OracleScorer : public PoiScorer {
+ public:
+  explicit OracleScorer(const CrossCitySplit& split) {
+    for (const auto& tu : split.test_users) {
+      for (PoiId v : tu.ground_truth) truth_.insert({tu.user, v});
+    }
+  }
+  double Score(UserId user, PoiId poi) const override {
+    return truth_.count({user, poi}) ? 1.0 : 0.0;
+  }
+
+ private:
+  struct Hash {
+    size_t operator()(const std::pair<UserId, PoiId>& p) const {
+      return std::hash<int64_t>()(p.first * 1000003 + p.second);
+    }
+  };
+  std::unordered_set<std::pair<UserId, PoiId>, Hash> truth_;
+};
+
+/// Deterministic pseudo-random scores independent of relevance.
+class RandomScorer : public PoiScorer {
+ public:
+  double Score(UserId user, PoiId poi) const override {
+    uint64_t x = static_cast<uint64_t>(user) * 2654435761u +
+                 static_cast<uint64_t>(poi) * 40503u;
+    x ^= x >> 13;
+    x *= 0x2545F4914F6CDD1DULL;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+};
+
+/// Scores worst-possible: ground truth at the bottom.
+class AntiOracleScorer : public PoiScorer {
+ public:
+  explicit AntiOracleScorer(const CrossCitySplit& split)
+      : oracle_(split) {}
+  double Score(UserId user, PoiId poi) const override {
+    return -oracle_.Score(user, poi);
+  }
+
+ private:
+  OracleScorer oracle_;
+};
+
+TEST(ProtocolTest, OracleScoresPerfectly) {
+  auto f = MakeFixture();
+  EvalConfig cfg;
+  const EvalResult r =
+      EvaluateRanking(f.world.dataset, f.split, OracleScorer(f.split), cfg);
+  EXPECT_EQ(r.num_users_evaluated, f.split.test_users.size());
+  // Every ground-truth item ranks above all negatives.
+  EXPECT_NEAR(r.At(10).ndcg, 1.0, 1e-9);
+  EXPECT_NEAR(r.At(10).map, 1.0, 1e-9);
+  EXPECT_GT(r.At(10).recall, 0.95);
+}
+
+TEST(ProtocolTest, AntiOracleScoresNearZeroAtSmallK) {
+  auto f = MakeFixture();
+  EvalConfig cfg;
+  const EvalResult r = EvaluateRanking(f.world.dataset, f.split,
+                                       AntiOracleScorer(f.split), cfg);
+  EXPECT_LT(r.At(2).recall, 0.01);
+  EXPECT_LT(r.At(2).ndcg, 0.01);
+}
+
+TEST(ProtocolTest, RandomScorerNearChance) {
+  auto f = MakeFixture();
+  EvalConfig cfg;
+  const EvalResult r =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), cfg);
+  // With ~100 negatives + ~4 truths, Recall@10 for a random ranking is
+  // roughly 10 / 104.
+  EXPECT_NEAR(r.At(10).recall, 10.0 / 104.0, 0.08);
+}
+
+TEST(ProtocolTest, DeterministicForFixedSeed) {
+  auto f = MakeFixture();
+  EvalConfig cfg;
+  const EvalResult a =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), cfg);
+  const EvalResult b =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), cfg);
+  for (size_t k : cfg.ks) {
+    EXPECT_DOUBLE_EQ(a.At(k).recall, b.At(k).recall);
+    EXPECT_DOUBLE_EQ(a.At(k).ndcg, b.At(k).ndcg);
+  }
+}
+
+TEST(ProtocolTest, SeedChangesNegativeSamples) {
+  auto f = MakeFixture();
+  // Use few negatives: the tiny world's target city is small enough that
+  // 100 negatives would deterministically exhaust the candidate pool.
+  EvalConfig a_cfg;
+  a_cfg.num_negatives = 15;
+  EvalConfig b_cfg;
+  b_cfg.num_negatives = 15;
+  b_cfg.seed = a_cfg.seed + 1;
+  const EvalResult a =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), a_cfg);
+  const EvalResult b =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), b_cfg);
+  bool any_diff = false;
+  for (size_t k : a_cfg.ks) {
+    any_diff |= a.At(k).recall != b.At(k).recall;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProtocolTest, FewerNegativesRaisesScores) {
+  auto f = MakeFixture();
+  EvalConfig many;
+  many.num_negatives = 100;
+  EvalConfig few;
+  few.num_negatives = 10;
+  const EvalResult a =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), many);
+  const EvalResult b =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), few);
+  EXPECT_GT(b.At(10).recall, a.At(10).recall);
+}
+
+TEST(ProtocolTest, CustomKs) {
+  auto f = MakeFixture();
+  EvalConfig cfg;
+  cfg.ks = {1, 3};
+  const EvalResult r =
+      EvaluateRanking(f.world.dataset, f.split, OracleScorer(f.split), cfg);
+  EXPECT_EQ(r.at_k.size(), 2u);
+  EXPECT_NO_FATAL_FAILURE(r.At(1));
+  EXPECT_DEATH(r.At(10), "no metrics");
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,147 @@
+#include "geo/density_resampler.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+// Two regions: region 0 dense (1 cell, 10 check-ins on POI 100),
+// region 1 sparse (2 cells, 4 check-ins on POIs 200/201).
+DensityResampler MakeTwoRegionResampler() {
+  std::vector<size_t> sizes = {1, 2};
+  std::vector<int> regions;
+  std::vector<int64_t> pois;
+  for (int i = 0; i < 10; ++i) {
+    regions.push_back(0);
+    pois.push_back(100);
+  }
+  for (int i = 0; i < 4; ++i) {
+    regions.push_back(1);
+    pois.push_back(i % 2 == 0 ? 200 : 201);
+  }
+  return DensityResampler(std::move(sizes), regions, pois);
+}
+
+TEST(DensityResamplerTest, DensitiesMatchDefinition) {
+  auto rs = MakeTwoRegionResampler();
+  ASSERT_EQ(rs.stats().size(), 2u);
+  EXPECT_DOUBLE_EQ(rs.stats()[0].density, 10.0);
+  EXPECT_DOUBLE_EQ(rs.stats()[1].density, 2.0);
+  EXPECT_DOUBLE_EQ(rs.max_density(), 10.0);
+}
+
+TEST(DensityResamplerTest, DeficitSatisfiesEq6) {
+  auto rs = MakeTwoRegionResampler();
+  // Eq. 6: (n_r + n'_r)/S_r = rho_max -> n'_1 = 10*2 - 4 = 16, n'_0 = 0.
+  EXPECT_EQ(rs.stats()[0].deficit, 0u);
+  EXPECT_EQ(rs.stats()[1].deficit, 16u);
+  EXPECT_EQ(rs.TotalDeficit(), 16u);
+}
+
+TEST(DensityResamplerTest, NumExtraScalesWithAlpha) {
+  auto rs = MakeTwoRegionResampler();
+  EXPECT_EQ(rs.NumExtra(0.0), 0u);
+  EXPECT_EQ(rs.NumExtra(1.0), 16u);
+  EXPECT_EQ(rs.NumExtra(0.5), 8u);
+  EXPECT_EQ(rs.NumExtra(0.1), 2u);  // round(1.6)
+}
+
+TEST(DensityResamplerTest, SampleExtraDrawsFromSparseRegions) {
+  auto rs = MakeTwoRegionResampler();
+  Rng rng(1);
+  const auto extra = rs.SampleExtra(1.0, rng);
+  EXPECT_EQ(extra.size(), 16u);
+  size_t sparse_draws = 0;
+  for (int64_t v : extra) {
+    EXPECT_TRUE(v == 100 || v == 200 || v == 201);
+    if (v != 100) ++sparse_draws;
+  }
+  // Region weights rho*/rho: region0 weight 1, region1 weight 5 -> ~83% of
+  // draws should come from the sparse region.
+  EXPECT_GT(sparse_draws, 10u);
+}
+
+TEST(DensityResamplerTest, WithinRegionDrawsFollowEq7) {
+  // Single region, two POIs with 3:1 check-in ratio.
+  std::vector<size_t> sizes = {1};
+  std::vector<int> regions = {0, 0, 0, 0};
+  std::vector<int64_t> pois = {7, 7, 7, 9};
+  DensityResampler rs(std::move(sizes), regions, pois);
+  // Make draws possible: add a second, denser region.
+  // (Single-region cities have zero deficit; sample through Eq. 9 anyway by
+  // constructing an imbalanced pair.)
+  std::vector<size_t> sizes2 = {1, 4};
+  std::vector<int> regions2 = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int64_t> pois2 = {7, 7, 7, 9, 5, 5, 6, 6};
+  DensityResampler rs2(std::move(sizes2), regions2, pois2);
+  Rng rng(2);
+  std::map<int64_t, int> counts;
+  for (int trial = 0; trial < 4000; ++trial) {
+    for (int64_t v : rs2.SampleExtra(1.0, rng)) counts[v] += 1;
+  }
+  // Draws from region 0 must hit POI 7 about 3x as often as POI 9.
+  ASSERT_GT(counts[9], 0);
+  const double ratio =
+      static_cast<double>(counts[7]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(DensityResamplerTest, UniformRegionsNeedNoResampling) {
+  std::vector<size_t> sizes = {1, 1};
+  std::vector<int> regions = {0, 1};
+  std::vector<int64_t> pois = {1, 2};
+  DensityResampler rs(std::move(sizes), regions, pois);
+  EXPECT_EQ(rs.TotalDeficit(), 0u);
+  Rng rng(3);
+  EXPECT_TRUE(rs.SampleExtra(1.0, rng).empty());
+}
+
+TEST(DensityResamplerTest, EmptyRegionExcludedFromSampling) {
+  std::vector<size_t> sizes = {1, 1};
+  std::vector<int> regions = {0, 0};
+  std::vector<int64_t> pois = {1, 1};
+  DensityResampler rs(std::move(sizes), regions, pois);
+  EXPECT_DOUBLE_EQ(rs.RegionProbability(1), 0.0);
+  EXPECT_DOUBLE_EQ(rs.RegionProbability(0), 1.0);
+}
+
+TEST(DensityResamplerTest, RegionProbabilitiesSumToOne) {
+  auto rs = MakeTwoRegionResampler();
+  EXPECT_NEAR(rs.RegionProbability(0) + rs.RegionProbability(1), 1.0, 1e-12);
+  // Eq. 8: P(r) proportional to rho*/rho_r -> 1 : 5.
+  EXPECT_NEAR(rs.RegionProbability(1) / rs.RegionProbability(0), 5.0, 1e-9);
+}
+
+TEST(DensityResamplerTest, NoCheckinsMeansNoDraws) {
+  DensityResampler rs({1, 2}, {}, {});
+  EXPECT_EQ(rs.TotalDeficit(), 0u);
+  Rng rng(4);
+  EXPECT_TRUE(rs.SampleExtra(1.0, rng).empty());
+  EXPECT_DOUBLE_EQ(rs.max_density(), 0.0);
+}
+
+TEST(DensityResamplerDeathTest, AlphaOutOfRangeAborts) {
+  auto rs = MakeTwoRegionResampler();
+  EXPECT_DEATH(rs.NumExtra(1.5), "");
+  EXPECT_DEATH(rs.NumExtra(-0.1), "");
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, ExtraCountIsMonotoneInAlpha) {
+  auto rs = MakeTwoRegionResampler();
+  const double alpha = GetParam();
+  Rng rng(5);
+  EXPECT_EQ(rs.SampleExtra(alpha, rng).size(), rs.NumExtra(alpha));
+  if (alpha >= 0.5) {
+    EXPECT_GE(rs.NumExtra(alpha), rs.NumExtra(alpha / 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.0, 0.06, 0.1, 0.15, 0.5, 1.0));
+
+}  // namespace
+}  // namespace sttr

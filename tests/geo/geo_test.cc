@@ -1,0 +1,63 @@
+#include "geo/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceToSelf) {
+  GeoPoint p{34.05, -118.25};
+  EXPECT_DOUBLE_EQ(HaversineKm(p, p), 0.0);
+}
+
+TEST(HaversineTest, KnownCityPairs) {
+  // LA <-> SF is ~559 km, LA <-> Las Vegas ~368 km.
+  GeoPoint la{34.0522, -118.2437};
+  GeoPoint sf{37.7749, -122.4194};
+  GeoPoint lv{36.1699, -115.1398};
+  EXPECT_NEAR(HaversineKm(la, sf), 559.0, 10.0);
+  EXPECT_NEAR(HaversineKm(la, lv), 368.0, 10.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  GeoPoint a{10.0, 20.0}, b{-5.0, 120.0};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  GeoPoint a{0.0, 0.0}, b{1.0, 0.0};
+  EXPECT_NEAR(HaversineKm(a, b), 111.2, 1.0);
+}
+
+TEST(HaversineTest, AntipodalIsHalfCircumference) {
+  GeoPoint a{0.0, 0.0}, b{0.0, 180.0};
+  EXPECT_NEAR(HaversineKm(a, b), 20015.0, 10.0);
+}
+
+TEST(BoundingBoxTest, Contains) {
+  BoundingBox box{0.0, 1.0, 10.0, 11.0};
+  EXPECT_TRUE(box.Contains({0.5, 10.5}));
+  EXPECT_TRUE(box.Contains({0.0, 10.0}));
+  EXPECT_TRUE(box.Contains({1.0, 11.0}));
+  EXPECT_FALSE(box.Contains({1.5, 10.5}));
+  EXPECT_FALSE(box.Contains({0.5, 9.9}));
+}
+
+TEST(BoundingBoxTest, ExpandToInclude) {
+  BoundingBox box{0.0, 1.0, 0.0, 1.0};
+  box.ExpandToInclude({-2.0, 3.0});
+  EXPECT_DOUBLE_EQ(box.min_lat, -2.0);
+  EXPECT_DOUBLE_EQ(box.max_lon, 3.0);
+  EXPECT_DOUBLE_EQ(box.lat_span(), 3.0);
+  EXPECT_DOUBLE_EQ(box.lon_span(), 3.0);
+}
+
+TEST(BoundingBoxTest, ToStringMentionsBounds) {
+  BoundingBox box{1.0, 2.0, 3.0, 4.0};
+  const std::string s = box.ToString();
+  EXPECT_NE(s.find("1.0000"), std::string::npos);
+  EXPECT_NE(s.find("4.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sttr

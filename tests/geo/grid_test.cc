@@ -1,0 +1,83 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+BoundingBox UnitBox() { return BoundingBox{0.0, 1.0, 0.0, 1.0}; }
+
+TEST(GridIndexTest, Dimensions) {
+  GridIndex grid(UnitBox(), 4, 5);
+  EXPECT_EQ(grid.rows(), 4u);
+  EXPECT_EQ(grid.cols(), 5u);
+  EXPECT_EQ(grid.NumCells(), 20u);
+}
+
+TEST(GridIndexTest, CornersMapToCornerCells) {
+  GridIndex grid(UnitBox(), 4, 4);
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.CellOf({0.99, 0.99}), 15u);
+  // Max edges clamp into the last cell.
+  EXPECT_EQ(grid.CellOf({1.0, 1.0}), 15u);
+}
+
+TEST(GridIndexTest, OutsidePointsClampToBorder) {
+  GridIndex grid(UnitBox(), 4, 4);
+  EXPECT_EQ(grid.CellOf({-5.0, -5.0}), 0u);
+  EXPECT_EQ(grid.CellOf({9.0, 9.0}), 15u);
+  EXPECT_EQ(grid.CellOf({-1.0, 0.6}), grid.CellOf({0.0, 0.6}));
+}
+
+TEST(GridIndexTest, RowColDecomposition) {
+  GridIndex grid(UnitBox(), 3, 7);
+  const size_t cell = grid.CellOf({0.5, 0.5});
+  EXPECT_EQ(cell, grid.RowOf(cell) * 7 + grid.ColOf(cell));
+}
+
+TEST(GridIndexTest, CellCenterRoundTrips) {
+  GridIndex grid(UnitBox(), 6, 6);
+  for (size_t c = 0; c < grid.NumCells(); ++c) {
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(c)), c);
+  }
+}
+
+TEST(GridIndexTest, Neighbors4Interior) {
+  GridIndex grid(UnitBox(), 4, 4);
+  const auto n = grid.Neighbors4(5);  // row1,col1
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(GridIndexTest, Neighbors4Corner) {
+  GridIndex grid(UnitBox(), 4, 4);
+  EXPECT_EQ(grid.Neighbors4(0).size(), 2u);
+  EXPECT_EQ(grid.Neighbors4(15).size(), 2u);
+}
+
+TEST(GridIndexTest, Neighbors4Edge) {
+  GridIndex grid(UnitBox(), 4, 4);
+  EXPECT_EQ(grid.Neighbors4(1).size(), 3u);
+}
+
+TEST(GridIndexTest, Neighbors4SingleCellGrid) {
+  GridIndex grid(UnitBox(), 1, 1);
+  EXPECT_TRUE(grid.Neighbors4(0).empty());
+}
+
+TEST(GridIndexTest, NeighborsAreMutual) {
+  GridIndex grid(UnitBox(), 5, 3);
+  for (size_t c = 0; c < grid.NumCells(); ++c) {
+    for (size_t nb : grid.Neighbors4(c)) {
+      const auto back = grid.Neighbors4(nb);
+      EXPECT_NE(std::find(back.begin(), back.end(), c), back.end());
+    }
+  }
+}
+
+TEST(GridIndexDeathTest, DegenerateBoxAborts) {
+  BoundingBox flat{0.0, 0.0, 0.0, 1.0};
+  EXPECT_DEATH(GridIndex(flat, 2, 2), "");
+}
+
+}  // namespace
+}  // namespace sttr

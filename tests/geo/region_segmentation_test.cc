@@ -1,0 +1,118 @@
+#include "geo/region_segmentation.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+BoundingBox UnitBox() { return BoundingBox{0.0, 1.0, 0.0, 1.0}; }
+
+TEST(RegionSegmenterTest, CellDistanceMatchesEq5) {
+  GridIndex grid(UnitBox(), 1, 2);
+  RegionSegmenter seg(grid, 0.5);
+  // U_0 = {1,2,3}, U_1 = {2,3,4,5}: overlap 2, min size 3 -> 2/3.
+  for (int64_t u : {1, 2, 3}) seg.AddVisit(0, u);
+  for (int64_t u : {2, 3, 4, 5}) seg.AddVisit(1, u);
+  EXPECT_NEAR(seg.CellDistance(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(seg.CellUserCount(0), 3u);
+  EXPECT_EQ(seg.CellUserCount(1), 4u);
+}
+
+TEST(RegionSegmenterTest, EmptyCellHasZeroDistance) {
+  GridIndex grid(UnitBox(), 1, 2);
+  RegionSegmenter seg(grid, 0.5);
+  seg.AddVisit(0, 1);
+  EXPECT_EQ(seg.CellDistance(0, 1), 0.0);
+}
+
+TEST(RegionSegmenterTest, EveryCellGetsExactlyOneRegion) {
+  GridIndex grid(UnitBox(), 4, 4);
+  RegionSegmenter seg(grid, 0.3);
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    seg.AddVisit(rng.UniformInt(16), static_cast<int64_t>(rng.UniformInt(10)));
+  }
+  const RegionAssignment regions = seg.Segment(rng);
+  std::vector<int> seen(16, 0);
+  for (size_t r = 0; r < regions.num_regions(); ++r) {
+    for (size_t cell : regions.region_cells[r]) {
+      EXPECT_EQ(regions.cell_to_region[cell], static_cast<int>(r));
+      seen[cell] += 1;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(RegionSegmenterTest, SharedUsersMergeNeighbours) {
+  // Cells 0 and 1 share all users; cell 2 shares nobody with them.
+  GridIndex grid(UnitBox(), 1, 3);
+  RegionSegmenter seg(grid, 0.5);
+  for (int64_t u : {1, 2, 3}) {
+    seg.AddVisit(0, u);
+    seg.AddVisit(1, u);
+  }
+  for (int64_t u : {7, 8}) seg.AddVisit(2, u);
+  Rng rng(2);
+  const RegionAssignment regions = seg.Segment(rng);
+  EXPECT_EQ(regions.cell_to_region[0], regions.cell_to_region[1]);
+  EXPECT_NE(regions.cell_to_region[0], regions.cell_to_region[2]);
+}
+
+TEST(RegionSegmenterTest, HighThresholdPreventsMerging) {
+  GridIndex grid(UnitBox(), 1, 2);
+  RegionSegmenter seg(grid, 1.0);
+  seg.AddVisit(0, 1);
+  seg.AddVisit(0, 2);
+  seg.AddVisit(1, 2);  // overlap 1/1 = 1.0 >= 1.0 still merges
+  Rng rng(3);
+  const RegionAssignment merged = seg.Segment(rng);
+  EXPECT_EQ(merged.cell_to_region[0], merged.cell_to_region[1]);
+
+  RegionSegmenter seg2(grid, 1.0);
+  seg2.AddVisit(0, 1);
+  seg2.AddVisit(0, 2);
+  seg2.AddVisit(1, 2);
+  seg2.AddVisit(1, 3);  // overlap 1, min 2 -> 0.5 < 1.0: no merge
+  const RegionAssignment split = seg2.Segment(rng);
+  EXPECT_NE(split.cell_to_region[0], split.cell_to_region[1]);
+}
+
+TEST(RegionSegmenterTest, MergeIsTransitiveThroughChain) {
+  // 0-1 and 1-2 similar, 0-2 not adjacent: all three end up together.
+  GridIndex grid(UnitBox(), 1, 3);
+  RegionSegmenter seg(grid, 0.5);
+  for (int64_t u : {1, 2}) seg.AddVisit(0, u);
+  for (int64_t u : {1, 2, 3, 4}) seg.AddVisit(1, u);
+  for (int64_t u : {3, 4}) seg.AddVisit(2, u);
+  Rng rng(4);
+  const RegionAssignment regions = seg.Segment(rng);
+  EXPECT_EQ(regions.cell_to_region[0], regions.cell_to_region[1]);
+  EXPECT_EQ(regions.cell_to_region[1], regions.cell_to_region[2]);
+}
+
+TEST(RegionSegmenterTest, EmptyCellsBecomeSingletons) {
+  GridIndex grid(UnitBox(), 2, 2);
+  RegionSegmenter seg(grid, 0.1);
+  seg.AddVisit(0, 1);
+  Rng rng(5);
+  const RegionAssignment regions = seg.Segment(rng);
+  // 4 cells, no merges possible: 4 singleton regions.
+  EXPECT_EQ(regions.num_regions(), 4u);
+}
+
+TEST(RegionSegmenterTest, DeterministicGivenSameRngState) {
+  GridIndex grid(UnitBox(), 3, 3);
+  RegionSegmenter seg(grid, 0.4);
+  Rng data_rng(6);
+  for (int i = 0; i < 40; ++i) {
+    seg.AddVisit(data_rng.UniformInt(9),
+                 static_cast<int64_t>(data_rng.UniformInt(12)));
+  }
+  Rng r1(9), r2(9);
+  const auto a = seg.Segment(r1);
+  const auto b = seg.Segment(r2);
+  EXPECT_EQ(a.cell_to_region, b.cell_to_region);
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,173 @@
+// Edge-case tests across module boundaries: degenerate sizes, boundary
+// cutoffs and robustness properties not covered by the per-module suites.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/item_pop.h"
+#include "core/st_transrec.h"
+#include "data/synth/world_generator.h"
+#include "geo/region_segmentation.h"
+#include "transfer/mmd.h"
+
+namespace sttr {
+namespace {
+
+struct Fixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* f = [] {
+    auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+    auto* out = new Fixture{synth::GenerateWorld(cfg), {}};
+    out->split = MakeCrossCitySplit(out->world.dataset, cfg.target_city);
+    return out;
+  }();
+  return *f;
+}
+
+TEST(EdgeCaseTest, RecommendTopKLargerThanCityClamps) {
+  const auto& f = SharedFixture();
+  baselines::ItemPop pop;
+  ASSERT_TRUE(pop.Fit(f.world.dataset, f.split).ok());
+  const size_t city_size = f.world.dataset.PoisInCity(0).size();
+  const auto top =
+      pop.RecommendTopK(f.world.dataset, 0, 0, city_size + 100);
+  EXPECT_EQ(top.size(), city_size);
+}
+
+TEST(EdgeCaseTest, RecommendTopKWithFullExclusion) {
+  const auto& f = SharedFixture();
+  baselines::ItemPop pop;
+  ASSERT_TRUE(pop.Fit(f.world.dataset, f.split).ok());
+  std::unordered_set<PoiId> all;
+  for (PoiId v : f.world.dataset.PoisInCity(0)) all.insert(v);
+  EXPECT_TRUE(pop.RecommendTopK(f.world.dataset, 0, 0, 5, &all).empty());
+}
+
+TEST(EdgeCaseTest, EvalWithKBeyondCandidatePool) {
+  const auto& f = SharedFixture();
+  baselines::ItemPop pop;
+  ASSERT_TRUE(pop.Fit(f.world.dataset, f.split).ok());
+  EvalConfig cfg;
+  cfg.ks = {1, 500};  // 500 exceeds |ground truth| + negatives
+  const EvalResult r = EvaluateRanking(f.world.dataset, f.split, pop, cfg);
+  // Recall@huge-k must saturate at 1 (everything retrieved).
+  EXPECT_NEAR(r.At(500).recall, 1.0, 1e-9);
+  EXPECT_LE(r.At(1).recall, r.At(500).recall);
+}
+
+TEST(EdgeCaseTest, EvalWithOneNegative) {
+  const auto& f = SharedFixture();
+  baselines::ItemPop pop;
+  ASSERT_TRUE(pop.Fit(f.world.dataset, f.split).ok());
+  EvalConfig cfg;
+  cfg.num_negatives = 1;
+  const EvalResult r = EvaluateRanking(f.world.dataset, f.split, pop, cfg);
+  EXPECT_EQ(r.num_users_evaluated, f.split.test_users.size());
+  EXPECT_GT(r.At(10).recall, 0.5);  // nearly everything is ground truth
+}
+
+TEST(EdgeCaseTest, MmdMultiKernelGradientMatchesFiniteDifference) {
+  Rng rng(3);
+  ag::Variable xs(Tensor::RandomNormal({6, 2}, rng), true);
+  ag::Variable xt(Tensor::RandomNormal({6, 2}, rng, 1.0f), true);
+  const std::vector<double> sigmas = {0.5, 1.0, 2.0};
+  ag::Variable loss = ag_ops::MmdLoss(xs, xt, sigmas);
+  ag::Backward(loss);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < xs.value().size(); i += 3) {
+    const float orig = xs.value()[i];
+    xs.mutable_value()[i] = orig + eps;
+    const double up = ag_ops::MmdLoss(xs, xt, sigmas).value()[0];
+    xs.mutable_value()[i] = orig - eps;
+    const double down = ag_ops::MmdLoss(xs, xt, sigmas).value()[0];
+    xs.mutable_value()[i] = orig;
+    EXPECT_NEAR(xs.grad()[i], (up - down) / (2 * eps), 3e-2);
+  }
+}
+
+TEST(EdgeCaseTest, StTransRecSingleEpochSingleBatch) {
+  // Degenerate optimisation budget must still produce a usable model.
+  const auto& f = SharedFixture();
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.hidden_dims = {8};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 2048;  // > positives: one step per epoch
+  cfg.mmd_batch = 4;
+  StTransRec model(cfg);
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  EXPECT_EQ(model.StepsPerEpoch(), 1u);
+  EXPECT_TRUE(std::isfinite(model.Score(0, 0)));
+}
+
+TEST(EdgeCaseTest, StTransRecWithQuadraticMmd) {
+  const auto& f = SharedFixture();
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dims = {16};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 64;
+  cfg.mmd_batch = 8;
+  cfg.use_linear_mmd = false;
+  StTransRec model(cfg);
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  EXPECT_TRUE(std::isfinite(model.loss_history().back()));
+}
+
+TEST(EdgeCaseTest, StTransRecFixedBandwidth) {
+  const auto& f = SharedFixture();
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dims = {16};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 64;
+  cfg.mmd_batch = 8;
+  cfg.mmd_sigma = 0.7;  // paper-style fixed bandwidth
+  StTransRec model(cfg);
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  EXPECT_TRUE(std::isfinite(model.loss_history().back()));
+}
+
+TEST(EdgeCaseTest, WorldGeneratorMinimalCities) {
+  synth::SynthWorldConfig cfg;
+  cfg.cities = {{"t", 20, 8, 1, 0.5, {}}, {"s", 20, 8, 1, 0.5, {}}};
+  cfg.num_crossing_users = 3;
+  cfg.landmark_words_per_city = 4;
+  cfg.seed = 99;
+  auto world = synth::GenerateWorld(cfg);
+  EXPECT_EQ(world.dataset.num_cities(), 2u);
+  const auto split = MakeCrossCitySplit(world.dataset, 0);
+  EXPECT_EQ(split.test_users.size(), 3u);
+}
+
+TEST(EdgeCaseTest, SegmenterAllCheckinsOneCell) {
+  GridIndex grid(BoundingBox{0, 1, 0, 1}, 4, 4);
+  RegionSegmenter seg(grid, 0.1);
+  for (int64_t u = 0; u < 20; ++u) seg.AddVisit(5, u);
+  Rng rng(1);
+  const auto regions = seg.Segment(rng);
+  // 15 empty singletons + 1 populated cell.
+  EXPECT_EQ(regions.num_regions(), 16u);
+}
+
+TEST(EdgeCaseTest, VariantConfigsComposable) {
+  // Stacking all three variant switches is allowed and trains.
+  const auto& f = SharedFixture();
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.hidden_dims = {8};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 32;
+  StTransRec model(MakeVariant3(MakeVariant1(cfg)));
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  EXPECT_FALSE(model.config().use_mmd);
+  EXPECT_EQ(model.config().resample_alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,143 @@
+// Integration tests: the whole pipeline — generator -> split -> every
+// registered method -> evaluation protocol — on the tiny world.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "bench/bench_util.h"
+#include "core/parallel_trainer.h"
+#include "data/synth/world_generator.h"
+
+namespace sttr {
+namespace {
+
+struct Fixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* f = [] {
+    auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+    auto* out = new Fixture{synth::GenerateWorld(cfg), {}};
+    out->split = MakeCrossCitySplit(out->world.dataset, cfg.target_city);
+    return out;
+  }();
+  return *f;
+}
+
+StTransRecConfig FastDeepConfig() {
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dims = {16, 8};
+  cfg.num_epochs = 1;
+  cfg.batch_size = 32;
+  cfg.mmd_batch = 8;
+  return cfg;
+}
+
+class EveryMethod : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryMethod, FitsEvaluatesAndRanksDeterministically) {
+  const auto& f = SharedFixture();
+  auto rec = baselines::MakeRecommender(GetParam(), FastDeepConfig());
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE((*rec)->Fit(f.world.dataset, f.split).ok());
+
+  EvalConfig ec;
+  const EvalResult a = EvaluateRanking(f.world.dataset, f.split, **rec, ec);
+  const EvalResult b = EvaluateRanking(f.world.dataset, f.split, **rec, ec);
+  EXPECT_EQ(a.num_users_evaluated, f.split.test_users.size());
+  for (size_t k : ec.ks) {
+    // Metrics live in [0,1] and re-evaluation is deterministic.
+    EXPECT_GE(a.At(k).recall, 0.0);
+    EXPECT_LE(a.At(k).recall, 1.0);
+    EXPECT_DOUBLE_EQ(a.At(k).recall, b.At(k).recall);
+    EXPECT_DOUBLE_EQ(a.At(k).ndcg, b.At(k).ndcg);
+  }
+
+  // RecommendTopK agrees with pairwise Score ordering.
+  const UserId u = f.split.test_users.front().user;
+  const auto top = (*rec)->RecommendTopK(f.world.dataset, 0, u, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+  EXPECT_DOUBLE_EQ(top[0].second, (*rec)->Score(u, top[0].first));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, EveryMethod,
+    ::testing::Values("ItemPop", "LCE", "CRCF", "PR-UIDT", "ST-LDA", "CTLM",
+                      "SH-CDL", "PACE", "ST-TransRec", "ST-TransRec-1",
+                      "ST-TransRec-2", "ST-TransRec-3"),
+    [](const auto& suffix_info) {
+      std::string name = suffix_info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(EndToEndTest, RecallOrderingFullVsNoText) {
+  // The strongest ablation signal in the synthetic world: text off must
+  // hurt. Train both with an equal, slightly larger budget.
+  const auto& f = SharedFixture();
+  auto cfg = FastDeepConfig();
+  cfg.num_epochs = 8;
+  cfg.embedding_dim = 16;
+  cfg.hidden_dims = {32, 16};
+
+  StTransRec full(cfg);
+  ASSERT_TRUE(full.Fit(f.world.dataset, f.split).ok());
+  StTransRec no_text(MakeVariant2(cfg));
+  ASSERT_TRUE(no_text.Fit(f.world.dataset, f.split).ok());
+
+  EvalConfig ec;
+  const double r_full =
+      EvaluateRanking(f.world.dataset, f.split, full, ec).At(10).recall;
+  const double r_no_text =
+      EvaluateRanking(f.world.dataset, f.split, no_text, ec).At(10).recall;
+  EXPECT_GT(r_full, r_no_text);
+}
+
+TEST(EndToEndTest, BenchWorldFactoriesWork) {
+  bench::BenchOptions opts;
+  opts.scale = synth::Scale::kTiny;
+  for (const char* name : {"foursquare", "yelp"}) {
+    const auto ws = bench::MakeWorld(name, opts);
+    EXPECT_GT(ws.world.dataset.num_checkins(), 0u);
+    EXPECT_FALSE(ws.split.test_users.empty());
+  }
+}
+
+TEST(EndToEndTest, PaperArchitectureSettings) {
+  StTransRecConfig fsq;
+  bench::ApplyPaperArchitecture("foursquare", fsq);
+  EXPECT_EQ(fsq.embedding_dim, 64u);
+  ASSERT_EQ(fsq.hidden_dims.size(), 4u);
+  EXPECT_EQ(fsq.hidden_dims.front(), 128u);
+  EXPECT_EQ(fsq.hidden_dims.back(), 16u);
+  StTransRecConfig yelp;
+  bench::ApplyPaperArchitecture("yelp", yelp);
+  EXPECT_EQ(yelp.embedding_dim, 128u);
+  ASSERT_EQ(yelp.hidden_dims.size(), 4u);
+  EXPECT_EQ(yelp.hidden_dims.front(), 256u);
+  EXPECT_EQ(yelp.hidden_dims.back(), 32u);
+}
+
+TEST(EndToEndTest, ParallelTrainerMatchesSingleWorkerQuality) {
+  const auto& f = SharedFixture();
+  auto cfg = FastDeepConfig();
+  cfg.num_epochs = 4;
+  ParallelTrainer trainer(cfg, 2);
+  ASSERT_TRUE(trainer.Init(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(trainer.TrainEpochs(4).ok());
+  EvalConfig ec;
+  const EvalResult r =
+      EvaluateRanking(f.world.dataset, f.split, trainer.master(), ec);
+  // Loose sanity: the data-parallel model must be above floor performance.
+  EXPECT_GT(r.At(10).recall, 0.05);
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,145 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/layers.h"
+
+namespace sttr::nn {
+namespace {
+
+/// Minimises f(w) = ||w - target||^2 with the given optimiser factory and
+/// returns the final squared distance.
+template <typename MakeOpt>
+double MinimiseQuadratic(MakeOpt make_opt, int steps) {
+  ag::Variable w(Tensor({4}, std::vector<float>{5, -3, 2, 8}), true);
+  const Tensor target({4}, std::vector<float>{1, 1, 1, 1});
+  auto opt = make_opt(std::vector<ag::Variable>{w});
+  for (int s = 0; s < steps; ++s) {
+    ag::Variable diff = ag::Sub(w, ag::Constant(target));
+    ag::Backward(ag::Sum(ag::Mul(diff, diff)));
+    opt->Step();
+  }
+  double dist = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    dist += std::pow(static_cast<double>(w.value()[i]) - target[i], 2);
+  }
+  return dist;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  const double d = MinimiseQuadratic(
+      [](auto params) { return std::make_unique<Sgd>(params, 0.05f); }, 200);
+  EXPECT_LT(d, 1e-6);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  const double d = MinimiseQuadratic(
+      [](auto params) {
+        return std::make_unique<Sgd>(params, 0.02f, 0.9f);
+      },
+      200);
+  EXPECT_LT(d, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  const double d = MinimiseQuadratic(
+      [](auto params) { return std::make_unique<Adam>(params, 0.3f); }, 300);
+  EXPECT_LT(d, 1e-3);
+}
+
+TEST(AdaGradTest, ConvergesOnQuadratic) {
+  const double d = MinimiseQuadratic(
+      [](auto params) { return std::make_unique<AdaGrad>(params, 1.0f); },
+      400);
+  EXPECT_LT(d, 1e-2);
+}
+
+TEST(OptimizerTest, StepZeroesGradients) {
+  ag::Variable w(Tensor({2}, std::vector<float>{1, 1}), true);
+  Sgd opt({w}, 0.1f);
+  ag::Backward(ag::Sum(w));
+  EXPECT_GT(w.grad().MaxAbs(), 0);
+  opt.Step();
+  EXPECT_EQ(w.grad().MaxAbs(), 0);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(OptimizerTest, SparseStepOnlyTouchesGatheredRows) {
+  Rng rng(1);
+  Embedding emb(6, 3, rng);
+  const Tensor before = emb.table().value();
+  Adam opt(emb.Parameters(), 0.1f);
+  ag::Backward(ag::Sum(emb.Forward({2, 4})));
+  opt.Step();
+  const Tensor& after = emb.table().value();
+  for (size_t r = 0; r < 6; ++r) {
+    const bool touched = (r == 2 || r == 4);
+    for (size_t c = 0; c < 3; ++c) {
+      if (touched) {
+        EXPECT_NE(before.at(r, c), after.at(r, c)) << r << "," << c;
+      } else {
+        EXPECT_EQ(before.at(r, c), after.at(r, c)) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(OptimizerTest, SparseGradClearedAfterStep) {
+  Rng rng(2);
+  Embedding emb(5, 2, rng);
+  Adam opt(emb.Parameters(), 0.1f);
+  ag::Backward(ag::Sum(emb.Forward({1})));
+  opt.Step();
+  EXPECT_EQ(emb.Parameters()[0].grad().MaxAbs(), 0.0);
+  EXPECT_TRUE(emb.Parameters()[0].touched_rows().empty());
+}
+
+TEST(OptimizerTest, LazyAdamMatchesDenseAdamOnTouchedRows) {
+  // A sparse (gather-based) gradient and a mathematically equal dense
+  // gradient must produce the same update on the touched rows in step 1.
+  Rng rng(3);
+  Tensor init = Tensor::RandomNormal({4, 2}, rng);
+  ag::Variable sparse(init, true);
+  ag::Variable dense(init, true);
+  Adam opt_sparse({sparse}, 0.1f);
+  Adam opt_dense({dense}, 0.1f);
+
+  ag::Backward(ag::Sum(ag::GatherRows(sparse, {1, 3})));
+  // Equivalent dense gradient: ones on rows 1 and 3.
+  Tensor& g = dense.mutable_grad();
+  for (size_t c = 0; c < 2; ++c) {
+    g.at(1, c) = 1.0f;
+    g.at(3, c) = 1.0f;
+  }
+  opt_sparse.Step();
+  opt_dense.Step();
+  EXPECT_TRUE(sparse.value().AllClose(dense.value(), 1e-6, 1e-7));
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  ag::Variable w(Tensor({4}, std::vector<float>{0, 0, 0, 0}), true);
+  Sgd opt({w}, 0.1f);
+  w.mutable_grad() = Tensor({4}, std::vector<float>{3, 4, 0, 0});  // norm 5
+  const double norm = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(w.grad().SquaredL2Norm(), 1.0, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopBelowThreshold) {
+  ag::Variable w(Tensor({2}, std::vector<float>{0, 0}), true);
+  Sgd opt({w}, 0.1f);
+  w.mutable_grad() = Tensor({2}, std::vector<float>{0.3f, 0.4f});
+  opt.ClipGradNorm(10.0);
+  EXPECT_NEAR(w.grad().SquaredL2Norm(), 0.25, 1e-6);
+}
+
+TEST(OptimizerDeathTest, RejectsFrozenParameters) {
+  ag::Variable frozen(Tensor({2}), false);
+  EXPECT_DEATH(Sgd({frozen}, 0.1f), "frozen");
+}
+
+}  // namespace
+}  // namespace sttr::nn

@@ -1,0 +1,207 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sttr {
+namespace {
+
+Tensor Naive(const Tensor& a, const Tensor& b) {
+  Tensor c({a.rows(), b.cols()});
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        s += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor t({a.cols(), a.rows()});
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+TEST(MatMulTest, SmallKnownProduct) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+struct MatDims {
+  size_t n, k, m;
+};
+
+class MatMulSweep : public ::testing::TestWithParam<MatDims> {};
+
+TEST_P(MatMulSweep, MatchesNaive) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(n * 100 + k * 10 + m);
+  Tensor a = Tensor::RandomNormal({n, k}, rng);
+  Tensor b = Tensor::RandomNormal({k, m}, rng);
+  EXPECT_TRUE(MatMul(a, b).AllClose(Naive(a, b), 1e-4, 1e-5));
+}
+
+TEST_P(MatMulSweep, TransAEqualsExplicitTranspose) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(7 * n + k + m);
+  Tensor a = Tensor::RandomNormal({n, k}, rng);
+  Tensor b = Tensor::RandomNormal({n, m}, rng);
+  EXPECT_TRUE(
+      MatMulTransA(a, b).AllClose(Naive(Transpose(a), b), 1e-4, 1e-5));
+}
+
+TEST_P(MatMulSweep, TransBEqualsExplicitTranspose) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(13 * n + k + m);
+  Tensor a = Tensor::RandomNormal({n, k}, rng);
+  Tensor b = Tensor::RandomNormal({m, k}, rng);
+  EXPECT_TRUE(
+      MatMulTransB(a, b).AllClose(Naive(a, Transpose(b)), 1e-4, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, MatMulSweep,
+    ::testing::Values(MatDims{1, 1, 1}, MatDims{2, 3, 4}, MatDims{5, 1, 7},
+                      MatDims{8, 8, 8}, MatDims{17, 31, 9},
+                      MatDims{64, 16, 32}));
+
+TEST(MatMulTest, ShapeMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_DEATH(MatMul(a, b), "inner");
+}
+
+TEST(ElementwiseTest, AddSubMulScale) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{3, 5});
+  EXPECT_EQ(Add(a, b)[1], 7);
+  EXPECT_EQ(Sub(a, b)[0], -2);
+  EXPECT_EQ(Mul(a, b)[1], 10);
+  EXPECT_EQ(Scale(a, -2.0f)[0], -2);
+}
+
+TEST(BroadcastTest, AddRowBroadcast) {
+  Tensor x({2, 3}, std::vector<float>{0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, std::vector<float>{10, 20, 30});
+  Tensor y = AddRowBroadcast(x, bias);
+  EXPECT_EQ(y.at(0, 2), 30);
+  EXPECT_EQ(y.at(1, 0), 11);
+}
+
+TEST(ReduceTest, ColSum) {
+  Tensor x({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor s = ColSum(x);
+  EXPECT_EQ(s[0], 9);
+  EXPECT_EQ(s[1], 12);
+}
+
+TEST(RowwiseDotTest, MatchesManual) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({2, 3}, std::vector<float>{1, 0, 1, 0, 1, 0});
+  Tensor d = RowwiseDot(a, b);
+  EXPECT_EQ(d[0], 4);
+  EXPECT_EQ(d[1], 5);
+}
+
+TEST(ConcatSliceTest, RoundTrip) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal({4, 3}, rng);
+  Tensor b = Tensor::RandomNormal({4, 2}, rng);
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_TRUE(SliceCols(c, 0, 3).AllClose(a, 0, 0));
+  EXPECT_TRUE(SliceCols(c, 3, 5).AllClose(b, 0, 0));
+}
+
+TEST(GatherScatterTest, GatherPicksRows) {
+  Tensor table({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(table, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.at(0, 1), 6);
+  EXPECT_EQ(g.at(1, 0), 1);
+  EXPECT_EQ(g.at(2, 0), 5);
+}
+
+TEST(GatherScatterTest, ScatterAccumulatesDuplicates) {
+  Tensor dest({3, 2});
+  Tensor src({2, 2}, std::vector<float>{1, 1, 2, 2});
+  ScatterRowsAdd(dest, {1, 1}, src);
+  EXPECT_EQ(dest.at(1, 0), 3);
+  EXPECT_EQ(dest.at(0, 0), 0);
+}
+
+TEST(GatherScatterTest, AdjointProperty) {
+  // <Gather(T, idx), S> == <T, Scatter(idx, S)> — gather/scatter must be
+  // adjoint for the autograd embedding backward to be correct.
+  Rng rng(9);
+  Tensor table = Tensor::RandomNormal({6, 4}, rng);
+  std::vector<int64_t> idx = {5, 0, 3, 3, 1};
+  Tensor s = Tensor::RandomNormal({5, 4}, rng);
+  const Tensor g = GatherRows(table, idx);
+  double lhs = 0;
+  for (size_t i = 0; i < g.size(); ++i) lhs += static_cast<double>(g[i]) * s[i];
+  Tensor scat({6, 4});
+  ScatterRowsAdd(scat, idx, s);
+  double rhs = 0;
+  for (size_t i = 0; i < scat.size(); ++i) {
+    rhs += static_cast<double>(scat[i]) * table[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(GatherScatterTest, OutOfRangeAborts) {
+  Tensor table({3, 2});
+  EXPECT_DEATH(GatherRows(table, {3}), "");
+  EXPECT_DEATH(GatherRows(table, {-1}), "");
+}
+
+TEST(ActivationTest, ReluClampsNegatives) {
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -0.5});
+  Tensor y = Relu(x);
+  EXPECT_EQ(y[0], 0);
+  EXPECT_EQ(y[1], 0);
+  EXPECT_EQ(y[2], 2);
+  EXPECT_EQ(y[3], 0);
+}
+
+TEST(ActivationTest, SigmoidValues) {
+  EXPECT_FLOAT_EQ(SigmoidScalar(0.0f), 0.5f);
+  EXPECT_NEAR(SigmoidScalar(2.0f), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6);
+  // Extreme inputs must not overflow.
+  EXPECT_NEAR(SigmoidScalar(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(SigmoidScalar(-100.0f), 0.0f, 1e-6);
+}
+
+TEST(ActivationTest, LogSigmoidStable) {
+  EXPECT_NEAR(LogSigmoid(0.0f), std::log(0.5), 1e-6);
+  // Large negative arguments: log sigmoid(x) ~ x.
+  EXPECT_NEAR(LogSigmoid(-50.0f), -50.0f, 1e-4);
+  // Large positive arguments: ~ 0 but finite.
+  EXPECT_GT(LogSigmoid(80.0f), -1e-6);
+  EXPECT_LE(LogSigmoid(80.0f), 0.0f);
+}
+
+TEST(ActivationTest, TanhMatchesStd) {
+  Tensor x({3}, std::vector<float>{-1, 0, 1});
+  Tensor y = TanhT(x);
+  EXPECT_NEAR(y[0], std::tanh(-1.0f), 1e-6);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], std::tanh(1.0f), 1e-6);
+}
+
+}  // namespace
+}  // namespace sttr

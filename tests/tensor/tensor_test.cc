@@ -1,0 +1,145 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.ndim(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructorAndFactories) {
+  EXPECT_EQ(Tensor({4}, 2.5f).Sum(), 10.0);
+  EXPECT_EQ(Tensor::Ones({3, 3}).Sum(), 9.0);
+  EXPECT_EQ(Tensor::Full({2}, -1.0f).Sum(), -2.0);
+  Tensor s = Tensor::Scalar(3.25f);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 3.25f);
+}
+
+TEST(TensorTest, DataConstructorValidatesSize) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  EXPECT_DEATH(Tensor({2, 2}, std::vector<float>{1, 2}), "shape");
+}
+
+TEST(TensorTest, TwoDAccessors) {
+  Tensor t({2, 3});
+  t.at(0, 1) = 5.0f;
+  t.at(1, 2) = -2.0f;
+  EXPECT_EQ(t[1], 5.0f);
+  EXPECT_EQ(t[5], -2.0f);
+  EXPECT_EQ(t.row(1)[2], -2.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_DEATH(t.Reshaped({4, 2}), "");
+}
+
+TEST(TensorTest, SumMeanMaxAbs) {
+  Tensor t({4}, std::vector<float>{1, -5, 2, 2});
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.MaxAbs(), 5.0);
+  EXPECT_DOUBLE_EQ(t.SquaredL2Norm(), 1 + 25 + 4 + 4);
+}
+
+TEST(TensorTest, AddInPlaceAndAxpy) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.Axpy(-0.5f, b);
+  EXPECT_EQ(a[0], 6.0f);
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a[0], 12.0f);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b({2}, std::vector<float>{1.0f + 1e-8f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  Tensor c({2}, std::vector<float>{1.1f, 2.0f});
+  EXPECT_FALSE(a.AllClose(c));
+  Tensor d({1}, std::vector<float>{1.0f});
+  EXPECT_FALSE(a.AllClose(d));
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::RandomUniform({100, 10}, rng, -1.0f, 2.0f);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 2.0f);
+  }
+}
+
+TEST(TensorTest, RandomNormalMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::RandomNormal({200, 50}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.Mean(), 1.0, 0.05);
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(3);
+  Tensor t = Tensor::GlorotUniform(30, 70, rng);
+  const float limit = std::sqrt(6.0f / 100.0f);
+  EXPECT_EQ(t.rows(), 30u);
+  EXPECT_EQ(t.cols(), 70u);
+  EXPECT_LE(t.MaxAbs(), limit);
+  EXPECT_GT(t.MaxAbs(), 0.5 * limit);  // spread should fill the range
+}
+
+TEST(TensorTest, SerializeRoundTrip) {
+  Rng rng(4);
+  Tensor t = Tensor::RandomNormal({7, 5}, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(t.Serialize(ss).ok());
+  auto back = Tensor::Deserialize(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->AllClose(t, 0, 0));
+  EXPECT_EQ(back->shape(), t.shape());
+}
+
+TEST(TensorTest, DeserializeTruncatedFails) {
+  std::stringstream ss;
+  ss.write("junk", 4);
+  auto r = Tensor::Deserialize(ss);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(ShapeTest, Helpers) {
+  EXPECT_EQ(ShapeSize({2, 3, 4}), 24u);
+  EXPECT_EQ(ShapeSize({}), 0u);
+  EXPECT_EQ(ShapeSize({5, 0}), 0u);
+  EXPECT_EQ(ShapeToString({2, 3}), "2x3");
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,110 @@
+#include "text/context_graph.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(TextualContextGraphTest, AddEdgeDeduplicates) {
+  TextualContextGraph g(3, 5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.WordsOf(0), (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(TextualContextGraphTest, WordCountsKeepMultiplicity) {
+  TextualContextGraph g(2, 4);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 3);
+  EXPECT_EQ(g.word_counts()[3], 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(TextualContextGraphTest, MeanPoiDegree) {
+  TextualContextGraph g(2, 10);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 4);
+  EXPECT_DOUBLE_EQ(g.MeanPoiDegree(), 2.0);
+}
+
+TEST(TextualContextGraphTest, EdgeArraysAreParallel) {
+  TextualContextGraph g(3, 3);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 2);
+  ASSERT_EQ(g.edge_pois().size(), g.edge_words().size());
+  EXPECT_EQ(g.edge_pois()[0], 2);
+  EXPECT_EQ(g.edge_words()[0], 0);
+}
+
+TEST(TextualContextGraphDeathTest, RejectsOutOfRangeIds) {
+  TextualContextGraph g(2, 2);
+  EXPECT_DEATH(g.AddEdge(2, 0), "");
+  EXPECT_DEATH(g.AddEdge(0, 2), "");
+  EXPECT_DEATH(g.AddEdge(-1, 0), "");
+}
+
+TEST(UnigramNegativeSamplerTest, FollowsPowerLaw) {
+  // Counts 1 and 16 with power 0.75: ratio 16^0.75 = 8.
+  std::vector<size_t> counts = {1, 16};
+  UnigramNegativeSampler sampler(counts, 0.75);
+  Rng rng(1);
+  int c1 = 0;
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) c1 += (sampler.Sample(rng) == 1);
+  EXPECT_NEAR(static_cast<double>(c1) / n, 8.0 / 9.0, 0.01);
+}
+
+TEST(UnigramNegativeSamplerTest, ZeroCountWordsNeverDrawn) {
+  std::vector<size_t> counts = {5, 0, 3};
+  UnigramNegativeSampler sampler(counts);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1);
+}
+
+TEST(UnigramNegativeSamplerTest, SampleNegativeAvoidsPositives) {
+  TextualContextGraph g(1, 4);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  std::vector<size_t> counts = {10, 10, 10, 10};
+  UnigramNegativeSampler sampler(counts);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t w = sampler.SampleNegativeFor(g, 0, rng);
+    EXPECT_TRUE(w == 2 || w == 3);
+  }
+}
+
+TEST(UnigramNegativeSamplerTest, DegenerateVocabularyStillReturns) {
+  // Every word is a positive context: the bounded retry must bail out
+  // instead of looping forever.
+  TextualContextGraph g(1, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  std::vector<size_t> counts = {1, 1};
+  UnigramNegativeSampler sampler(counts);
+  Rng rng(4);
+  const int64_t w = sampler.SampleNegativeFor(g, 0, rng);
+  EXPECT_TRUE(w == 0 || w == 1);
+}
+
+TEST(UnigramNegativeSamplerTest, PowerZeroIsUniform) {
+  std::vector<size_t> counts = {1, 1000};
+  UnigramNegativeSampler sampler(counts, 0.0);
+  Rng rng(5);
+  int c0 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) c0 += (sampler.Sample(rng) == 0);
+  EXPECT_NEAR(static_cast<double>(c0) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace sttr

@@ -1,0 +1,64 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(VocabularyTest, AddAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Add("park"), 0);
+  EXPECT_EQ(v.Add("museum"), 1);
+  EXPECT_EQ(v.Add("park"), 0);  // idempotent
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, CountsAccumulate) {
+  Vocabulary v;
+  v.Add("a");
+  v.Add("a");
+  v.Add("b");
+  EXPECT_EQ(v.CountOf(0), 2u);
+  EXPECT_EQ(v.CountOf(1), 1u);
+  EXPECT_EQ(v.Counts(), (std::vector<size_t>{2, 1}));
+}
+
+TEST(VocabularyTest, LookupBothDirections) {
+  Vocabulary v;
+  const int64_t id = v.Add("beach");
+  EXPECT_EQ(v.WordOf(id), "beach");
+  EXPECT_EQ(v.IdOf("beach"), id);
+  EXPECT_EQ(v.IdOf("unknown"), -1);
+  EXPECT_EQ(v.size(), 1u);  // IdOf must not intern
+}
+
+TEST(VocabularyDeathTest, WordOfOutOfRange) {
+  Vocabulary v;
+  EXPECT_DEATH(v.WordOf(0), "");
+  EXPECT_DEATH(v.WordOf(-1), "");
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Golden Gate Bridge!"),
+            (std::vector<std::string>{"golden", "gate", "bridge"}));
+}
+
+TEST(TokenizeTest, DropsShortTokens) {
+  EXPECT_EQ(Tokenize("a bc def", 2),
+            (std::vector<std::string>{"bc", "def"}));
+  EXPECT_EQ(Tokenize("a bc def", 1),
+            (std::vector<std::string>{"a", "bc", "def"}));
+}
+
+TEST(TokenizeTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("route 66 diner"),
+            (std::vector<std::string>{"route", "66", "diner"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ---").empty());
+}
+
+}  // namespace
+}  // namespace sttr

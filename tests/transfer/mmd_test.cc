@@ -1,0 +1,213 @@
+#include "transfer/mmd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+Tensor SampleGaussian(size_t n, size_t d, double mean, Rng& rng) {
+  Tensor t({n, d});
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal(mean, 1.0));
+  }
+  return t;
+}
+
+TEST(GaussianKernelTest, OneAtZeroDistance) {
+  const float x[] = {1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(GaussianKernel(x, x, 2, 1.0), 1.0);
+}
+
+TEST(GaussianKernelTest, DecaysWithDistance) {
+  const float x[] = {0.0f};
+  const float y[] = {1.0f};
+  const float z[] = {2.0f};
+  const double kxy = GaussianKernel(x, y, 1, 1.0);
+  const double kxz = GaussianKernel(x, z, 1, 1.0);
+  EXPECT_NEAR(kxy, std::exp(-0.5), 1e-12);
+  EXPECT_LT(kxz, kxy);
+}
+
+TEST(GaussianKernelTest, BandwidthControlsDecay) {
+  const float x[] = {0.0f};
+  const float y[] = {1.0f};
+  EXPECT_GT(GaussianKernel(x, y, 1, 10.0), GaussianKernel(x, y, 1, 0.5));
+}
+
+TEST(MmdTest, IdenticalSamplesGiveZeroBiased) {
+  Rng rng(1);
+  Tensor x = SampleGaussian(20, 3, 0.0, rng);
+  EXPECT_NEAR(MmdBiased(x, x, 1.0), 0.0, 1e-6);
+}
+
+TEST(MmdTest, SameDistributionSmallUnbiased) {
+  Rng rng(2);
+  Tensor a = SampleGaussian(100, 4, 0.0, rng);
+  Tensor b = SampleGaussian(100, 4, 0.0, rng);
+  // The U-statistic is centred: should be near 0 (can be negative).
+  EXPECT_LT(std::fabs(MmdUnbiased(a, b, 1.0)), 0.05);
+}
+
+TEST(MmdTest, GrowsWithMeanShift) {
+  Rng rng(3);
+  Tensor a = SampleGaussian(80, 4, 0.0, rng);
+  Tensor close = SampleGaussian(80, 4, 0.5, rng);
+  Tensor far = SampleGaussian(80, 4, 3.0, rng);
+  const double d_same = MmdBiased(a, SampleGaussian(80, 4, 0.0, rng), 1.0);
+  const double d_close = MmdBiased(a, close, 1.0);
+  const double d_far = MmdBiased(a, far, 1.0);
+  EXPECT_LT(d_same, d_close);
+  EXPECT_LT(d_close, d_far);
+}
+
+TEST(MmdTest, BiasedIsNonNegative) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor a = SampleGaussian(30, 2, 0.0, rng);
+    Tensor b = SampleGaussian(25, 2, 0.3, rng);
+    EXPECT_GE(MmdBiased(a, b, 0.7), 0.0);
+  }
+}
+
+TEST(MmdTest, LinearEstimatorTracksQuadratic) {
+  Rng rng(5);
+  Tensor a = SampleGaussian(600, 3, 0.0, rng);
+  Tensor b = SampleGaussian(600, 3, 2.0, rng);
+  const double quad = MmdUnbiased(a, b, 1.0);
+  const double lin = MmdLinear(a, b, 1.0);
+  EXPECT_NEAR(lin, quad, 0.15 * std::max(1.0, quad));
+}
+
+TEST(MmdTest, LinearFallsBackOnTinySamples) {
+  Rng rng(6);
+  Tensor a = SampleGaussian(1, 2, 0.0, rng);
+  Tensor b = SampleGaussian(1, 2, 1.0, rng);
+  // m = 0 quadruples: falls back to the biased estimate, finite value.
+  const double v = MmdLinear(a, b, 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(MmdTest, MedianHeuristicReasonable) {
+  Rng rng(7);
+  Tensor a = SampleGaussian(50, 4, 0.0, rng);
+  Tensor b = SampleGaussian(50, 4, 0.0, rng);
+  const double sigma = MedianHeuristicSigma(a, b, 500, rng);
+  // For unit Gaussians in 4-d the typical pair distance is ~ sqrt(2*4).
+  EXPECT_GT(sigma, 1.0);
+  EXPECT_LT(sigma, 6.0);
+}
+
+TEST(MmdTest, MedianHeuristicDegenerateInputGivesOne) {
+  Tensor a({3, 2});  // all zeros: no positive distances
+  Tensor b({3, 2});
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(MedianHeuristicSigma(a, b, 100, rng), 1.0);
+}
+
+// ---- Differentiable MMD ops -------------------------------------------------
+
+void CheckMmdGradient(bool linear) {
+  Rng rng(9);
+  ag::Variable xs(SampleGaussian(8, 3, 0.0, rng), true);
+  ag::Variable xt(SampleGaussian(8, 3, 1.0, rng), true);
+  const std::vector<double> sigmas = {1.3};
+  auto loss_fn = [&] {
+    return linear ? ag_ops::MmdLossLinear(xs, xt, sigmas)
+                  : ag_ops::MmdLoss(xs, xt, sigmas);
+  };
+  ag::Variable loss = loss_fn();
+  ag::Backward(loss);
+  const Tensor gs = xs.grad();
+  const Tensor gt = xt.grad();
+
+  const float eps = 1e-3f;
+  auto numeric = [&](ag::Variable& v, size_t i) {
+    const float orig = v.value()[i];
+    v.mutable_value()[i] = orig + eps;
+    const double up = loss_fn().value()[0];
+    v.mutable_value()[i] = orig - eps;
+    const double down = loss_fn().value()[0];
+    v.mutable_value()[i] = orig;
+    return (up - down) / (2.0 * eps);
+  };
+  for (size_t i = 0; i < xs.value().size(); i += 5) {
+    EXPECT_NEAR(gs[i], numeric(xs, i), 2e-2) << "xs[" << i << "]";
+  }
+  for (size_t i = 0; i < xt.value().size(); i += 5) {
+    EXPECT_NEAR(gt[i], numeric(xt, i), 2e-2) << "xt[" << i << "]";
+  }
+}
+
+TEST(MmdLossTest, QuadraticGradientMatchesFiniteDifference) {
+  CheckMmdGradient(/*linear=*/false);
+}
+
+TEST(MmdLossTest, LinearGradientMatchesFiniteDifference) {
+  CheckMmdGradient(/*linear=*/true);
+}
+
+TEST(MmdLossTest, ForwardMatchesEstimator) {
+  Rng rng(10);
+  ag::Variable xs(SampleGaussian(10, 2, 0.0, rng), false);
+  ag::Variable xt(SampleGaussian(12, 2, 1.0, rng), false);
+  const double direct = MmdBiased(xs.value(), xt.value(), 0.8);
+  ag::Variable loss = ag_ops::MmdLoss(xs, xt, {0.8});
+  EXPECT_NEAR(loss.value()[0], direct, 1e-5);
+}
+
+TEST(MmdLossTest, MultiKernelSumsBandwidths) {
+  Rng rng(11);
+  ag::Variable xs(SampleGaussian(10, 2, 0.0, rng), false);
+  ag::Variable xt(SampleGaussian(10, 2, 1.0, rng), false);
+  const double expect = MmdBiased(xs.value(), xt.value(), 0.5) +
+                        MmdBiased(xs.value(), xt.value(), 2.0);
+  ag::Variable loss = ag_ops::MmdLoss(xs, xt, {0.5, 2.0});
+  EXPECT_NEAR(loss.value()[0], expect, 1e-5);
+}
+
+TEST(MmdLossTest, MinimisingAlignsDistributions) {
+  // Gradient descent on the source sample should drag it towards the
+  // target distribution — the transfer mechanism of ST-TransRec in vitro.
+  Rng rng(12);
+  ag::Variable xs(SampleGaussian(32, 2, 3.0, rng), true);
+  Tensor xt_data = SampleGaussian(32, 2, 0.0, rng);
+  const double before =
+      MmdBiased(xs.value(), xt_data, 2.0);
+  for (int step = 0; step < 200; ++step) {
+    ag::Variable xt(xt_data, false);
+    ag::Variable loss = ag_ops::MmdLoss(xs, xt, {2.0});
+    xs.ZeroGrad();
+    ag::Backward(loss);
+    xs.mutable_value().Axpy(-5.0f, xs.grad());
+  }
+  const double after = MmdBiased(xs.value(), xt_data, 2.0);
+  EXPECT_LT(after, 0.3 * before);
+}
+
+class MmdSizeSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MmdSizeSweep, UnequalSampleSizesSupported) {
+  const auto [ns, nt] = GetParam();
+  Rng rng(13);
+  Tensor a = SampleGaussian(ns, 3, 0.0, rng);
+  Tensor b = SampleGaussian(nt, 3, 0.5, rng);
+  EXPECT_TRUE(std::isfinite(MmdBiased(a, b, 1.0)));
+  EXPECT_TRUE(std::isfinite(MmdLinear(a, b, 1.0)));
+  if (ns > 1 && nt > 1) {
+    EXPECT_TRUE(std::isfinite(MmdUnbiased(a, b, 1.0)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MmdSizeSweep,
+    ::testing::Values(std::pair<size_t, size_t>{2, 2},
+                      std::pair<size_t, size_t>{5, 17},
+                      std::pair<size_t, size_t>{64, 64},
+                      std::pair<size_t, size_t>{1, 9}));
+
+}  // namespace
+}  // namespace sttr

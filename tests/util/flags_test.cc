@@ -1,0 +1,71 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+FlagParser ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser
+          .Parse(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()))
+          .ok());
+  return parser;
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  auto p = ParseArgs({"--name=value", "--n=3"});
+  EXPECT_EQ(p.GetString("name"), "value");
+  EXPECT_EQ(p.GetInt("n", 0), 3);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  auto p = ParseArgs({"--alpha", "0.25"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0), 0.25);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  auto p = ParseArgs({"--verbose"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_FALSE(p.Has("quiet"));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  auto p = ParseArgs({"--a=TRUE", "--b=on", "--c=0", "--d=no"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_FALSE(p.GetBool("c", true));
+  EXPECT_FALSE(p.GetBool("d", true));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  auto p = ParseArgs({});
+  EXPECT_EQ(p.GetString("missing", "def"), "def");
+  EXPECT_EQ(p.GetInt("missing", -4), -4);
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(p.GetBool("missing", true));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  auto p = ParseArgs({"input.txt", "--k=2", "more"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  auto p = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_EQ(p.GetInt("k", 0), 2);
+}
+
+TEST(FlagParserTest, BareDoubleDashIsError) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+}  // namespace
+}  // namespace sttr

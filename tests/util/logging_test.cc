@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacrosCompileAndStream) {
+  // Smoke: all severities accept streamed values of mixed types.
+  SetLogLevel(LogLevel::kError);  // silence output during the test
+  STTR_LOG(Debug) << "debug " << 1;
+  STTR_LOG(Info) << "info " << 2.5;
+  STTR_LOG(Warning) << "warn " << std::string("s");
+  STTR_LOG(Error) << "err";
+  SetLogLevel(LogLevel::kInfo);
+  SUCCEED();
+}
+
+TEST(LoggingTest, FilteredMessagesAreCheap) {
+  SetLogLevel(LogLevel::kError);
+  for (int i = 0; i < 1000; ++i) {
+    STTR_LOG(Debug) << "never shown " << i;
+  }
+  SetLogLevel(LogLevel::kInfo);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sttr

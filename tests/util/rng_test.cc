@@ -1,0 +1,238 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Split(0);
+  Rng child2 = a.Split(1);
+  EXPECT_NE(child.Next(), child2.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIntSignedRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.Discrete(w)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(31);
+  for (double alpha : {0.1, 0.5, 1.0, 5.0}) {
+    const auto v = rng.Dirichlet(alpha, 8);
+    ASSERT_EQ(v.size(), 8u);
+    double sum = 0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, DirichletConcentrationControlsSparsity) {
+  Rng rng(37);
+  // With small alpha, the max coordinate should dominate on average.
+  double max_small = 0, max_large = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto a = rng.Dirichlet(0.05, 10);
+    auto b = rng.Dirichlet(10.0, 10);
+    max_small += *std::max_element(a.begin(), a.end());
+    max_large += *std::max_element(b.begin(), b.end());
+  }
+  EXPECT_GT(max_small / trials, 0.7);
+  EXPECT_LT(max_large / trials, 0.35);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(41);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.05 * std::max(1.0, shape));
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(47);
+  for (size_t n : {10u, 100u, 1000u}) {
+    for (size_t k : {0u, 1u, 5u, 10u}) {
+      if (k > n) continue;
+      const auto s = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(s.size(), k);
+      std::set<size_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (size_t x : s) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(53);
+  const auto s = rng.SampleWithoutReplacement(20, 20);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(59);
+  std::vector<double> w = {0.1, 0.4, 0.0, 0.5};
+  AliasTable table(w);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(rng)] += 1;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.4, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.5, 0.01);
+}
+
+TEST(AliasTableTest, SingleElement) {
+  Rng rng(61);
+  AliasTable table(std::vector<double>{2.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  Rng rng(67);
+  AliasTable table(std::vector<double>(16, 1.0));
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(rng)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 16, 0.005);
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntNeverOutOfRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.UniformInt(97), 97u);
+  }
+}
+
+TEST_P(RngSeedSweep, AliasTableNeverReturnsZeroWeightSlot) {
+  Rng rng(GetParam());
+  std::vector<double> w = {0.0, 1.0, 0.0, 2.0, 0.0};
+  AliasTable table(w);
+  for (int i = 0; i < 2000; ++i) {
+    const size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace sttr

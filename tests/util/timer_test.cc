@@ -1,0 +1,41 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleepRoughly) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 25.0);
+  EXPECT_LT(ms, 2000.0);  // generous: CI machines stall
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer t;
+  const double s = t.ElapsedSeconds();
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3);
+}
+
+}  // namespace
+}  // namespace sttr

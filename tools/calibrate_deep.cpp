@@ -1,0 +1,53 @@
+// Internal calibration tool (not a paper experiment): sweeps deep-model
+// hyper-parameters on the small Foursquare-like world and prints Recall@10.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/timer.h"
+
+using namespace sttr;
+
+int main(int argc, char** argv) {
+  auto opts = bench::BenchOptions::Parse(argc, argv);
+  FlagParser flags0;
+  (void)flags0.Parse(argc, argv);
+  auto ws = bench::MakeWorld(flags0.GetString("dataset", "foursquare"), opts);
+  struct Setting { const char* tag; float lr; size_t epochs; float init; float text_w; double lambda; };
+  FlagParser flags; (void)flags.Parse(argc, argv);
+  std::vector<Setting> settings = {
+      {"tw3 e8", 1e-2f, 8, 0.01f, 3.0f, 1.0},
+      {"tw5 e12", 1e-2f, 12, 0.01f, 5.0f, 1.0},
+      {"tw3 e8 d64", 1e-2f, 8, 0.01f, 3.0f, -4.0},
+      {"tw5 e12 d64", 1e-2f, 12, 0.01f, 5.0f, -4.0},
+  };
+  for (const auto& s : settings) {
+    StTransRecConfig cfg;
+    bench::ApplyPaperArchitecture(flags0.GetString("dataset", "foursquare"), cfg);
+    cfg.learning_rate = s.lr;
+    cfg.num_epochs = s.epochs;
+    cfg.embedding_init_stddev = s.init;
+    cfg.text_loss_weight = s.text_w;
+    if (s.lambda == -1.0) {
+      cfg.use_mmd = false;
+    } else if (s.lambda == -2.0) {
+      cfg.resample_alpha = 0.0;
+    } else if (s.lambda == -3.0) {
+      cfg.use_text = false;
+    } else if (s.lambda == -4.0) {
+      cfg.embedding_dim = 64;
+      cfg.hidden_dims = {128, 64, 32, 16};
+    } else {
+      cfg.lambda_mmd = s.lambda;
+    }
+    StTransRec model(cfg);
+    Timer t;
+    STTR_CHECK_OK(model.Fit(ws.world.dataset, ws.split));
+    EvalConfig ec;
+    auto res = EvaluateRanking(ws.world.dataset, ws.split, model, ec);
+    std::printf("%-12s fit=%5.1fs loss=%.4f R@10=%.4f N@10=%.4f\n", s.tag,
+                t.ElapsedSeconds(), model.loss_history().back(),
+                res.At(10).recall, res.At(10).ndcg);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Internal: evaluate selected methods quickly on the small foursquare world.
+#include <cstdio>
+#include "bench/bench_util.h"
+#include "util/string_util.h"
+
+using namespace sttr;
+
+int main(int argc, char** argv) {
+  auto opts = bench::BenchOptions::Parse(argc, argv);
+  FlagParser flags; (void)flags.Parse(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "foursquare");
+  auto ws = bench::MakeWorld(dataset, opts);
+  StTransRecConfig deep = opts.DeepConfig();
+  bench::ApplyPaperArchitecture(dataset, deep);
+  auto names = Split(flags.GetString("methods", "CTLM,SH-CDL"), ',');
+  auto runs = bench::RunMethods(ws.world.dataset, ws.split, names, deep,
+                                opts.Eval(), true);
+  for (auto& r : runs) {
+    std::printf("%-12s R@10=%.4f N@10=%.4f fit=%.1fs\n", r.name.c_str(),
+                r.result.At(10).recall, r.result.At(10).ndcg, r.fit_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Summarises bench_output.txt into the headline numbers EXPERIMENTS.md cites.
+
+Usage: tools/summarize_bench.py [bench_output.txt]
+
+Purely a convenience for maintaining the paper-vs-measured tables; the
+canonical data is the bench output itself.
+"""
+import re
+import sys
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    text = open(path).read()
+
+    # Per-figure Recall tables: "== Recall ==" blocks under each [figN] tag.
+    for tag in re.findall(r"^\[(\w+)\].*$", text, re.M):
+        pass
+
+    sections = re.split(r"^(\[[\w]+\].*)$", text, flags=re.M)
+    current = None
+    for chunk in sections:
+        if chunk.startswith("["):
+            current = chunk.strip()
+            print(f"\n### {current}")
+            continue
+        if current is None:
+            continue
+        m = re.search(r"== Recall ==\n(.*?)\n\n", chunk, re.S)
+        if m:
+            lines = m.group(1).strip().splitlines()
+            print("  Recall@10 ranking:")
+            rows = []
+            for line in lines[2:]:
+                parts = line.split()
+                if len(parts) >= 6:
+                    rows.append((parts[0], float(parts[-1])))
+            for name, r10 in sorted(rows, key=lambda t: -t[1]):
+                print(f"    {name:<16} {r10:.4f}")
+        m = re.search(r"best \w+ per metric.*?\n((?:  .*\n)+)", chunk)
+        if m:
+            print("  optima:")
+            print(m.group(1).rstrip())
+
+
+if __name__ == "__main__":
+    main()
