@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_embedding_alignment.dir/extra_embedding_alignment.cpp.o"
+  "CMakeFiles/extra_embedding_alignment.dir/extra_embedding_alignment.cpp.o.d"
+  "extra_embedding_alignment"
+  "extra_embedding_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_embedding_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_region_delta_sweep.dir/extra_region_delta_sweep.cpp.o"
+  "CMakeFiles/extra_region_delta_sweep.dir/extra_region_delta_sweep.cpp.o.d"
+  "extra_region_delta_sweep"
+  "extra_region_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_region_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_region_delta_sweep.
+# This may be replaced when dependencies are built.

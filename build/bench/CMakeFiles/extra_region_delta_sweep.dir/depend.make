@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_region_delta_sweep.
+# This may be replaced when dependencies are built.

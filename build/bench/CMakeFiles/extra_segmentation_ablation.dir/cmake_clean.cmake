@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_segmentation_ablation.dir/extra_segmentation_ablation.cpp.o"
+  "CMakeFiles/extra_segmentation_ablation.dir/extra_segmentation_ablation.cpp.o.d"
+  "extra_segmentation_ablation"
+  "extra_segmentation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_segmentation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

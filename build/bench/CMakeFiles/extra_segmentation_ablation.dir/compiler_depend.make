@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_segmentation_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_transfer_ablation.dir/extra_transfer_ablation.cpp.o"
+  "CMakeFiles/extra_transfer_ablation.dir/extra_transfer_ablation.cpp.o.d"
+  "extra_transfer_ablation"
+  "extra_transfer_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_transfer_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

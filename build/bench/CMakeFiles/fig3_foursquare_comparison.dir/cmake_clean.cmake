@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_foursquare_comparison.dir/fig3_foursquare_comparison.cpp.o"
+  "CMakeFiles/fig3_foursquare_comparison.dir/fig3_foursquare_comparison.cpp.o.d"
+  "fig3_foursquare_comparison"
+  "fig3_foursquare_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_foursquare_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ablation_foursquare.dir/fig5_ablation_foursquare.cpp.o"
+  "CMakeFiles/fig5_ablation_foursquare.dir/fig5_ablation_foursquare.cpp.o.d"
+  "fig5_ablation_foursquare"
+  "fig5_ablation_foursquare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ablation_foursquare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

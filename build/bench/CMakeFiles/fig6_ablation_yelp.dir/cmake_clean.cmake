@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ablation_yelp.dir/fig6_ablation_yelp.cpp.o"
+  "CMakeFiles/fig6_ablation_yelp.dir/fig6_ablation_yelp.cpp.o.d"
+  "fig6_ablation_yelp"
+  "fig6_ablation_yelp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ablation_yelp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

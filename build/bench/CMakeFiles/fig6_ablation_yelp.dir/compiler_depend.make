@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_ablation_yelp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_resample_rate_foursquare.dir/fig7_resample_rate_foursquare.cpp.o"
+  "CMakeFiles/fig7_resample_rate_foursquare.dir/fig7_resample_rate_foursquare.cpp.o.d"
+  "fig7_resample_rate_foursquare"
+  "fig7_resample_rate_foursquare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resample_rate_foursquare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_resample_rate_foursquare.
+# This may be replaced when dependencies are built.

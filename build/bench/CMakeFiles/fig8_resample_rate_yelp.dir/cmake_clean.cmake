@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_resample_rate_yelp.dir/fig8_resample_rate_yelp.cpp.o"
+  "CMakeFiles/fig8_resample_rate_yelp.dir/fig8_resample_rate_yelp.cpp.o.d"
+  "fig8_resample_rate_yelp"
+  "fig8_resample_rate_yelp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_resample_rate_yelp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dropout_rate.dir/fig9_dropout_rate.cpp.o"
+  "CMakeFiles/fig9_dropout_rate.dir/fig9_dropout_rate.cpp.o.d"
+  "fig9_dropout_rate"
+  "fig9_dropout_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dropout_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mmd_scaling.dir/micro_mmd_scaling.cpp.o"
+  "CMakeFiles/micro_mmd_scaling.dir/micro_mmd_scaling.cpp.o.d"
+  "micro_mmd_scaling"
+  "micro_mmd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mmd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

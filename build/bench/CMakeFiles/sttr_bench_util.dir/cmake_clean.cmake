@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libsttr_bench_util.a"
+  "../lib/libsttr_bench_util.pdb"
+  "CMakeFiles/sttr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sttr_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/sttr_bench_util.dir/sweep_util.cc.o"
+  "CMakeFiles/sttr_bench_util.dir/sweep_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

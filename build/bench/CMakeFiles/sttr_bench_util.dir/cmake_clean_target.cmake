@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsttr_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_parallel_training.dir/table2_parallel_training.cpp.o"
+  "CMakeFiles/table2_parallel_training.dir/table2_parallel_training.cpp.o.d"
+  "table2_parallel_training"
+  "table2_parallel_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_parallel_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_case_study.dir/table3_case_study.cpp.o"
+  "CMakeFiles/table3_case_study.dir/table3_case_study.cpp.o.d"
+  "table3_case_study"
+  "table3_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

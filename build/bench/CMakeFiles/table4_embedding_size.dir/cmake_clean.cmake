@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_embedding_size.dir/table4_embedding_size.cpp.o"
+  "CMakeFiles/table4_embedding_size.dir/table4_embedding_size.cpp.o.d"
+  "table4_embedding_size"
+  "table4_embedding_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_embedding_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

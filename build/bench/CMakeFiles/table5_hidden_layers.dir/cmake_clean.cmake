@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hidden_layers.dir/table5_hidden_layers.cpp.o"
+  "CMakeFiles/table5_hidden_layers.dir/table5_hidden_layers.cpp.o.d"
+  "table5_hidden_layers"
+  "table5_hidden_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hidden_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

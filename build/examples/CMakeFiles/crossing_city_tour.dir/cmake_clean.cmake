@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossing_city_tour.dir/crossing_city_tour.cpp.o"
+  "CMakeFiles/crossing_city_tour.dir/crossing_city_tour.cpp.o.d"
+  "crossing_city_tour"
+  "crossing_city_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossing_city_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

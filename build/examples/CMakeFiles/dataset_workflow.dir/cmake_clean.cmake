@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_workflow.dir/dataset_workflow.cpp.o"
+  "CMakeFiles/dataset_workflow.dir/dataset_workflow.cpp.o.d"
+  "dataset_workflow"
+  "dataset_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

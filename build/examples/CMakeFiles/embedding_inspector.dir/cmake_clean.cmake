@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_inspector.dir/embedding_inspector.cpp.o"
+  "CMakeFiles/embedding_inspector.dir/embedding_inspector.cpp.o.d"
+  "embedding_inspector"
+  "embedding_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

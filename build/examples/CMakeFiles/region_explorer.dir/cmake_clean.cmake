@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_explorer.dir/region_explorer.cpp.o"
+  "CMakeFiles/region_explorer.dir/region_explorer.cpp.o.d"
+  "region_explorer"
+  "region_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_load_models.dir/save_load_models.cpp.o"
+  "CMakeFiles/save_load_models.dir/save_load_models.cpp.o.d"
+  "save_load_models"
+  "save_load_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_load_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

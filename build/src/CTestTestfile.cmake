@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("geo")
+subdirs("text")
+subdirs("data")
+subdirs("transfer")
+subdirs("eval")
+subdirs("core")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_autograd.dir/ops.cc.o"
+  "CMakeFiles/sttr_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/sttr_autograd.dir/variable.cc.o"
+  "CMakeFiles/sttr_autograd.dir/variable.cc.o.d"
+  "libsttr_autograd.a"
+  "libsttr_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/crcf.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/crcf.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/crcf.cc.o.d"
+  "/root/repo/src/baselines/ctlm.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/ctlm.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/ctlm.cc.o.d"
+  "/root/repo/src/baselines/item_pop.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/item_pop.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/item_pop.cc.o.d"
+  "/root/repo/src/baselines/lce.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/lce.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/lce.cc.o.d"
+  "/root/repo/src/baselines/pace.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/pace.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/pace.cc.o.d"
+  "/root/repo/src/baselines/pr_uidt.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/pr_uidt.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/pr_uidt.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/sh_cdl.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/sh_cdl.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/sh_cdl.cc.o.d"
+  "/root/repo/src/baselines/st_lda.cc" "src/baselines/CMakeFiles/sttr_baselines.dir/st_lda.cc.o" "gcc" "src/baselines/CMakeFiles/sttr_baselines.dir/st_lda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sttr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sttr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sttr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sttr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/sttr_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sttr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sttr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_baselines.dir/common.cc.o"
+  "CMakeFiles/sttr_baselines.dir/common.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/crcf.cc.o"
+  "CMakeFiles/sttr_baselines.dir/crcf.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/ctlm.cc.o"
+  "CMakeFiles/sttr_baselines.dir/ctlm.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/item_pop.cc.o"
+  "CMakeFiles/sttr_baselines.dir/item_pop.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/lce.cc.o"
+  "CMakeFiles/sttr_baselines.dir/lce.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/pace.cc.o"
+  "CMakeFiles/sttr_baselines.dir/pace.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/pr_uidt.cc.o"
+  "CMakeFiles/sttr_baselines.dir/pr_uidt.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/registry.cc.o"
+  "CMakeFiles/sttr_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/sh_cdl.cc.o"
+  "CMakeFiles/sttr_baselines.dir/sh_cdl.cc.o.d"
+  "CMakeFiles/sttr_baselines.dir/st_lda.cc.o"
+  "CMakeFiles/sttr_baselines.dir/st_lda.cc.o.d"
+  "libsttr_baselines.a"
+  "libsttr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

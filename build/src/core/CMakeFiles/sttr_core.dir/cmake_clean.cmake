@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_core.dir/parallel_trainer.cc.o"
+  "CMakeFiles/sttr_core.dir/parallel_trainer.cc.o.d"
+  "CMakeFiles/sttr_core.dir/recommender.cc.o"
+  "CMakeFiles/sttr_core.dir/recommender.cc.o.d"
+  "CMakeFiles/sttr_core.dir/st_transrec.cc.o"
+  "CMakeFiles/sttr_core.dir/st_transrec.cc.o.d"
+  "libsttr_core.a"
+  "libsttr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsttr_core.a"
+)

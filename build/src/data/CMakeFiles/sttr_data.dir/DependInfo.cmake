@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/sttr_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/sttr_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/sttr_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/sttr_data.dir/io.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/sttr_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/sttr_data.dir/split.cc.o.d"
+  "/root/repo/src/data/synth/lexicon.cc" "src/data/CMakeFiles/sttr_data.dir/synth/lexicon.cc.o" "gcc" "src/data/CMakeFiles/sttr_data.dir/synth/lexicon.cc.o.d"
+  "/root/repo/src/data/synth/world_generator.cc" "src/data/CMakeFiles/sttr_data.dir/synth/world_generator.cc.o" "gcc" "src/data/CMakeFiles/sttr_data.dir/synth/world_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/sttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sttr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

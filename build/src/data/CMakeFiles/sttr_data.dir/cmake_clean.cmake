@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_data.dir/dataset.cc.o"
+  "CMakeFiles/sttr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sttr_data.dir/io.cc.o"
+  "CMakeFiles/sttr_data.dir/io.cc.o.d"
+  "CMakeFiles/sttr_data.dir/split.cc.o"
+  "CMakeFiles/sttr_data.dir/split.cc.o.d"
+  "CMakeFiles/sttr_data.dir/synth/lexicon.cc.o"
+  "CMakeFiles/sttr_data.dir/synth/lexicon.cc.o.d"
+  "CMakeFiles/sttr_data.dir/synth/world_generator.cc.o"
+  "CMakeFiles/sttr_data.dir/synth/world_generator.cc.o.d"
+  "libsttr_data.a"
+  "libsttr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

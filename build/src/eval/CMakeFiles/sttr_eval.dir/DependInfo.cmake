@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/sttr_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/sttr_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/eval/CMakeFiles/sttr_eval.dir/protocol.cc.o" "gcc" "src/eval/CMakeFiles/sttr_eval.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sttr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sttr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_eval.dir/metrics.cc.o"
+  "CMakeFiles/sttr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/sttr_eval.dir/protocol.cc.o"
+  "CMakeFiles/sttr_eval.dir/protocol.cc.o.d"
+  "libsttr_eval.a"
+  "libsttr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

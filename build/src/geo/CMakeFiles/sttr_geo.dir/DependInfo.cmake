@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/density_resampler.cc" "src/geo/CMakeFiles/sttr_geo.dir/density_resampler.cc.o" "gcc" "src/geo/CMakeFiles/sttr_geo.dir/density_resampler.cc.o.d"
+  "/root/repo/src/geo/geo.cc" "src/geo/CMakeFiles/sttr_geo.dir/geo.cc.o" "gcc" "src/geo/CMakeFiles/sttr_geo.dir/geo.cc.o.d"
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/sttr_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/sttr_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/region_segmentation.cc" "src/geo/CMakeFiles/sttr_geo.dir/region_segmentation.cc.o" "gcc" "src/geo/CMakeFiles/sttr_geo.dir/region_segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_geo.dir/density_resampler.cc.o"
+  "CMakeFiles/sttr_geo.dir/density_resampler.cc.o.d"
+  "CMakeFiles/sttr_geo.dir/geo.cc.o"
+  "CMakeFiles/sttr_geo.dir/geo.cc.o.d"
+  "CMakeFiles/sttr_geo.dir/grid.cc.o"
+  "CMakeFiles/sttr_geo.dir/grid.cc.o.d"
+  "CMakeFiles/sttr_geo.dir/region_segmentation.cc.o"
+  "CMakeFiles/sttr_geo.dir/region_segmentation.cc.o.d"
+  "libsttr_geo.a"
+  "libsttr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_nn.dir/layers.cc.o"
+  "CMakeFiles/sttr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/sttr_nn.dir/module.cc.o"
+  "CMakeFiles/sttr_nn.dir/module.cc.o.d"
+  "CMakeFiles/sttr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sttr_nn.dir/optimizer.cc.o.d"
+  "libsttr_nn.a"
+  "libsttr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sttr_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/sttr_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/sttr_tensor.dir/tensor_ops.cc.o.d"
+  "libsttr_tensor.a"
+  "libsttr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/context_graph.cc" "src/text/CMakeFiles/sttr_text.dir/context_graph.cc.o" "gcc" "src/text/CMakeFiles/sttr_text.dir/context_graph.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/sttr_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/sttr_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

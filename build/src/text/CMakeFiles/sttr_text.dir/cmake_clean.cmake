@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_text.dir/context_graph.cc.o"
+  "CMakeFiles/sttr_text.dir/context_graph.cc.o.d"
+  "CMakeFiles/sttr_text.dir/vocabulary.cc.o"
+  "CMakeFiles/sttr_text.dir/vocabulary.cc.o.d"
+  "libsttr_text.a"
+  "libsttr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_transfer.dir/mmd.cc.o"
+  "CMakeFiles/sttr_transfer.dir/mmd.cc.o.d"
+  "libsttr_transfer.a"
+  "libsttr_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttr_util.dir/check.cc.o"
+  "CMakeFiles/sttr_util.dir/check.cc.o.d"
+  "CMakeFiles/sttr_util.dir/flags.cc.o"
+  "CMakeFiles/sttr_util.dir/flags.cc.o.d"
+  "CMakeFiles/sttr_util.dir/logging.cc.o"
+  "CMakeFiles/sttr_util.dir/logging.cc.o.d"
+  "CMakeFiles/sttr_util.dir/rng.cc.o"
+  "CMakeFiles/sttr_util.dir/rng.cc.o.d"
+  "CMakeFiles/sttr_util.dir/status.cc.o"
+  "CMakeFiles/sttr_util.dir/status.cc.o.d"
+  "CMakeFiles/sttr_util.dir/string_util.cc.o"
+  "CMakeFiles/sttr_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sttr_util.dir/svg_chart.cc.o"
+  "CMakeFiles/sttr_util.dir/svg_chart.cc.o.d"
+  "CMakeFiles/sttr_util.dir/table.cc.o"
+  "CMakeFiles/sttr_util.dir/table.cc.o.d"
+  "CMakeFiles/sttr_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sttr_util.dir/thread_pool.cc.o.d"
+  "libsttr_util.a"
+  "libsttr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_stress_test.dir/autograd/stress_test.cc.o"
+  "CMakeFiles/autograd_stress_test.dir/autograd/stress_test.cc.o.d"
+  "autograd_stress_test"
+  "autograd_stress_test.pdb"
+  "autograd_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

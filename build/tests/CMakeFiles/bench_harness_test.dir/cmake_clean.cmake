@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harness_test.dir/bench/bench_harness_test.cc.o"
+  "CMakeFiles/bench_harness_test.dir/bench/bench_harness_test.cc.o.d"
+  "bench_harness_test"
+  "bench_harness_test.pdb"
+  "bench_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

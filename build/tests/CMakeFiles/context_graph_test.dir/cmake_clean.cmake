@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_graph_test.dir/text/context_graph_test.cc.o"
+  "CMakeFiles/context_graph_test.dir/text/context_graph_test.cc.o.d"
+  "context_graph_test"
+  "context_graph_test.pdb"
+  "context_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_resampler_test.dir/geo/density_resampler_test.cc.o"
+  "CMakeFiles/density_resampler_test.dir/geo/density_resampler_test.cc.o.d"
+  "density_resampler_test"
+  "density_resampler_test.pdb"
+  "density_resampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_resampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

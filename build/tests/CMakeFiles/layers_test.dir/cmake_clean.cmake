@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layers_test.dir/nn/layers_test.cc.o"
+  "CMakeFiles/layers_test.dir/nn/layers_test.cc.o.d"
+  "layers_test"
+  "layers_test.pdb"
+  "layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmd_test.dir/transfer/mmd_test.cc.o"
+  "CMakeFiles/mmd_test.dir/transfer/mmd_test.cc.o.d"
+  "mmd_test"
+  "mmd_test.pdb"
+  "mmd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/nn/optimizer_test.cc.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+  "optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_trainer_test.dir/core/parallel_trainer_test.cc.o"
+  "CMakeFiles/parallel_trainer_test.dir/core/parallel_trainer_test.cc.o.d"
+  "parallel_trainer_test"
+  "parallel_trainer_test.pdb"
+  "parallel_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_segmentation_test.dir/geo/region_segmentation_test.cc.o"
+  "CMakeFiles/region_segmentation_test.dir/geo/region_segmentation_test.cc.o.d"
+  "region_segmentation_test"
+  "region_segmentation_test.pdb"
+  "region_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

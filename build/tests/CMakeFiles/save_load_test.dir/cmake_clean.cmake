@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_load_test.dir/core/save_load_test.cc.o"
+  "CMakeFiles/save_load_test.dir/core/save_load_test.cc.o.d"
+  "save_load_test"
+  "save_load_test.pdb"
+  "save_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_test.dir/data/split_test.cc.o"
+  "CMakeFiles/split_test.dir/data/split_test.cc.o.d"
+  "split_test"
+  "split_test.pdb"
+  "split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

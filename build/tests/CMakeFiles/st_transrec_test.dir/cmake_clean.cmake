@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_transrec_test.dir/core/st_transrec_test.cc.o"
+  "CMakeFiles/st_transrec_test.dir/core/st_transrec_test.cc.o.d"
+  "st_transrec_test"
+  "st_transrec_test.pdb"
+  "st_transrec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_transrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

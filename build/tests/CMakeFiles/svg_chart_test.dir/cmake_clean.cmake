@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_chart_test.dir/util/svg_chart_test.cc.o"
+  "CMakeFiles/svg_chart_test.dir/util/svg_chart_test.cc.o.d"
+  "svg_chart_test"
+  "svg_chart_test.pdb"
+  "svg_chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/timer_test.cc" "tests/CMakeFiles/timer_test.dir/util/timer_test.cc.o" "gcc" "tests/CMakeFiles/timer_test.dir/util/timer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sttr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/sttr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sttr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sttr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sttr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sttr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/sttr_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sttr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sttr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_test.dir/util/timer_test.cc.o"
+  "CMakeFiles/timer_test.dir/util/timer_test.cc.o.d"
+  "timer_test"
+  "timer_test.pdb"
+  "timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_generator_test.dir/data/world_generator_test.cc.o"
+  "CMakeFiles/world_generator_test.dir/data/world_generator_test.cc.o.d"
+  "world_generator_test"
+  "world_generator_test.pdb"
+  "world_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

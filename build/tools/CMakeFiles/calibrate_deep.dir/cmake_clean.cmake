@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_deep.dir/calibrate_deep.cpp.o"
+  "CMakeFiles/calibrate_deep.dir/calibrate_deep.cpp.o.d"
+  "calibrate_deep"
+  "calibrate_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

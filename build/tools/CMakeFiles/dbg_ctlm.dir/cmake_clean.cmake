@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbg_ctlm.dir/dbg_ctlm.cpp.o"
+  "CMakeFiles/dbg_ctlm.dir/dbg_ctlm.cpp.o.d"
+  "dbg_ctlm"
+  "dbg_ctlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbg_ctlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

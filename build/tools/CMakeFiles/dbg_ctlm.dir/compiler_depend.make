@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbg_ctlm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbg_ctlm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_baselines.dir/eval_baselines.cpp.o"
+  "CMakeFiles/eval_baselines.dir/eval_baselines.cpp.o.d"
+  "eval_baselines"
+  "eval_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
