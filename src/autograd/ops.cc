@@ -15,7 +15,9 @@ using NodePtr = std::shared_ptr<Node>;
 }  // namespace
 
 Variable MatMul(const Variable& a, const Variable& b) {
-  Tensor out = sttr::MatMul(a.value(), b.value());
+  // Bit-identical to the serial kernel; large batches shard across the
+  // global pool (no-op inside ParallelTrainer workers, see ThreadPool).
+  Tensor out = sttr::ParallelMatMul(a.value(), b.value());
   NodePtr na = a.node(), nb = b.node();
   return MakeNode(
       std::move(out), {na, nb},

@@ -4,22 +4,51 @@
 
 namespace sttr {
 
+namespace {
+
+/// Ranking order: higher score first, ties broken by smaller POI id. Total
+/// order, so the top-k result is independent of candidate enumeration order.
+inline bool RanksBefore(const std::pair<PoiId, double>& a,
+                        const std::pair<PoiId, double>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
 std::vector<std::pair<PoiId, double>> Recommender::RecommendTopK(
     const Dataset& dataset, CityId city, UserId user, size_t k,
     const std::unordered_set<PoiId>* exclude) const {
-  std::vector<std::pair<PoiId, double>> scored;
-  for (PoiId v : dataset.PoisInCity(city)) {
+  std::vector<PoiId> candidates;
+  const auto& city_pois = dataset.PoisInCity(city);
+  candidates.reserve(city_pois.size());
+  for (PoiId v : city_pois) {
     if (exclude != nullptr && exclude->count(v)) continue;
-    scored.emplace_back(v, Score(user, v));
+    candidates.push_back(v);
   }
-  const size_t top = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(top),
-                    scored.end(), [](const auto& a, const auto& b) {
-                      if (a.second != b.second) return a.second > b.second;
-                      return a.first < b.first;
-                    });
-  scored.resize(top);
-  return scored;
+  if (k == 0 || candidates.empty()) return {};
+  const std::vector<double> scores = ScoreBatch(user, candidates);
+
+  // Bounded selection: a size-k heap under RanksBefore, whose front is the
+  // *worst* kept entry, so memory stays O(k) instead of materialising and
+  // partial_sort-ing every candidate's (poi, score) pair.
+  std::vector<std::pair<PoiId, double>> heap;
+  heap.reserve(std::min(k, candidates.size()) + 1);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::pair<PoiId, double> entry{candidates[i], scores[i]};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    } else if (RanksBefore(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), RanksBefore);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    }
+  }
+  // sort_heap yields ascending order under the comparator, which for
+  // RanksBefore means best first — exactly the output contract.
+  std::sort_heap(heap.begin(), heap.end(), RanksBefore);
+  return heap;
 }
 
 }  // namespace sttr

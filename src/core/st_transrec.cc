@@ -390,22 +390,37 @@ Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
 }
 
 double StTransRec::Score(UserId user, PoiId poi) const {
-  STTR_CHECK(fitted_) << "Score() before Fit()";
-  // Inference path: plain tensor maths, no graph, no dropout.
-  const Tensor xu = sttr::GatherRows(user_emb_->table().value(), {user});
-  const Tensor xv = sttr::GatherRows(poi_emb_->table().value(), {poi});
-  Tensor h = sttr::ConcatCols(xu, xv);
-  // Re-run the MLP layers manually (weights live in mlp_->Parameters(),
-  // ordered W0, b0, W1, b1, ..., W_out, b_out).
-  const auto params = mlp_->Parameters();
-  STTR_CHECK_EQ(params.size() % 2, 0u);
-  const size_t num_layers = params.size() / 2;
-  for (size_t l = 0; l < num_layers; ++l) {
-    h = sttr::AddRowBroadcast(sttr::MatMul(h, params[2 * l].value()),
-                              params[2 * l + 1].value());
-    if (l + 1 < num_layers) h = sttr::Relu(h);
+  return ScoreBatch(user, {&poi, 1})[0];
+}
+
+std::vector<double> StTransRec::ScoreBatch(UserId user,
+                                           std::span<const PoiId> pois) const {
+  STTR_CHECK(fitted_) << "ScoreBatch() before Fit()";
+  if (pois.empty()) return {};
+  // Inference path: plain tensor maths, no graph, no dropout. One gathered
+  // [x_u | x_v] block per call; the tower then runs as N x D matrix
+  // products (ParallelMatMul) instead of N separate 1 x D forward passes.
+  const Tensor& user_table = user_emb_->table().value();
+  const Tensor& poi_table = poi_emb_->table().value();
+  STTR_CHECK_GE(user, 0);
+  STTR_CHECK_LT(static_cast<size_t>(user), user_table.rows());
+  const size_t n = pois.size();
+  const size_t d = user_table.cols();
+  const float* urow = user_table.row(static_cast<size_t>(user));
+  Tensor h({n, 2 * d});
+  for (size_t i = 0; i < n; ++i) {
+    const PoiId v = pois[i];
+    STTR_CHECK_GE(v, 0);
+    STTR_CHECK_LT(static_cast<size_t>(v), poi_table.rows());
+    float* dst = h.row(i);
+    const float* vrow = poi_table.row(static_cast<size_t>(v));
+    for (size_t j = 0; j < d; ++j) dst[j] = urow[j];
+    for (size_t j = 0; j < d; ++j) dst[d + j] = vrow[j];
   }
-  return SigmoidScalar(h[0]);
+  const Tensor logits = mlp_->InferenceForward(h);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(logits[i]);
+  return out;
 }
 
 std::vector<float> StTransRec::PoiEmbedding(PoiId poi) const {

@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,13 @@ class StTransRec : public Recommender {
   Status Fit(const Dataset& dataset, const CrossCitySplit& split) override;
 
   double Score(UserId user, PoiId poi) const override;
+
+  /// Batched inference (the figure/table benchmarks' hot path): gathers all
+  /// candidate embeddings with one GatherRows, broadcasts the user row, and
+  /// runs the MLP tower as (batch, dim) matrix products. Returns exactly
+  /// the values per-pair Score() would — Score() delegates here.
+  std::vector<double> ScoreBatch(UserId user,
+                                 std::span<const PoiId> pois) const override;
 
   std::string name() const override;
 

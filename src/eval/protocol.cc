@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sttr {
+
+namespace {
+
+/// One test user's fully sampled candidate pool: everything the scoring
+/// phase needs, so that phase is free of shared mutable state and can run
+/// on any thread.
+struct UserEvalTask {
+  UserId user = -1;
+  std::vector<PoiId> candidates;
+  std::unordered_set<PoiId> truth;
+};
+
+}  // namespace
 
 const RankingMetrics& EvalResult::At(size_t k) const {
   auto it = at_k.find(k);
@@ -25,6 +40,12 @@ EvalResult EvaluateRanking(const Dataset& dataset, const CrossCitySplit& split,
 
   const auto& target_pois = dataset.PoisInCity(split.target_city);
 
+  // ---- Phase 1 (serial): sample each user's candidate pool. ------------------
+  // Negative sampling consumes the single protocol RNG in test-user order,
+  // exactly as the historical sequential loop did, so the pools — and hence
+  // every downstream number — are independent of the thread count.
+  std::vector<UserEvalTask> tasks;
+  tasks.reserve(split.test_users.size());
   for (const auto& test_user : split.test_users) {
     if (test_user.ground_truth.empty()) continue;
 
@@ -34,27 +55,40 @@ EvalResult EvaluateRanking(const Dataset& dataset, const CrossCitySplit& split,
       visited.insert(dataset.checkins()[idx].poi);
     }
 
-    std::unordered_set<PoiId> truth(test_user.ground_truth.begin(),
-                                    test_user.ground_truth.end());
+    UserEvalTask task;
+    task.user = test_user.user;
+    task.truth.insert(test_user.ground_truth.begin(),
+                      test_user.ground_truth.end());
 
     // Candidate pool: ground truth + sampled unvisited target POIs.
-    std::vector<PoiId> candidates(test_user.ground_truth);
-    std::unordered_set<PoiId> chosen(truth.begin(), truth.end());
+    task.candidates = test_user.ground_truth;
+    std::unordered_set<PoiId> chosen(task.truth.begin(), task.truth.end());
     size_t attempts = 0;
     const size_t max_attempts = 50 * config.num_negatives + target_pois.size();
-    while (chosen.size() < truth.size() + config.num_negatives &&
+    while (chosen.size() < task.truth.size() + config.num_negatives &&
            attempts < max_attempts) {
       ++attempts;
       const PoiId cand = target_pois[rng.UniformInt(target_pois.size())];
       if (visited.count(cand) || !chosen.insert(cand).second) continue;
-      candidates.push_back(cand);
+      task.candidates.push_back(cand);
     }
+    tasks.push_back(std::move(task));
+  }
+
+  // ---- Phase 2 (parallel): score and rank every user independently. ----------
+  // Each task writes only its own per-user accumulator slot.
+  std::vector<std::vector<RankingMetrics>> per_user(
+      tasks.size(), std::vector<RankingMetrics>(config.ks.size()));
+  const auto eval_one = [&](size_t t) {
+    const UserEvalTask& task = tasks[t];
+    const std::vector<double> scores =
+        scorer.ScoreBatch(task.user, task.candidates);
 
     // Rank by score, breaking ties by POI id for determinism.
     std::vector<std::pair<double, PoiId>> scored;
-    scored.reserve(candidates.size());
-    for (PoiId v : candidates) {
-      scored.emplace_back(scorer.Score(test_user.user, v), v);
+    scored.reserve(task.candidates.size());
+    for (size_t i = 0; i < task.candidates.size(); ++i) {
+      scored.emplace_back(scores[i], task.candidates[i]);
     }
     std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
       if (a.first != b.first) return a.first > b.first;
@@ -63,15 +97,31 @@ EvalResult EvaluateRanking(const Dataset& dataset, const CrossCitySplit& split,
 
     std::vector<bool> relevance(scored.size());
     for (size_t i = 0; i < scored.size(); ++i) {
-      relevance[i] = truth.count(scored[i].second) > 0;
+      relevance[i] = task.truth.count(scored[i].second) > 0;
     }
+    for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+      per_user[t][ki] = MetricsAtK(relevance, task.truth.size(),
+                                   config.ks[ki]);
+    }
+  };
 
-    for (size_t k : config.ks) {
-      result.at_k[k] += MetricsAtK(relevance, truth.size(), k);
+  const size_t threads =
+      config.num_threads > 0 ? config.num_threads : DefaultNumThreads();
+  if (threads <= 1 || tasks.size() <= 1 || ThreadPool::InWorker()) {
+    for (size_t t = 0; t < tasks.size(); ++t) eval_one(t);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(tasks.size(), eval_one);
+  }
+
+  // ---- Phase 3 (serial): reduce in test-user order. --------------------------
+  // Same addition order as the sequential loop: bit-identical averages.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+      result.at_k[config.ks[ki]] += per_user[t][ki];
     }
     result.num_users_evaluated += 1;
   }
-
   if (result.num_users_evaluated > 0) {
     for (auto& [k, m] : result.at_k) {
       m = m / static_cast<double>(result.num_users_evaluated);

@@ -2,6 +2,7 @@
 #define STTR_EVAL_PROTOCOL_H_
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -12,12 +13,29 @@ namespace sttr {
 
 /// Scoring interface every recommender (ST-TransRec, its variants and all
 /// baselines) implements. Higher scores rank earlier.
+///
+/// Score()/ScoreBatch() must be safe to call concurrently from multiple
+/// threads after fitting: the evaluation protocol and RecommendTopK shard
+/// candidate scoring across a thread pool.
 class PoiScorer {
  public:
   virtual ~PoiScorer() = default;
 
   /// Preference score of `user` for `poi` in the target city.
   virtual double Score(UserId user, PoiId poi) const = 0;
+
+  /// Scores one user against many candidate POIs, returned in input order.
+  /// The default loops over Score(); models with a batched inference path
+  /// (ST-TransRec runs the candidate set through its MLP tower as one
+  /// matrix product) override this with something much faster. Overrides
+  /// must return exactly the values the per-pair path would.
+  virtual std::vector<double> ScoreBatch(UserId user,
+                                         std::span<const PoiId> pois) const {
+    std::vector<double> out;
+    out.reserve(pois.size());
+    for (PoiId v : pois) out.push_back(Score(user, v));
+    return out;
+  }
 };
 
 /// Configuration of the paper's §4.1 ranking protocol.
@@ -27,6 +45,12 @@ struct EvalConfig {
   /// Unvisited target-city POIs sampled per test user (paper: 100).
   size_t num_negatives = 100;
   uint64_t seed = 7;
+  /// Worker threads for the scoring phase. 0 = DefaultNumThreads() (the
+  /// STTR_NUM_THREADS environment variable, else hardware concurrency);
+  /// 1 = fully sequential. Results are bit-identical across thread counts:
+  /// negative sampling stays serial and per-user metrics are reduced in
+  /// test-user order.
+  size_t num_threads = 0;
 };
 
 /// Averaged metrics per cutoff, plus bookkeeping.

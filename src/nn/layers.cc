@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include "tensor/tensor_ops.h"
 #include "util/check.h"
 
 namespace sttr::nn {
@@ -48,6 +49,18 @@ ag::Variable Mlp::Forward(const ag::Variable& x, bool training,
     h = ag::Dropout(h, dropout_rate_, training, rng);
   }
   return output_.Forward(h);
+}
+
+Tensor Mlp::InferenceForward(const Tensor& x) const {
+  Tensor h = x;
+  for (const Linear& layer : hidden_) {
+    auto params = layer.Parameters();
+    h = Relu(AddRowBroadcast(ParallelMatMul(h, params[0].value()),
+                             params[1].value()));
+  }
+  auto out_params = output_.Parameters();
+  return AddRowBroadcast(ParallelMatMul(h, out_params[0].value()),
+                         out_params[1].value());
 }
 
 std::vector<ag::Variable> Mlp::Parameters() const {

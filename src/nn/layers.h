@@ -66,6 +66,12 @@ class Mlp : public Module {
   /// Returns per-row logits with shape (batch, 1). `training` enables dropout.
   ag::Variable Forward(const ag::Variable& x, bool training, Rng& rng) const;
 
+  /// Inference-only forward: no autograd graph, no dropout. Runs the tower
+  /// as (batch, dim) matrix products through ParallelMatMul, so scoring a
+  /// whole candidate set is one pass of large GEMMs instead of `batch`
+  /// separate 1-row passes. Thread-safe (weights are read-only here).
+  Tensor InferenceForward(const Tensor& x) const;
+
   size_t depth() const { return hidden_.size(); }
 
   std::vector<ag::Variable> Parameters() const override;

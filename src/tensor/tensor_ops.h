@@ -11,8 +11,17 @@ namespace sttr {
 // Dense numeric kernels over 2-D tensors. These are the primitives the
 // autodiff layer composes; shapes are validated with STTR_CHECK.
 
-/// C = A(n,k) * B(k,m).
+/// C = A(n,k) * B(k,m). Cache-blocked serial kernel: C is computed in
+/// register-resident row/column tiles so each B element loaded from cache is
+/// reused across a block of C rows.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A(n,k) * B(k,m), sharding blocks of C rows across GlobalThreadPool()
+/// when n*k*m exceeds a grain threshold (and the caller is not already a
+/// pool worker); falls back to the serial blocked kernel otherwise. Row
+/// shards run the identical micro-kernel on disjoint outputs, so the result
+/// is bit-identical to MatMul().
+Tensor ParallelMatMul(const Tensor& a, const Tensor& b);
 
 /// C = A^T(n,k)^T * B(n,m) = (k,m). Used for dW in linear backward.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);

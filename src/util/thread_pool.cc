@@ -1,10 +1,17 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.h"
 
 namespace sttr {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   STTR_CHECK_GE(num_threads, 1u);
@@ -23,6 +30,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::InWorker() { return t_in_worker; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -39,21 +48,34 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // ~4 chunks per worker balances load without per-index dispatch cost.
+  const size_t grain =
+      std::max<size_t>(1, n / (4 * std::max<size_t>(1, threads_.size())));
+  ParallelForChunked(n, grain, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  const size_t shards = std::min(n, threads_.size());
-  const size_t chunk = (n + shards - 1) / shards;
-  for (size_t s = 0; s < shards; ++s) {
-    const size_t begin = s * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+  grain = std::max<size_t>(1, grain);
+  if (n <= grain || InWorker()) {
+    // Single chunk, or already on a pool worker: run inline rather than
+    // nesting pools (a worker blocking in Wait() could starve the queue).
+    fn(0, n);
+    return;
+  }
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(n, begin + grain);
+    Submit([begin, end, &fn] { fn(begin, end); });
   }
   Wait();
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -74,6 +96,23 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("STTR_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool& GlobalThreadPool() {
+  // Leaked on purpose: joining workers during static destruction races
+  // with other exit-time teardown, and the OS reclaims the threads anyway.
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
 }
 
 }  // namespace sttr

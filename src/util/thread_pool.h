@@ -13,7 +13,8 @@ namespace sttr {
 
 /// Fixed-size worker pool. Stands in for the paper's multi-GPU data
 /// parallelism (Table 2): each worker computes gradients on its own shard of
-/// a batch, exactly as each GPU would.
+/// a batch, exactly as each GPU would. Also backs the batched inference path
+/// (ParallelMatMul, parallel evaluation) via GlobalThreadPool().
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -32,9 +33,26 @@ class ThreadPool {
   void Wait();
 
   /// Runs fn(i) for i in [0, n), sharded across the pool, and waits.
+  /// Work is split into grain-sized chunks (several per worker) so uneven
+  /// per-index costs load-balance instead of serialising on the slowest
+  /// shard.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
+  /// `grain` indices, sharded across the pool, and waits. This is the entry
+  /// point the blocked tensor kernels use: one std::function per *range*,
+  /// not per index, so dispatch overhead is amortised over the chunk.
+  void ParallelForChunked(
+      size_t n, size_t grain,
+      const std::function<void(size_t begin, size_t end)>& fn);
+
   size_t num_threads() const { return threads_.size(); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Parallel
+  /// kernels consult this to fall back to their serial form instead of
+  /// nesting pools (which would both oversubscribe and risk deadlocking a
+  /// pool waiting on itself).
+  static bool InWorker();
 
  private:
   void WorkerLoop();
@@ -47,6 +65,16 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// Worker count for shared parallel paths: the STTR_NUM_THREADS environment
+/// variable when set to a positive integer, else hardware_concurrency()
+/// (minimum 1).
+size_t DefaultNumThreads();
+
+/// Lazily constructed process-wide pool of DefaultNumThreads() workers,
+/// shared by ParallelMatMul and the parallel evaluation protocol. Never
+/// destroyed before exit, so handing references around is safe.
+ThreadPool& GlobalThreadPool();
 
 }  // namespace sttr
 

@@ -260,6 +260,39 @@ TEST(StTransRecDeathTest, ScoreBeforeFitAborts) {
   EXPECT_DEATH(model.Score(0, 0), "Fit");
 }
 
+TEST(StTransRecTest, ScoreBatchMatchesPerPairScoreExactly) {
+  const auto& f = SharedFixture();
+  StTransRec model(TestConfig());
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  const UserId u = f.split.test_users.front().user;
+  const std::vector<PoiId>& candidates = f.world.dataset.PoisInCity(0);
+  ASSERT_GT(candidates.size(), 1u);
+
+  // The batched MLP tower (one N x D matmul per layer) must reproduce the
+  // per-pair path bit for bit — the ranking protocol depends on it.
+  const std::vector<double> batched = model.ScoreBatch(u, candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(batched[i], model.Score(u, candidates[i])) << "poi index " << i;
+  }
+  // And against the base-class fallback loop explicitly.
+  const std::vector<double> looped =
+      model.PoiScorer::ScoreBatch(u, candidates);
+  EXPECT_EQ(batched, looped);
+}
+
+TEST(StTransRecTest, ScoreBatchHandlesDegenerateSpans) {
+  const auto& f = SharedFixture();
+  StTransRec model(TestConfig());
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  const UserId u = f.split.test_users.front().user;
+  EXPECT_TRUE(model.ScoreBatch(u, {}).empty());
+  const PoiId v = f.world.dataset.PoisInCity(0).front();
+  const std::vector<double> one = model.ScoreBatch(u, {&v, 1});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], model.Score(u, v));
+}
+
 TEST(StTransRecTest, RecommendTopKExcludes) {
   const auto& f = SharedFixture();
   StTransRec model(TestConfig());

@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -10,7 +11,15 @@
 namespace sttr {
 namespace {
 
-std::string TestDir() { return ::testing::TempDir(); }
+// Per-test directory: the fixed dataset filenames would otherwise collide
+// when ctest -j runs several DatasetIoTest cases concurrently.
+std::string TestDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = ::testing::TempDir();
+  dir /= std::string("sttr_io_") + info->name();
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
 
 TEST(DatasetIoTest, PathsInDirectory) {
   const auto p = DatasetPaths::InDirectory("/data");

@@ -146,6 +146,52 @@ TEST(ProtocolTest, FewerNegativesRaisesScores) {
   EXPECT_GT(b.At(10).recall, a.At(10).recall);
 }
 
+TEST(ProtocolTest, ParallelEvalBitIdenticalToSerial) {
+  auto f = MakeFixture();
+  EvalConfig serial;
+  serial.num_threads = 1;
+  EvalConfig sharded;
+  sharded.num_threads = 4;
+  const EvalResult a =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), serial);
+  const EvalResult b =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), sharded);
+  EXPECT_EQ(a.num_users_evaluated, b.num_users_evaluated);
+  for (size_t k : serial.ks) {
+    // Bit-identical, not just close: sampling stays serial and the metric
+    // reduction runs in test-user order regardless of thread count.
+    EXPECT_EQ(a.At(k).recall, b.At(k).recall);
+    EXPECT_EQ(a.At(k).precision, b.At(k).precision);
+    EXPECT_EQ(a.At(k).ndcg, b.At(k).ndcg);
+    EXPECT_EQ(a.At(k).map, b.At(k).map);
+  }
+}
+
+TEST(ProtocolTest, DefaultThreadCountMatchesSerial) {
+  auto f = MakeFixture();
+  EvalConfig serial;
+  serial.num_threads = 1;
+  EvalConfig defaulted;  // num_threads = 0 -> DefaultNumThreads()
+  const EvalResult a =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), serial);
+  const EvalResult b =
+      EvaluateRanking(f.world.dataset, f.split, RandomScorer(), defaulted);
+  for (size_t k : serial.ks) {
+    EXPECT_EQ(a.At(k).recall, b.At(k).recall);
+    EXPECT_EQ(a.At(k).ndcg, b.At(k).ndcg);
+  }
+}
+
+TEST(ProtocolTest, DefaultScoreBatchMatchesScoreLoop) {
+  RandomScorer scorer;
+  std::vector<PoiId> pois = {4, 1, 9, 1, 0, 32};
+  const std::vector<double> batch = scorer.ScoreBatch(7, pois);
+  ASSERT_EQ(batch.size(), pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    EXPECT_EQ(batch[i], scorer.Score(7, pois[i])) << "index " << i;
+  }
+}
+
 TEST(ProtocolTest, CustomKs) {
   auto f = MakeFixture();
   EvalConfig cfg;

@@ -1,6 +1,7 @@
 #include "tensor/tensor_ops.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,15 @@
 
 namespace sttr {
 namespace {
+
+// Force a multi-worker global pool (unless the environment already pins
+// one) so the ParallelMatMul tests exercise real cross-thread sharding
+// even on single-core CI runners. Runs before main(), i.e. before the
+// lazily-constructed pool reads the variable.
+const int kForcePoolThreads = [] {
+  setenv("STTR_NUM_THREADS", "4", /*overwrite=*/0);
+  return 0;
+}();
 
 Tensor Naive(const Tensor& a, const Tensor& b) {
   Tensor c({a.rows(), b.cols()});
@@ -78,6 +88,76 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MatDims{1, 1, 1}, MatDims{2, 3, 4}, MatDims{5, 1, 7},
                       MatDims{8, 8, 8}, MatDims{17, 31, 9},
                       MatDims{64, 16, 32}));
+
+// Shapes chosen to land on every path of the blocked kernel: exact
+// row/column tile multiples, ragged row remainders, ragged column edges,
+// and both at once.
+INSTANTIATE_TEST_SUITE_P(
+    TileEdges, MatMulSweep,
+    ::testing::Values(MatDims{8, 8, 32}, MatDims{16, 5, 64},
+                      MatDims{9, 7, 33}, MatDims{23, 31, 40},
+                      MatDims{7, 12, 31}, MatDims{1, 64, 32},
+                      MatDims{106, 13, 1}));
+
+TEST(MatMulTest, DegenerateShapes) {
+  // 0-row and 0-column operands must produce empty (but shaped) results.
+  Rng rng(3);
+  const Tensor b = Tensor::RandomNormal({4, 5}, rng);
+  const Tensor c0 = MatMul(Tensor({0, 4}), b);
+  EXPECT_EQ(c0.rows(), 0u);
+  EXPECT_EQ(c0.cols(), 5u);
+  const Tensor p0 = ParallelMatMul(Tensor({0, 4}), b);
+  EXPECT_EQ(p0.rows(), 0u);
+
+  const Tensor a = Tensor::RandomNormal({3, 4}, rng);
+  const Tensor cm0 = MatMul(a, Tensor({4, 0}));
+  EXPECT_EQ(cm0.rows(), 3u);
+  EXPECT_EQ(cm0.cols(), 0u);
+
+  // A single row exercises the remainder-row micro-kernel end to end.
+  const Tensor one = Tensor::RandomNormal({1, 4}, rng);
+  EXPECT_TRUE(MatMul(one, b).AllClose(Naive(one, b), 1e-5, 1e-6));
+}
+
+TEST(ParallelMatMulTest, BitIdenticalToSerialBelowGrain) {
+  Rng rng(11);
+  const Tensor a = Tensor::RandomNormal({13, 24}, rng);
+  const Tensor b = Tensor::RandomNormal({24, 37}, rng);
+  const Tensor serial = MatMul(a, b);
+  const Tensor parallel = ParallelMatMul(a, b);
+  ASSERT_TRUE(serial.SameShape(parallel));
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+  }
+}
+
+TEST(ParallelMatMulTest, BitIdenticalToSerialAboveGrain) {
+  // 128*128*128 = 2M multiply-adds: over the dispatch threshold, so this
+  // goes through the sharded path whenever the pool has >1 worker. Row
+  // shards are kRowTile-aligned, so results must match serial bit for bit.
+  Rng rng(12);
+  const Tensor a = Tensor::RandomNormal({128, 128}, rng);
+  const Tensor b = Tensor::RandomNormal({128, 128}, rng);
+  const Tensor serial = MatMul(a, b);
+  const Tensor parallel = ParallelMatMul(a, b);
+  ASSERT_TRUE(serial.SameShape(parallel));
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+  }
+}
+
+TEST(ParallelMatMulTest, RaggedShapeAboveGrain) {
+  // Non-multiple-of-tile rows and columns through the parallel dispatch.
+  Rng rng(13);
+  const Tensor a = Tensor::RandomNormal({107, 129}, rng);
+  const Tensor b = Tensor::RandomNormal({129, 83}, rng);
+  const Tensor serial = MatMul(a, b);
+  const Tensor parallel = ParallelMatMul(a, b);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+  }
+  EXPECT_TRUE(serial.AllClose(Naive(a, b), 1e-3, 1e-4));
+}
 
 TEST(MatMulTest, ShapeMismatchAborts) {
   Tensor a({2, 3});

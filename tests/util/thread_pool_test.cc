@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -53,6 +54,73 @@ TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
     });
   }
   EXPECT_EQ(sum.load(), 5 * 4950);
+}
+
+TEST(ParallelForChunkedTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelForChunked(257, 16, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunkedTest, SmallRangeRunsAsSingleChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  std::atomic<size_t> covered{0};
+  pool.ParallelForChunked(5, 100, [&](size_t begin, size_t end) {
+    chunks.fetch_add(1);
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), 5u);
+}
+
+TEST(ParallelForChunkedTest, ZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelForChunked(0, 8, [](size_t, size_t) {
+    FAIL() << "must not run";
+  });
+}
+
+TEST(ParallelForChunkedTest, NestedCallFromWorkerRunsInline) {
+  // A parallel region launched from inside a worker must degrade to an
+  // inline serial run instead of re-entering the pool (which would
+  // deadlock the outer Wait()).
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(4, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::InWorker());
+    pool.ParallelForChunked(10, 2, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        sum.fetch_add(static_cast<long>(i));
+      }
+    });
+  });
+  EXPECT_EQ(sum.load(), 4 * 45);
+}
+
+TEST(ThreadPoolTest, InWorkerFalseOnCallerThread) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.Submit([&inside] {
+    if (ThreadPool::InWorker()) inside.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(inside.load(), 1);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsRespectsEnv) {
+  setenv("STTR_NUM_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(DefaultNumThreads(), 3u);
+  setenv("STTR_NUM_THREADS", "not-a-number", /*overwrite=*/1);
+  EXPECT_GE(DefaultNumThreads(), 1u);
+  unsetenv("STTR_NUM_THREADS");
+  EXPECT_GE(DefaultNumThreads(), 1u);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {

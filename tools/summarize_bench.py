@@ -1,18 +1,47 @@
 #!/usr/bin/env python3
-"""Summarises bench_output.txt into the headline numbers EXPERIMENTS.md cites.
+"""Summarises bench output into the headline numbers EXPERIMENTS.md cites.
 
-Usage: tools/summarize_bench.py [bench_output.txt]
+Usage: tools/summarize_bench.py [bench_output.txt | micro_*.json ...]
 
+Text arguments are parsed as figure/table bench transcripts; ``.json``
+arguments are the micro-benchmark emissions of bench/micro_matmul and
+bench/micro_topk (``--out=<prefix>`` writes ``<prefix>micro_*.json``).
 Purely a convenience for maintaining the paper-vs-measured tables; the
 canonical data is the bench output itself.
 """
+import json
 import re
 import sys
 
 
+def summarize_micro(path: str) -> None:
+    """Prints per-kernel throughput and the serial-vs-parallel speedups of a
+    micro-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    print(f"\n### {data.get('bench', path)} (threads={data.get('threads', '?')})")
+    for row in data.get("results", []):
+        shape = "x".join(
+            str(row[d]) for d in ("n", "k", "m") if d in row
+        )
+        line = f"  {row['kernel']:<16} {shape:<14}"
+        if "gflops" in row:
+            line += f" {row['gflops']:9.2f} GFLOP/s"
+        line += f" {row['seconds']:.6f}s"
+        if "speedup_vs_seed" in row:
+            line += f"  {row['speedup_vs_seed']:6.2f}x vs seed"
+        print(line)
+
+
 def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    text = open(path).read()
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"]
+    json_paths = [p for p in paths if p.endswith(".json")]
+    for p in json_paths:
+        summarize_micro(p)
+    text_paths = [p for p in paths if not p.endswith(".json")]
+    if not text_paths:
+        return
+    text = "".join(open(p).read() for p in text_paths)
 
     # Per-figure Recall tables: "== Recall ==" blocks under each [figN] tag.
     for tag in re.findall(r"^\[(\w+)\].*$", text, re.M):
