@@ -1,0 +1,204 @@
+// Dense vs sparse gradient all-reduce + weight broadcast at the embedding
+// table shapes the trainer actually synchronises (Foursquare: ~31.8k POIs x
+// 64 dims, ~batch*(1+negatives) touched rows per step). Measures one full
+// sync round per kernel: fold W replica gradients into the master, clear the
+// master gradient for the next step, broadcast updated weights back. The
+// dense kernel walks every table row (the seed's scheme); the sparse kernel
+// walks only the union of touched rows, exactly like ParallelTrainer's
+// kSparse mode (which additionally shards these loops over its pool).
+//
+// Prints a table and, with --out=<prefix>, emits <prefix>micro_allreduce.json
+// for tools/summarize_bench.py. Flags: --reps=N timing repetitions (best-of).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace sttr::bench {
+namespace {
+
+struct Setting {
+  size_t rows, dim, touched, workers;
+};
+
+struct Replica {
+  Tensor grad;
+  Tensor value;
+  std::vector<int64_t> rows;  // sorted, unique
+};
+
+template <typename Fn>
+double BestOf(size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// One dense sync round: reduce every row of every replica, dense-clear the
+/// master gradient, broadcast the whole table to every replica.
+void DenseRound(Tensor& mg, Tensor& mv, std::vector<Replica>& reps) {
+  const size_t n = mg.rows(), d = mg.cols();
+  const float inv = 1.0f / static_cast<float>(reps.size());
+  for (const Replica& r : reps) {
+    for (size_t i = 0; i < n; ++i) {
+      simd::Axpy(mg.row(i), r.grad.row(i), inv, d);
+    }
+  }
+  mg.Fill(0.0f);
+  for (Replica& r : reps) {
+    std::memcpy(r.value.data(), mv.data(), n * d * sizeof(float));
+  }
+}
+
+/// One sparse sync round: merge the replicas' touched-row lists, reduce and
+/// broadcast only those rows, row-clear the master gradient.
+void SparseRound(Tensor& mg, Tensor& mv, std::vector<Replica>& reps,
+                 std::vector<int64_t>& merged) {
+  const size_t d = mg.cols();
+  const float inv = 1.0f / static_cast<float>(reps.size());
+  merged.clear();
+  for (const Replica& r : reps) {
+    merged.insert(merged.end(), r.rows.begin(), r.rows.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  for (const Replica& r : reps) {
+    for (int64_t row : r.rows) {
+      const size_t i = static_cast<size_t>(row);
+      simd::Axpy(mg.row(i), r.grad.row(i), inv, d);
+    }
+  }
+  for (int64_t row : merged) {
+    float* g = mg.row(static_cast<size_t>(row));
+    std::fill(g, g + d, 0.0f);
+  }
+  for (Replica& r : reps) {
+    for (int64_t row : merged) {
+      const size_t i = static_cast<size_t>(row);
+      std::memcpy(r.value.row(i), mv.row(i), d * sizeof(float));
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  STTR_CHECK_OK(flags.Parse(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 20));
+  Rng rng(opts.seed == 0 ? 42 : opts.seed);
+
+  // Foursquare-paper scale (31.8k POIs), Yelp-paper scale (19k POIs) and a
+  // synthetic-world scale; touched ~= batch * (1 + negatives).
+  const std::vector<Setting> settings = {
+      {31800, 64, 640, 2},
+      {31800, 64, 640, 4},
+      {18995, 64, 640, 2},
+      {4000, 32, 320, 2},
+  };
+
+  std::cout << "[micro_allreduce] reps=" << reps << " (best-of)\n";
+  std::cout << "kernel   rows   dim  touched workers    seconds  speedup\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_allreduce\", \"threads\": 1,\n"
+       << "  \"results\": [\n";
+  bool first = true;
+  for (const Setting& s : settings) {
+    Tensor mg({s.rows, s.dim});
+    Tensor mv = Tensor::RandomNormal({s.rows, s.dim}, rng);
+    std::vector<Replica> replicas;
+    const size_t per_worker = s.touched / s.workers;
+    for (size_t w = 0; w < s.workers; ++w) {
+      Replica r{Tensor({s.rows, s.dim}),
+                Tensor({s.rows, s.dim}), {}};
+      for (size_t t = 0; t < per_worker; ++t) {
+        r.rows.push_back(static_cast<int64_t>(rng.UniformInt(s.rows)));
+      }
+      std::sort(r.rows.begin(), r.rows.end());
+      r.rows.erase(std::unique(r.rows.begin(), r.rows.end()), r.rows.end());
+      for (int64_t row : r.rows) {
+        float* g = r.grad.row(static_cast<size_t>(row));
+        for (size_t j = 0; j < s.dim; ++j) {
+          g[j] = static_cast<float>(rng.Normal(0.0, 1.0));
+        }
+      }
+      replicas.push_back(std::move(r));
+    }
+
+    // Both kernels must produce the same reduced gradient (untouched replica
+    // rows are zero, so the dense walk adds nothing the sparse walk skips).
+    std::vector<int64_t> merged;
+    {
+      Tensor check_dense({s.rows, s.dim});
+      Tensor check_sparse({s.rows, s.dim});
+      const float inv = 1.0f / static_cast<float>(s.workers);
+      for (const Replica& r : replicas) {
+        for (size_t i = 0; i < s.rows; ++i) {
+          simd::Axpy(check_dense.row(i), r.grad.row(i), inv, s.dim);
+        }
+        for (int64_t row : r.rows) {
+          const size_t i = static_cast<size_t>(row);
+          simd::Axpy(check_sparse.row(i), r.grad.row(i), inv, s.dim);
+        }
+      }
+      STTR_CHECK_EQ(0, std::memcmp(check_dense.data(), check_sparse.data(),
+                                   s.rows * s.dim * sizeof(float)))
+          << "sparse reduce diverged from dense";
+    }
+
+    const double t_dense =
+        BestOf(reps, [&] { DenseRound(mg, mv, replicas); });
+    const double t_sparse =
+        BestOf(reps, [&] { SparseRound(mg, mv, replicas, merged); });
+    const double speedup = t_dense / t_sparse;
+
+    struct Row {
+      const char* kernel;
+      double seconds, speedup;
+    };
+    const Row rows[] = {{"dense", t_dense, 1.0},
+                        {"sparse", t_sparse, speedup}};
+    for (const Row& r : rows) {
+      std::printf("%-7s %6zu %5zu %7zu %7zu %10.6f %7.2fx\n", r.kernel,
+                  s.rows, s.dim, s.touched, s.workers, r.seconds, r.speedup);
+      if (!first) json << ",\n";
+      json << "    {\"kernel\": \"" << r.kernel << "\", \"rows\": " << s.rows
+           << ", \"dim\": " << s.dim << ", \"touched\": " << s.touched
+           << ", \"workers\": " << s.workers
+           << ", \"seconds\": " << r.seconds
+           << ", \"speedup_vs_dense\": " << r.speedup << "}";
+      first = false;
+    }
+  }
+  json << "\n  ]\n}\n";
+
+  if (!opts.out_prefix.empty()) {
+    const std::string path = opts.out_prefix + "micro_allreduce.json";
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sttr::bench
+
+int main(int argc, char** argv) { return sttr::bench::Main(argc, argv); }

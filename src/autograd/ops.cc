@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -262,13 +263,9 @@ Variable BceWithLogits(const Variable& logits, const Tensor& labels) {
   const Tensor& x = logits.value();
   STTR_CHECK_EQ(x.size(), labels.size());
   STTR_CHECK_GT(x.size(), 0u);
-  double loss = 0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const float y = labels[i];
-    // -[y log s + (1-y) log(1-s)] = softplus(x) - y*x, computed stably.
-    loss += -static_cast<double>(y) * LogSigmoid(x[i]) -
-            static_cast<double>(1.0f - y) * LogSigmoid(-x[i]);
-  }
+  // -[y log s + (1-y) log(1-s)] = softplus(x) - y*x, computed stably and
+  // vectorised (simd.h) — this forward runs on every training step.
+  const double loss = simd::BceWithLogitsSum(x.data(), labels.data(), x.size());
   const size_t n = x.size();
   Tensor out = Tensor::Scalar(static_cast<float>(loss / static_cast<double>(n)));
   NodePtr nx = logits.node();

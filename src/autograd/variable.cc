@@ -55,6 +55,25 @@ void Variable::ZeroGrad() {
   node_->touched_rows.clear();
 }
 
+void Variable::ZeroGradSparse() {
+  STTR_CHECK(defined());
+  internal::Node& n = *node_;
+  if (n.touched_rows.empty()) {
+    if (n.grad_allocated) n.grad.Fill(0.0f);
+    return;
+  }
+  STTR_CHECK(n.grad_allocated);
+  STTR_CHECK_EQ(n.grad.ndim(), 2u) << "touched rows require a 2-D gradient";
+  const size_t cols = n.grad.cols();
+  // The list may contain duplicates (GatherRows appends raw indices);
+  // re-zeroing a row is harmless.
+  for (int64_t r : n.touched_rows) {
+    float* row = n.grad.row(static_cast<size_t>(r));
+    std::fill(row, row + cols, 0.0f);
+  }
+  n.touched_rows.clear();
+}
+
 const std::vector<int64_t>& Variable::touched_rows() const {
   STTR_CHECK(defined());
   return node_->touched_rows;

@@ -66,6 +66,12 @@ class Variable {
   /// Clears the accumulated gradient (and the touched-row list).
   void ZeroGrad();
 
+  /// Sparse-aware gradient clear: zeroes only the rows recorded in
+  /// touched_rows() (the only dirty rows of an embedding-table gradient) and
+  /// resets the list; falls back to a dense clear when no rows are recorded.
+  /// O(touched * cols) instead of O(rows * cols) on embedding tables.
+  void ZeroGradSparse();
+
   /// Rows recorded as touched by sparse (embedding) backward passes since the
   /// last ZeroGrad(). May contain duplicates.
   const std::vector<int64_t>& touched_rows() const;

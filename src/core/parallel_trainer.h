@@ -1,6 +1,7 @@
 #ifndef STTR_CORE_PARALLEL_TRAINER_H_
 #define STTR_CORE_PARALLEL_TRAINER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -15,8 +16,21 @@ namespace sttr {
 /// are averaged into the master, the master steps, and the updated weights
 /// are broadcast back — exactly the all-reduce pattern of multi-GPU
 /// TensorFlow data parallelism.
+///
+/// The all-reduce is sparse-aware: embedding-table gradients only touch the
+/// rows gathered by the step (~batch * (1 + negatives) of tens of thousands),
+/// so reduce and broadcast move just those rows plus the small dense MLP
+/// parameters, and the master's optimiser sees the merged touched-row list so
+/// its lazy Adam update stays row-wise instead of sweeping whole tables.
 class ParallelTrainer {
  public:
+  /// How replica gradients are folded into the master. kSparse (default)
+  /// reduces/broadcasts only touched embedding rows; kDense walks every
+  /// table row. Both use the same per-row kernel in the same replica order,
+  /// so they are bit-identical — kDense exists as the reference the sparse
+  /// path is tested against.
+  enum class ReduceMode { kSparse, kDense };
+
   /// `num_workers` >= 1; per-worker batch size is config.batch_size /
   /// num_workers (so total work per iteration is constant across worker
   /// counts, as in the paper's comparison).
@@ -25,24 +39,50 @@ class ParallelTrainer {
   /// Prepares master and replicas on the split.
   Status Init(const Dataset& dataset, const CrossCitySplit& split);
 
+  /// Like Init(), but trains `master` (externally owned, already constructed
+  /// with this trainer's config) in place instead of building an internal
+  /// model. Used by StTransRec::Fit() to route through the trainer while
+  /// keeping the caller's model object as the result.
+  Status InitWithMaster(StTransRec* master, const Dataset& dataset,
+                        const CrossCitySplit& split);
+
+  void set_reduce_mode(ReduceMode mode) { reduce_mode_ = mode; }
+  ReduceMode reduce_mode() const { return reduce_mode_; }
+
   /// Runs `iterations` synchronous steps; returns total wall seconds.
   double RunIterations(size_t iterations);
 
-  /// Runs `epochs` full epochs (StepsPerEpoch iterations each).
+  /// Runs `epochs` full epochs (StepsPerEpoch iterations each), appending
+  /// the mean per-step loss of each epoch to the master's loss_history().
   Status TrainEpochs(size_t epochs);
 
   StTransRec& master() { return *master_; }
   size_t num_workers() const { return num_workers_; }
 
  private:
-  void OneIteration();
+  /// Gradient compute + all-reduce + master step + broadcast; returns the
+  /// mean of the workers' total step losses.
+  double OneIteration();
+
+  Status InitReplicas(const Dataset& dataset, const CrossCitySplit& split);
 
   StTransRecConfig config_;
   size_t num_workers_;
-  std::unique_ptr<StTransRec> master_;
+  ReduceMode reduce_mode_ = ReduceMode::kSparse;
+  std::unique_ptr<StTransRec> owned_master_;
+  StTransRec* master_ = nullptr;
   std::vector<std::unique_ptr<StTransRec>> replicas_;
   std::vector<Rng> worker_rngs_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Cached parameter handles (aliases into the models), set up by Init.
+  std::vector<ag::Variable> master_params_;
+  std::vector<std::vector<ag::Variable>> replica_params_;  // [worker][param]
+
+  // Per-iteration scratch, reused to avoid reallocation.
+  std::vector<double> worker_losses_;
+  std::vector<std::vector<int64_t>> replica_rows_;  // per worker, sorted+unique
+  std::vector<std::vector<int64_t>> merged_rows_;   // per param, union of above
 };
 
 }  // namespace sttr

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 
 #include "autograd/ops.h"
+#include "core/parallel_trainer.h"
 #include "geo/grid.h"
 #include "geo/region_segmentation.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "transfer/mmd.h"
 #include "util/check.h"
@@ -22,6 +25,15 @@ bool SortedContains(const std::vector<int64_t>& v, int64_t x) {
 }
 
 }  // namespace
+
+size_t DefaultTrainWorkers() {
+  if (const char* env = std::getenv("STTR_TRAIN_WORKERS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return 1;
+}
 
 StTransRec::StTransRec(StTransRecConfig config)
     : config_(std::move(config)),
@@ -369,6 +381,16 @@ std::vector<ag::Variable> StTransRec::Parameters() const {
 }
 
 Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
+  if (config_.num_train_workers > 1) {
+    // Data-parallel path: ParallelTrainer shards every batch across worker
+    // replicas and trains *this* model as the master (it calls Prepare()
+    // and fills loss_history_ exactly like the serial loop below).
+    const size_t workers =
+        std::min(config_.num_train_workers, config_.batch_size);
+    ParallelTrainer trainer(config_, workers);
+    STTR_RETURN_IF_ERROR(trainer.InitWithMaster(this, dataset, split));
+    return trainer.TrainEpochs(config_.num_epochs);
+  }
   STTR_RETURN_IF_ERROR(Prepare(dataset, split));
   const size_t steps = StepsPerEpoch();
   for (size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
@@ -419,6 +441,9 @@ std::vector<double> StTransRec::ScoreBatch(UserId user,
   }
   const Tensor logits = mlp_->InferenceForward(h);
   std::vector<double> out(n);
+  // Per-element scalar sigmoid on purpose: the vector kernel's polynomial
+  // exp differs from the scalar one by ulps across batch positions, which
+  // would break the ScoreBatch == per-pair Score exactness contract.
   for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(logits[i]);
   return out;
 }

@@ -16,6 +16,10 @@
 
 namespace sttr {
 
+/// STTR_TRAIN_WORKERS when set to a positive integer, else 1. The default
+/// number of data-parallel training workers (StTransRecConfig below).
+size_t DefaultTrainWorkers();
+
 /// Hyper-parameters of ST-TransRec (paper §3 and §4.1 "Implementation
 /// Details"). Defaults follow the Foursquare settings.
 struct StTransRecConfig {
@@ -85,8 +89,9 @@ struct StTransRecConfig {
 
   // -- Misc --------------------------------------------------------------------
   uint64_t seed = 123;
-  /// Data-parallel workers for ParallelTrainer (1 = single device).
-  size_t num_workers = 1;
+  /// Data-parallel training workers (the multi-GPU stand-in, Table 2).
+  /// Fit() routes through ParallelTrainer when > 1; 1 trains in-process.
+  size_t num_train_workers = DefaultTrainWorkers();
   bool verbose = false;
 };
 
@@ -180,8 +185,13 @@ class StTransRec : public Recommender {
   /// Steps per epoch implied by the training set and batch size.
   size_t StepsPerEpoch() const;
 
-  /// All trainable parameters.
+  /// All trainable parameters. The first NumEmbeddingParameters() entries
+  /// are the embedding tables; the rest are dense MLP weights/biases.
   std::vector<ag::Variable> Parameters() const;
+
+  /// Number of leading Parameters() entries that are embedding tables with
+  /// sparse (row-touched) gradients: user, POI and word tables.
+  size_t NumEmbeddingParameters() const { return 3; }
 
   /// Serialises all parameters (after Prepare()/Fit()).
   Status Save(std::ostream& out) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.h"
 #include "util/check.h"
 
 namespace sttr::nn {
@@ -25,17 +26,7 @@ void Optimizer::Step() {
     }
     Update(i, rows);
     // Clear gradient. For sparse parameters only the touched rows are dirty.
-    if (!rows.empty()) {
-      Tensor& g = params_[i].mutable_grad();
-      const size_t cols = g.cols();
-      for (int64_t r : rows) {
-        float* row = g.row(static_cast<size_t>(r));
-        for (size_t j = 0; j < cols; ++j) row[j] = 0.0f;
-      }
-      params_[i].node()->touched_rows.clear();
-    } else {
-      params_[i].ZeroGrad();
-    }
+    params_[i].ZeroGradSparse();
   }
 }
 
@@ -73,6 +64,20 @@ void ForEachSlot(const Tensor& t, const std::vector<int64_t>& rows, Fn fn) {
   }
 }
 
+/// Applies `fn(base_offset, count)` once per updated range: each touched row
+/// when `rows` is non-empty, the whole tensor otherwise. This is the
+/// row-contiguous form the SIMD kernels consume.
+template <typename Fn>
+void ForEachRange(const Tensor& t, const std::vector<int64_t>& rows, Fn fn) {
+  if (rows.empty()) {
+    fn(size_t{0}, t.size());
+    return;
+  }
+  STTR_CHECK_EQ(t.ndim(), 2u) << "sparse rows require a 2-D parameter";
+  const size_t cols = t.cols();
+  for (int64_t r : rows) fn(static_cast<size_t>(r) * cols, cols);
+}
+
 }  // namespace
 
 Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
@@ -94,7 +99,9 @@ void Sgd::Update(size_t i, const std::vector<int64_t>& rows) {
       w[s] -= lr_ * vel[s];
     });
   } else {
-    ForEachSlot(w, rows, [&](size_t s) { w[s] -= lr_ * g[s]; });
+    ForEachRange(w, rows, [&](size_t base, size_t n) {
+      simd::SgdRow(w.data() + base, g.data() + base, n, lr_);
+    });
   }
 }
 
@@ -122,12 +129,9 @@ void Adam::Update(size_t i, const std::vector<int64_t>& rows) {
   const double t = static_cast<double>(step_count());
   const float bc1 = static_cast<float>(1.0 - std::pow(beta1_, t));
   const float bc2 = static_cast<float>(1.0 - std::pow(beta2_, t));
-  ForEachSlot(w, rows, [&](size_t s) {
-    m[s] = beta1_ * m[s] + (1.0f - beta1_) * g[s];
-    v[s] = beta2_ * v[s] + (1.0f - beta2_) * g[s] * g[s];
-    const float mhat = m[s] / bc1;
-    const float vhat = v[s] / bc2;
-    w[s] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  ForEachRange(w, rows, [&](size_t base, size_t n) {
+    simd::AdamRow(w.data() + base, m.data() + base, v.data() + base,
+                  g.data() + base, n, lr_, beta1_, beta2_, bc1, bc2, eps_);
   });
 }
 
@@ -142,9 +146,9 @@ void AdaGrad::Update(size_t i, const std::vector<int64_t>& rows) {
   Tensor& w = params_[i].mutable_value();
   const Tensor& g = params_[i].grad();
   Tensor& acc = accum_[i];
-  ForEachSlot(w, rows, [&](size_t s) {
-    acc[s] += g[s] * g[s];
-    w[s] -= lr_ * g[s] / (std::sqrt(acc[s]) + eps_);
+  ForEachRange(w, rows, [&](size_t base, size_t n) {
+    simd::AdaGradRow(w.data() + base, acc.data() + base, g.data() + base, n,
+                     lr_, eps_);
   });
 }
 

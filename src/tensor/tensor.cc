@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "tensor/simd.h"
+
 namespace sttr {
 
 size_t ShapeSize(const std::vector<size_t>& shape) {
@@ -100,7 +102,7 @@ void Tensor::AddInPlace(const Tensor& other) {
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   STTR_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  simd::Axpy(data_.data(), other.data_.data(), alpha, data_.size());
 }
 
 void Tensor::ScaleInPlace(float alpha) {

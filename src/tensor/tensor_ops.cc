@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace sttr {
@@ -359,23 +360,13 @@ Tensor Relu(const Tensor& x) {
   return out;
 }
 
-float SigmoidScalar(float x) {
-  if (x >= 0) {
-    const float z = std::exp(-x);
-    return 1.0f / (1.0f + z);
-  }
-  const float z = std::exp(x);
-  return z / (1.0f + z);
-}
+float SigmoidScalar(float x) { return simd::SigmoidOne(x); }
 
-float LogSigmoid(float x) {
-  // log sigmoid(x) = -softplus(-x) = min(x,0) - log1p(exp(-|x|)).
-  return std::min(x, 0.0f) - std::log1p(std::exp(-std::fabs(x)));
-}
+float LogSigmoid(float x) { return simd::LogSigmoidOne(x); }
 
 Tensor Sigmoid(const Tensor& x) {
   Tensor out = x;
-  for (size_t i = 0; i < out.size(); ++i) out[i] = SigmoidScalar(out[i]);
+  simd::SigmoidMany(out.data(), out.data(), out.size());
   return out;
 }
 

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "autograd/variable.h"
+#include "core/parallel_trainer.h"
+#include "data/synth/world_generator.h"
+
+namespace sttr {
+namespace {
+
+struct Fixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* f = [] {
+    auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+    auto* out = new Fixture{synth::GenerateWorld(cfg), {}};
+    out->split = MakeCrossCitySplit(out->world.dataset, cfg.target_city);
+    return out;
+  }();
+  return *f;
+}
+
+StTransRecConfig TestConfig() {
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.hidden_dims = {32, 16};
+  cfg.batch_size = 64;
+  cfg.mmd_batch = 16;
+  cfg.learning_rate = 1e-2f;
+  return cfg;
+}
+
+void ExpectParamsBitIdentical(StTransRec& a, StTransRec& b) {
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& ta = pa[i].value();
+    const Tensor& tb = pb[i].value();
+    ASSERT_EQ(ta.size(), tb.size()) << "param " << i;
+    EXPECT_EQ(0, std::memcmp(ta.data(), tb.data(), ta.size() * sizeof(float)))
+        << "param " << i << " diverged";
+  }
+}
+
+// The tentpole guarantee: reducing/broadcasting only touched embedding rows
+// must produce exactly the parameters the dense whole-table walk produces —
+// both modes fold replicas per row in the same order with the same kernel.
+TEST(SparseAllReduceTest, SparseBitIdenticalToDenseReference) {
+  const auto& f = SharedFixture();
+  ParallelTrainer sparse(TestConfig(), 2);
+  ParallelTrainer dense(TestConfig(), 2);
+  sparse.set_reduce_mode(ParallelTrainer::ReduceMode::kSparse);
+  dense.set_reduce_mode(ParallelTrainer::ReduceMode::kDense);
+  ASSERT_TRUE(sparse.Init(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(dense.Init(f.world.dataset, f.split).ok());
+  sparse.RunIterations(5);
+  dense.RunIterations(5);
+  ExpectParamsBitIdentical(sparse.master(), dense.master());
+}
+
+TEST(SparseAllReduceTest, RepeatedRunsAreBitIdentical) {
+  const auto& f = SharedFixture();
+  ParallelTrainer a(TestConfig(), 2);
+  ParallelTrainer b(TestConfig(), 2);
+  ASSERT_TRUE(a.Init(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(b.Init(f.world.dataset, f.split).ok());
+  a.RunIterations(4);
+  b.RunIterations(4);
+  ExpectParamsBitIdentical(a.master(), b.master());
+}
+
+TEST(SparseAllReduceTest, TrainEpochsRecordsLossHistory) {
+  const auto& f = SharedFixture();
+  ParallelTrainer trainer(TestConfig(), 2);
+  ASSERT_TRUE(trainer.Init(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(trainer.TrainEpochs(3).ok());
+  const auto& history = trainer.master().loss_history();
+  ASSERT_EQ(history.size(), 3u);
+  for (double l : history) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0);
+  }
+}
+
+TEST(SparseAllReduceTest, FitRoutesThroughParallelTrainer) {
+  const auto& f = SharedFixture();
+  auto cfg = TestConfig();
+  cfg.num_train_workers = 2;
+  cfg.num_epochs = 2;
+  StTransRec model(cfg);
+  ASSERT_TRUE(model.Fit(f.world.dataset, f.split).ok());
+  ASSERT_EQ(model.loss_history().size(), 2u);
+  const UserId u = f.split.test_users.front().user;
+  const PoiId v = f.world.dataset.PoisInCity(0).front();
+  const double s = model.Score(u, v);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(SparseAllReduceTest, ParallelFitIsDeterministic) {
+  const auto& f = SharedFixture();
+  auto cfg = TestConfig();
+  cfg.num_train_workers = 2;
+  cfg.num_epochs = 1;
+  StTransRec a(cfg);
+  StTransRec b(cfg);
+  ASSERT_TRUE(a.Fit(f.world.dataset, f.split).ok());
+  ASSERT_TRUE(b.Fit(f.world.dataset, f.split).ok());
+  ExpectParamsBitIdentical(a, b);
+  ASSERT_EQ(a.loss_history().size(), b.loss_history().size());
+  for (size_t i = 0; i < a.loss_history().size(); ++i) {
+    EXPECT_EQ(a.loss_history()[i], b.loss_history()[i]);
+  }
+}
+
+TEST(SparseAllReduceTest, DefaultTrainWorkersReadsEnvironment) {
+  ASSERT_EQ(setenv("STTR_TRAIN_WORKERS", "3", 1), 0);
+  EXPECT_EQ(DefaultTrainWorkers(), 3u);
+  ASSERT_EQ(setenv("STTR_TRAIN_WORKERS", "0", 1), 0);
+  EXPECT_EQ(DefaultTrainWorkers(), 1u);
+  ASSERT_EQ(setenv("STTR_TRAIN_WORKERS", "junk", 1), 0);
+  EXPECT_EQ(DefaultTrainWorkers(), 1u);
+  ASSERT_EQ(unsetenv("STTR_TRAIN_WORKERS"), 0);
+  EXPECT_EQ(DefaultTrainWorkers(), 1u);
+}
+
+// Regression guards: the lazy-Adam path depends on touched_rows being
+// maintained and cleared correctly by both grad-clearing entry points.
+TEST(SparseAllReduceTest, ZeroGradSparseClearsOnlyTouchedRows) {
+  ag::Variable v(Tensor({4, 3}), /*requires_grad=*/true);
+  v.mutable_grad().Fill(1.0f);
+  v.node()->touched_rows = {1, 3, 3};  // duplicates allowed
+  v.ZeroGradSparse();
+  EXPECT_TRUE(v.touched_rows().empty());
+  const Tensor& g = v.grad();
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(g[0 * 3 + j], 1.0f);  // untouched rows keep their values
+    EXPECT_EQ(g[1 * 3 + j], 0.0f);
+    EXPECT_EQ(g[2 * 3 + j], 1.0f);
+    EXPECT_EQ(g[3 * 3 + j], 0.0f);
+  }
+}
+
+TEST(SparseAllReduceTest, ZeroGradSparseFallsBackToDenseClear) {
+  ag::Variable v(Tensor({4, 3}), /*requires_grad=*/true);
+  v.mutable_grad().Fill(2.0f);
+  v.ZeroGradSparse();  // no touched rows recorded
+  EXPECT_EQ(v.grad().MaxAbs(), 0.0);
+}
+
+TEST(SparseAllReduceTest, ZeroGradClearsTouchedRows) {
+  ag::Variable v(Tensor({4, 3}), /*requires_grad=*/true);
+  v.mutable_grad().Fill(1.0f);
+  v.node()->touched_rows = {0, 2};
+  v.ZeroGrad();
+  EXPECT_TRUE(v.touched_rows().empty());
+  EXPECT_EQ(v.grad().MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace sttr

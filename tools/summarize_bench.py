@@ -21,15 +21,20 @@ def summarize_micro(path: str) -> None:
         data = json.load(f)
     print(f"\n### {data.get('bench', path)} (threads={data.get('threads', '?')})")
     for row in data.get("results", []):
+        # Shape columns vary per bench: GEMM uses n/k/m, the all-reduce bench
+        # rows/dim/touched, table2 workers.
         shape = "x".join(
-            str(row[d]) for d in ("n", "k", "m") if d in row
+            str(row[d])
+            for d in ("n", "k", "m", "rows", "dim", "touched", "workers")
+            if d in row
         )
-        line = f"  {row['kernel']:<16} {shape:<14}"
+        line = f"  {row['kernel']:<16} {shape:<20}"
         if "gflops" in row:
             line += f" {row['gflops']:9.2f} GFLOP/s"
         line += f" {row['seconds']:.6f}s"
-        if "speedup_vs_seed" in row:
-            line += f"  {row['speedup_vs_seed']:6.2f}x vs seed"
+        for key, value in row.items():
+            if key.startswith("speedup_vs_"):
+                line += f"  {value:6.2f}x vs {key[len('speedup_vs_'):]}"
         print(line)
 
 
