@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "tensor/simd.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -228,8 +229,28 @@ Status ParallelTrainer::TrainEpochs(size_t epochs) {
                      << " workers] epoch " << e + 1 << "/" << epochs
                      << " mean loss=" << master_->loss_history_.back();
     }
+    // Checkpoint the master plus the worker RNG streams: the replica
+    // parameters equal the master's after broadcast and replica gradients
+    // are zero between iterations, so this is the complete training state.
+    STTR_RETURN_IF_ERROR(master_->MaybeWriteCheckpoint(&worker_rngs_));
   }
   master_->fitted_ = true;
+  return Status::OK();
+}
+
+Status ParallelTrainer::RestoreLatest(const std::string& dir) {
+  STTR_CHECK(master_ != nullptr) << "Init() not called";
+  StatusOr<std::string> path =
+      FindLatestValidCheckpoint(master_->env(), dir);
+  if (!path.ok()) return path.status();
+  STTR_RETURN_IF_ERROR(master_->RestoreFromCheckpoint(*path, &worker_rngs_));
+  // InitReplicas broadcast the freshly-initialised master; broadcast again
+  // now that the master holds the checkpointed parameters.
+  for (auto& params : replica_params_) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = master_params_[i].value();
+    }
+  }
   return Status::OK();
 }
 

@@ -54,7 +54,17 @@ class ParallelTrainer {
 
   /// Runs `epochs` full epochs (StepsPerEpoch iterations each), appending
   /// the mean per-step loss of each epoch to the master's loss_history().
+  /// When the master's config has a checkpoint_dir, a checkpoint (including
+  /// the per-worker RNG streams) is written at the configured epoch
+  /// boundaries; an IO failure aborts training with that Status.
   Status TrainEpochs(size_t epochs);
+
+  /// Restores the newest valid checkpoint in `dir` into the master —
+  /// parameters, optimizer state, loss history and all RNG streams (the
+  /// checkpoint must have been written with this worker count) — then
+  /// re-broadcasts the restored parameters to every replica. Together with
+  /// TrainEpochs this resumes bit-identically to an uninterrupted run.
+  Status RestoreLatest(const std::string& dir);
 
   StTransRec& master() { return *master_; }
   size_t num_workers() const { return num_workers_; }

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "autograd/ops.h"
+#include "core/checkpoint.h"
 #include "core/parallel_trainer.h"
 #include "geo/grid.h"
 #include "geo/region_segmentation.h"
@@ -381,6 +383,23 @@ std::vector<ag::Variable> StTransRec::Parameters() const {
 }
 
 Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
+  return TrainInternal(dataset, split, /*resume_dir=*/"");
+}
+
+Status StTransRec::Resume(const Dataset& dataset, const CrossCitySplit& split,
+                          const std::string& dir) {
+  const std::string resume_dir = dir.empty() ? config_.checkpoint_dir : dir;
+  if (resume_dir.empty()) {
+    return Status::InvalidArgument(
+        "Resume: no checkpoint directory (set config.checkpoint_dir or pass "
+        "dir)");
+  }
+  return TrainInternal(dataset, split, resume_dir);
+}
+
+Status StTransRec::TrainInternal(const Dataset& dataset,
+                                 const CrossCitySplit& split,
+                                 const std::string& resume_dir) {
   if (config_.num_train_workers > 1) {
     // Data-parallel path: ParallelTrainer shards every batch across worker
     // replicas and trains *this* model as the master (it calls Prepare()
@@ -389,11 +408,27 @@ Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
         std::min(config_.num_train_workers, config_.batch_size);
     ParallelTrainer trainer(config_, workers);
     STTR_RETURN_IF_ERROR(trainer.InitWithMaster(this, dataset, split));
-    return trainer.TrainEpochs(config_.num_epochs);
+    if (!resume_dir.empty()) {
+      STTR_RETURN_IF_ERROR(trainer.RestoreLatest(resume_dir));
+    }
+    const size_t done = loss_history_.size();
+    if (done >= config_.num_epochs) {
+      fitted_ = true;
+      return Status::OK();
+    }
+    return trainer.TrainEpochs(config_.num_epochs - done);
   }
   STTR_RETURN_IF_ERROR(Prepare(dataset, split));
+  if (!resume_dir.empty()) {
+    StatusOr<std::string> path = FindLatestValidCheckpoint(env(), resume_dir);
+    if (!path.ok()) return path.status();
+    STTR_RETURN_IF_ERROR(RestoreFromCheckpoint(*path, nullptr));
+  }
   const size_t steps = StepsPerEpoch();
-  for (size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+  // Completed epochs == loss_history_.size(): a restored history resumes the
+  // loop exactly where the checkpointed run stopped.
+  for (size_t epoch = loss_history_.size(); epoch < config_.num_epochs;
+       ++epoch) {
     double epoch_loss = 0;
     for (size_t s = 0; s < steps; ++s) {
       const TrainingBatch batch = SampleBatch(rng_);
@@ -406,6 +441,7 @@ Status StTransRec::Fit(const Dataset& dataset, const CrossCitySplit& split) {
                      << config_.num_epochs
                      << " mean loss=" << loss_history_.back();
     }
+    STTR_RETURN_IF_ERROR(MaybeWriteCheckpoint(nullptr));
   }
   fitted_ = true;
   return Status::OK();
@@ -471,15 +507,214 @@ Status StTransRec::Load(std::istream& in) {
   if (user_emb_ == nullptr) {
     return Status::FailedPrecondition("Load() before Prepare()");
   }
-  for (auto& p : Parameters()) {
-    StatusOr<Tensor> t = Tensor::Deserialize(in);
-    if (!t.ok()) return t.status();
-    if (!t->SameShape(p.value())) {
-      return Status::InvalidArgument("parameter shape mismatch on Load");
-    }
-    p.mutable_value() = std::move(t).value();
-  }
+  // All-or-nothing: a truncated stream or shape mismatch partway through
+  // must not leave earlier parameters already replaced.
+  STTR_RETURN_IF_ERROR(nn::LoadParametersAtomic(in, Parameters()));
   fitted_ = true;
+  return Status::OK();
+}
+
+Env& StTransRec::env() const {
+  return config_.env != nullptr ? *config_.env : *Env::Default();
+}
+
+std::string StTransRec::ConfigFingerprint() const {
+  STTR_CHECK(dataset_ != nullptr) << "ConfigFingerprint() before Prepare()";
+  std::ostringstream os;
+  os.precision(17);
+  os << "fp1";
+  os << ";dim=" << config_.embedding_dim;
+  os << ";init=" << config_.embedding_init_stddev;
+  os << ";hidden=";
+  for (size_t i = 0; i < config_.hidden_dims.size(); ++i) {
+    os << (i ? "," : "") << config_.hidden_dims[i];
+  }
+  os << ";dropout=" << config_.dropout_rate;
+  os << ";lr=" << config_.learning_rate;
+  os << ";batch=" << config_.batch_size;
+  os << ";negatives=" << config_.negatives_per_positive;
+  os << ";word_negatives=" << config_.word_negatives;
+  os << ";mmd=" << config_.use_mmd << "," << config_.lambda_mmd << ","
+     << config_.mmd_sigma << "," << config_.mmd_batch << ","
+     << config_.use_linear_mmd;
+  os << ";text=" << config_.use_text << "," << config_.text_loss_weight;
+  os << ";geo=" << config_.use_geo_context << "," << config_.geo_neighbors;
+  os << ";resample=" << config_.resample_alpha << "," << config_.grid_rows
+     << "," << config_.grid_cols << "," << config_.region_delta << ","
+     << config_.use_region_merging;
+  os << ";seed=" << config_.seed;
+  os << ";workers=" << config_.num_train_workers;
+  os << ";target=" << target_city_;
+  os << ";data=" << dataset_->num_users() << "," << dataset_->num_pois()
+     << "," << dataset_->vocabulary().size() << "," << dataset_->num_cities();
+  return os.str();
+}
+
+namespace {
+
+constexpr char kSectionMeta[] = "meta";
+constexpr char kSectionConfig[] = "config";
+constexpr char kSectionModel[] = "model";
+constexpr char kSectionOptimizer[] = "optimizer";
+constexpr char kSectionRng[] = "rng";
+constexpr char kSectionLossHistory[] = "loss_history";
+
+void AppendRngState(std::string& out, const Rng& rng) {
+  for (uint64_t word : rng.state()) AppendU64(out, word);
+}
+
+bool ReadRngState(std::string_view& in, Rng* rng) {
+  std::array<uint64_t, 4> state;
+  for (uint64_t& word : state) {
+    if (!ReadU64(in, &word)) return false;
+  }
+  rng->set_state(state);
+  return true;
+}
+
+}  // namespace
+
+Status StTransRec::WriteCheckpoint(
+    const std::vector<Rng>* worker_rngs) const {
+  if (user_emb_ == nullptr) {
+    return Status::FailedPrecondition("WriteCheckpoint() before Prepare()");
+  }
+  if (config_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("WriteCheckpoint: checkpoint_dir not set");
+  }
+  const size_t completed = loss_history_.size();
+  CheckpointWriter writer;
+  {
+    std::string meta;
+    AppendU64(meta, completed);
+    writer.AddSection(kSectionMeta, std::move(meta));
+  }
+  writer.AddSection(kSectionConfig, ConfigFingerprint());
+  {
+    std::ostringstream os(std::ios::binary);
+    STTR_RETURN_IF_ERROR(Save(os));
+    writer.AddSection(kSectionModel, std::move(os).str());
+  }
+  {
+    std::ostringstream os(std::ios::binary);
+    STTR_RETURN_IF_ERROR(optimizer_->SaveState(os));
+    writer.AddSection(kSectionOptimizer, std::move(os).str());
+  }
+  {
+    std::string rngs;
+    const size_t num_workers = worker_rngs != nullptr ? worker_rngs->size() : 0;
+    AppendU32(rngs, static_cast<uint32_t>(2 + num_workers));
+    AppendRngState(rngs, rng_);
+    AppendRngState(rngs, eval_rng_);
+    for (size_t w = 0; w < num_workers; ++w) {
+      AppendRngState(rngs, (*worker_rngs)[w]);
+    }
+    writer.AddSection(kSectionRng, std::move(rngs));
+  }
+  {
+    std::string losses;
+    AppendU64(losses, loss_history_.size());
+    for (double l : loss_history_) AppendDouble(losses, l);
+    writer.AddSection(kSectionLossHistory, std::move(losses));
+  }
+  Env& e = env();
+  STTR_RETURN_IF_ERROR(e.CreateDir(config_.checkpoint_dir));
+  STTR_RETURN_IF_ERROR(writer.WriteTo(
+      e, config_.checkpoint_dir + "/" + CheckpointFileName(completed)));
+  return RotateCheckpoints(e, config_.checkpoint_dir,
+                           std::max<size_t>(1, config_.checkpoint_keep_last));
+}
+
+Status StTransRec::MaybeWriteCheckpoint(
+    const std::vector<Rng>* worker_rngs) const {
+  if (config_.checkpoint_dir.empty()) return Status::OK();
+  const size_t completed = loss_history_.size();
+  const size_t every = std::max<size_t>(1, config_.checkpoint_every_n_epochs);
+  if (completed % every != 0 && completed != config_.num_epochs) {
+    return Status::OK();
+  }
+  return WriteCheckpoint(worker_rngs);
+}
+
+Status StTransRec::RestoreFromCheckpoint(const std::string& path,
+                                         std::vector<Rng>* worker_rngs) {
+  if (user_emb_ == nullptr) {
+    return Status::FailedPrecondition("RestoreFromCheckpoint before Prepare()");
+  }
+  StatusOr<CheckpointReader> reader = CheckpointReader::Open(env(), path);
+  if (!reader.ok()) return reader.status();
+
+  StatusOr<std::string> fp = reader->Section(kSectionConfig);
+  if (!fp.ok()) return fp.status();
+  if (*fp != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " was written under a different config or "
+        "dataset\n  checkpoint: " + *fp + "\n  current:    " +
+        ConfigFingerprint());
+  }
+
+  StatusOr<std::string> model = reader->Section(kSectionModel);
+  if (!model.ok()) return model.status();
+  {
+    std::istringstream in(*model, std::ios::binary);
+    STTR_RETURN_IF_ERROR(nn::LoadParametersAtomic(in, Parameters()));
+  }
+
+  StatusOr<std::string> opt = reader->Section(kSectionOptimizer);
+  if (!opt.ok()) return opt.status();
+  {
+    std::istringstream in(*opt, std::ios::binary);
+    STTR_RETURN_IF_ERROR(optimizer_->LoadState(in));
+  }
+
+  StatusOr<std::string> rngs = reader->Section(kSectionRng);
+  if (!rngs.ok()) return rngs.status();
+  {
+    std::string_view in(*rngs);
+    uint32_t count = 0;
+    if (!ReadU32(in, &count)) {
+      return Status::IOError("checkpoint: truncated rng section");
+    }
+    const size_t expected =
+        2 + (worker_rngs != nullptr ? worker_rngs->size() : 0);
+    if (count != expected) {
+      return Status::FailedPrecondition(
+          "checkpoint holds " + std::to_string(count) +
+          " RNG streams, resume expects " + std::to_string(expected) +
+          " (train-worker count changed?)");
+    }
+    bool ok = ReadRngState(in, &rng_) && ReadRngState(in, &eval_rng_);
+    if (worker_rngs != nullptr) {
+      for (Rng& rng : *worker_rngs) ok = ok && ReadRngState(in, &rng);
+    }
+    if (!ok || !in.empty()) {
+      return Status::IOError("checkpoint: malformed rng section");
+    }
+  }
+
+  StatusOr<std::string> losses = reader->Section(kSectionLossHistory);
+  if (!losses.ok()) return losses.status();
+  {
+    std::string_view in(*losses);
+    uint64_t n = 0;
+    if (!ReadU64(in, &n) || in.size() != n * sizeof(double)) {
+      return Status::IOError("checkpoint: malformed loss_history section");
+    }
+    std::vector<double> history(n);
+    for (double& l : history) ReadDouble(in, &l);
+    loss_history_ = std::move(history);
+  }
+
+  StatusOr<std::string> meta = reader->Section(kSectionMeta);
+  if (!meta.ok()) return meta.status();
+  {
+    std::string_view in(*meta);
+    uint64_t epoch = 0;
+    if (!ReadU64(in, &epoch) || epoch != loss_history_.size()) {
+      return Status::IOError(
+          "checkpoint: epoch counter disagrees with loss history");
+    }
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "text/context_graph.h"
+#include "util/fs.h"
 #include "util/rng.h"
 
 namespace sttr {
@@ -87,6 +88,21 @@ struct StTransRecConfig {
   /// extra_segmentation_ablation).
   bool use_region_merging = true;
 
+  // -- Checkpointing -------------------------------------------------------------
+  /// When non-empty, Fit()/Resume() write a crash-safe checkpoint (model +
+  /// optimizer state + RNG streams + loss history) into this directory at
+  /// epoch boundaries. See core/checkpoint.h for the container format.
+  std::string checkpoint_dir;
+  /// Checkpoint after every n completed epochs (the final epoch is always
+  /// checkpointed). Values < 1 behave like 1.
+  size_t checkpoint_every_n_epochs = 1;
+  /// Keep-last-K rotation: older checkpoints beyond the K newest are deleted
+  /// after each successful write.
+  size_t checkpoint_keep_last = 3;
+  /// Filesystem used for checkpoint IO; null means Env::Default(). Tests
+  /// inject a FaultInjectionEnv here.
+  Env* env = nullptr;
+
   // -- Misc --------------------------------------------------------------------
   uint64_t seed = 123;
   /// Data-parallel training workers (the multi-GPU stand-in, Table 2).
@@ -136,6 +152,18 @@ class StTransRec : public Recommender {
   explicit StTransRec(StTransRecConfig config);
 
   Status Fit(const Dataset& dataset, const CrossCitySplit& split) override;
+
+  /// Restores the newest valid checkpoint in `dir` (default:
+  /// config.checkpoint_dir) and continues training to config.num_epochs.
+  /// Everything is restored — parameters, optimizer moments and step count,
+  /// every RNG stream (including per-worker streams when
+  /// num_train_workers > 1) and loss_history() — so a run killed at a
+  /// checkpointed epoch and resumed here produces bit-identical
+  /// loss_history() and eval metrics to an uninterrupted Fit(). A checkpoint
+  /// written under a different config or dataset is rejected via the stored
+  /// config fingerprint (FailedPrecondition).
+  Status Resume(const Dataset& dataset, const CrossCitySplit& split,
+                const std::string& dir = "");
 
   double Score(UserId user, PoiId poi) const override;
 
@@ -200,8 +228,41 @@ class StTransRec : public Recommender {
   /// Prepare()d with the same config and dataset; marks the model fitted.
   Status Load(std::istream& in);
 
+  /// Canonical string of every config field that affects training plus the
+  /// id-space sizes of the prepared dataset. Stored in each checkpoint and
+  /// compared on restore so a checkpoint cannot be resumed under a different
+  /// config or dataset. Requires Prepare(). num_epochs is deliberately
+  /// excluded: resuming with a larger epoch budget is the normal
+  /// train-longer workflow.
+  std::string ConfigFingerprint() const;
+
+  /// Writes a full training checkpoint for the current state (epoch counter
+  /// is loss_history().size()). `worker_rngs` carries the data-parallel
+  /// trainer's per-worker streams; null in the serial path. Exposed for
+  /// ParallelTrainer and tests; Fit() calls this at epoch boundaries.
+  Status WriteCheckpoint(const std::vector<Rng>* worker_rngs = nullptr) const;
+
+  /// Restores the checkpoint at `path` into this Prepare()d model:
+  /// parameters, optimizer state, loss history and RNG streams.
+  /// `worker_rngs` must be sized to the worker count the checkpoint was
+  /// written with (null in the serial path).
+  Status RestoreFromCheckpoint(const std::string& path,
+                               std::vector<Rng>* worker_rngs = nullptr);
+
  private:
   friend class ParallelTrainer;
+
+  /// Shared body of Fit()/Resume(): Prepare, optionally restore from
+  /// `resume_dir`, then train the remaining epochs with checkpointing.
+  Status TrainInternal(const Dataset& dataset, const CrossCitySplit& split,
+                       const std::string& resume_dir);
+
+  /// Checkpoints when checkpoint_dir is set and the epoch boundary matches
+  /// checkpoint_every_n_epochs (or training just finished).
+  Status MaybeWriteCheckpoint(const std::vector<Rng>* worker_rngs) const;
+
+  /// config.env or the process default.
+  Env& env() const;
 
   void BuildRegionPools(const Dataset& dataset, const CrossCitySplit& split);
 

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -56,6 +57,27 @@ StatusOr<int64_t> ToInt(const std::string& s, const std::string& file,
     return ParseError(file, lineno, "not an integer: '" + s + "'");
   }
   return static_cast<int64_t>(v);
+}
+
+/// Rejects NaN/inf and physically impossible latitudes/longitudes; a corrupt
+/// coordinate would otherwise poison the grid index and every Haversine
+/// distance downstream.
+Status CheckLatLon(double lat, double lon, const std::string& file,
+                   size_t lineno) {
+  if (!std::isfinite(lat) || !std::isfinite(lon)) {
+    return ParseError(file, lineno, "non-finite coordinate");
+  }
+  if (lat < -90.0 || lat > 90.0) {
+    return ParseError(file, lineno,
+                      "latitude out of range [-90, 90]: " +
+                          std::to_string(lat));
+  }
+  if (lon < -180.0 || lon > 180.0) {
+    return ParseError(file, lineno,
+                      "longitude out of range [-180, 180]: " +
+                          std::to_string(lon));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -133,6 +155,15 @@ StatusOr<Dataset> LoadDataset(const DatasetPaths& paths) {
           if (!v.ok()) return v.status();
           vals[i] = *v;
         }
+        // Manual checks: STTR_RETURN_IF_ERROR would shadow the enclosing
+        // macro's local inside this lambda.
+        if (Status s = CheckLatLon(vals[0], vals[2], paths.cities, n); !s.ok())
+          return s;
+        if (Status s = CheckLatLon(vals[1], vals[3], paths.cities, n); !s.ok())
+          return s;
+        if (vals[0] > vals[1] || vals[2] > vals[3]) {
+          return ParseError(paths.cities, n, "inverted bounding box");
+        }
         city.box = BoundingBox{vals[0], vals[1], vals[2], vals[3]};
         if (static_cast<size_t>(city.id) != ds.num_cities()) {
           return ParseError(paths.cities, n, "city ids must be dense");
@@ -173,6 +204,8 @@ StatusOr<Dataset> LoadDataset(const DatasetPaths& paths) {
         if (!lat.ok()) return lat.status();
         auto lon = ToDouble(f[3], paths.pois, n);
         if (!lon.ok()) return lon.status();
+        if (Status s = CheckLatLon(*lat, *lon, paths.pois, n); !s.ok())
+          return s;
         if (static_cast<size_t>(*id) != ds.num_pois()) {
           return ParseError(paths.pois, n, "poi ids must be dense");
         }

@@ -25,13 +25,29 @@ Status Module::Save(std::ostream& out) const {
 }
 
 Status Module::Load(std::istream& in) const {
-  for (auto& p : Parameters()) {
+  return LoadParametersAtomic(in, Parameters());
+}
+
+Status LoadParametersAtomic(std::istream& in,
+                            const std::vector<ag::Variable>& params) {
+  // Stage everything first: an error below must not leave a model with some
+  // parameters replaced and the rest stale.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
     StatusOr<Tensor> t = Tensor::Deserialize(in);
     if (!t.ok()) return t.status();
-    if (!t->SameShape(p.value())) {
-      return Status::InvalidArgument("parameter shape mismatch on Load");
+    if (!t->SameShape(params[i].value())) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch on Load: have " +
+          ShapeToString(params[i].value().shape()) + ", stream has " +
+          ShapeToString(t->shape()));
     }
-    p.mutable_value() = std::move(t).value();
+    staged.push_back(std::move(t).value());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    ag::Variable p = params[i];  // cheap handle copy; aliases the same node
+    p.mutable_value() = std::move(staged[i]);
   }
   return Status::OK();
 }

@@ -36,6 +36,13 @@ class Module {
   void CopyParamsFrom(const Module& other) const;
 };
 
+/// Reads one tensor per entry of `params` from `in`, validating every shape
+/// before touching any parameter; commits all-or-nothing. A truncated stream
+/// or a shape mismatch partway through therefore leaves the model exactly as
+/// it was (no partially-overwritten parameter list).
+Status LoadParametersAtomic(std::istream& in,
+                            const std::vector<ag::Variable>& params);
+
 }  // namespace sttr::nn
 
 #endif  // STTR_NN_MODULE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "tensor/simd.h"
 #include "util/check.h"
@@ -33,6 +35,67 @@ void Optimizer::Step() {
 void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
+
+namespace {
+
+/// Writes a count-prefixed vector of slot tensors.
+Status SaveTensorVec(std::ostream& out, const std::vector<Tensor>& ts) {
+  const uint64_t n = ts.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (!out) return Status::IOError("optimizer slot header write failed");
+  for (const Tensor& t : ts) STTR_RETURN_IF_ERROR(t.Serialize(out));
+  return Status::OK();
+}
+
+/// Reads a vector written by SaveTensorVec, validating count and per-slot
+/// shapes against `like` before returning (nothing is committed on error).
+Status LoadTensorVec(std::istream& in, const std::vector<Tensor>& like,
+                     std::vector<Tensor>* out) {
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::IOError("optimizer slot header read failed");
+  if (n != like.size()) {
+    return Status::InvalidArgument(
+        "optimizer slot count mismatch: have " + std::to_string(like.size()) +
+        ", stream has " + std::to_string(n));
+  }
+  std::vector<Tensor> staged;
+  staged.reserve(like.size());
+  for (size_t i = 0; i < like.size(); ++i) {
+    StatusOr<Tensor> t = Tensor::Deserialize(in);
+    if (!t.ok()) return t.status();
+    if (!t->SameShape(like[i])) {
+      return Status::InvalidArgument("optimizer slot " + std::to_string(i) +
+                                     " shape mismatch");
+    }
+    staged.push_back(std::move(t).value());
+  }
+  *out = std::move(staged);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Optimizer::SaveState(std::ostream& out) const {
+  const int64_t steps = step_count_;
+  out.write(reinterpret_cast<const char*>(&steps), sizeof(steps));
+  if (!out) return Status::IOError("optimizer state write failed");
+  return SaveSlots(out);
+}
+
+Status Optimizer::LoadState(std::istream& in) {
+  int64_t steps = 0;
+  in.read(reinterpret_cast<char*>(&steps), sizeof(steps));
+  if (!in) return Status::IOError("optimizer state read failed");
+  if (steps < 0) return Status::InvalidArgument("negative optimizer step count");
+  STTR_RETURN_IF_ERROR(LoadSlots(in));
+  step_count_ = steps;
+  return Status::OK();
+}
+
+Status Optimizer::SaveSlots(std::ostream&) const { return Status::OK(); }
+
+Status Optimizer::LoadSlots(std::istream&) { return Status::OK(); }
 
 double Optimizer::ClipGradNorm(double max_norm) {
   STTR_CHECK_GT(max_norm, 0.0);
@@ -105,6 +168,14 @@ void Sgd::Update(size_t i, const std::vector<int64_t>& rows) {
   }
 }
 
+Status Sgd::SaveSlots(std::ostream& out) const {
+  return SaveTensorVec(out, velocity_);
+}
+
+Status Sgd::LoadSlots(std::istream& in) {
+  return LoadTensorVec(in, velocity_, &velocity_);
+}
+
 Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
            float beta2, float eps)
     : Optimizer(std::move(params)),
@@ -135,6 +206,22 @@ void Adam::Update(size_t i, const std::vector<int64_t>& rows) {
   });
 }
 
+Status Adam::SaveSlots(std::ostream& out) const {
+  STTR_RETURN_IF_ERROR(SaveTensorVec(out, m_));
+  return SaveTensorVec(out, v_);
+}
+
+Status Adam::LoadSlots(std::istream& in) {
+  // Stage both moment vectors before committing either, so a stream that
+  // dies between them cannot leave m/v out of sync.
+  std::vector<Tensor> m, v;
+  STTR_RETURN_IF_ERROR(LoadTensorVec(in, m_, &m));
+  STTR_RETURN_IF_ERROR(LoadTensorVec(in, v_, &v));
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 AdaGrad::AdaGrad(std::vector<ag::Variable> params, float lr, float eps)
     : Optimizer(std::move(params)), lr_(lr), eps_(eps) {
   STTR_CHECK_GT(lr, 0.0f);
@@ -150,6 +237,14 @@ void AdaGrad::Update(size_t i, const std::vector<int64_t>& rows) {
     simd::AdaGradRow(w.data() + base, acc.data() + base, g.data() + base, n,
                      lr_, eps_);
   });
+}
+
+Status AdaGrad::SaveSlots(std::ostream& out) const {
+  return SaveTensorVec(out, accum_);
+}
+
+Status AdaGrad::LoadSlots(std::istream& in) {
+  return LoadTensorVec(in, accum_, &accum_);
 }
 
 }  // namespace sttr::nn

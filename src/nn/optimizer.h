@@ -2,9 +2,11 @@
 #define STTR_NN_OPTIMIZER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace sttr::nn {
 
@@ -35,7 +37,23 @@ class Optimizer {
 
   int64_t step_count() const { return step_count_; }
 
+  /// Serialises the full optimiser state: step count plus every slot tensor
+  /// (momentum, Adam moments, AdaGrad accumulators). Together with the
+  /// parameters this is everything needed to continue training bit-
+  /// identically after a restart.
+  Status SaveState(std::ostream& out) const;
+
+  /// Restores state written by SaveState() into an optimiser constructed
+  /// over an identical parameter list. Validates every slot shape before
+  /// touching any state (all-or-nothing on error).
+  Status LoadState(std::istream& in);
+
  protected:
+  /// Subclass slot serialisation hooks for SaveState/LoadState. Defaults
+  /// handle stateless optimisers (no slots).
+  virtual Status SaveSlots(std::ostream& out) const;
+  virtual Status LoadSlots(std::istream& in);
+
   /// Updates rows `rows` (deduplicated, sorted) of parameter `i`; rows empty
   /// means a dense update of the whole tensor.
   virtual void Update(size_t i, const std::vector<int64_t>& rows) = 0;
@@ -53,6 +71,8 @@ class Sgd : public Optimizer {
 
  protected:
   void Update(size_t i, const std::vector<int64_t>& rows) override;
+  Status SaveSlots(std::ostream& out) const override;
+  Status LoadSlots(std::istream& in) override;
 
  private:
   float lr_;
@@ -69,6 +89,8 @@ class Adam : public Optimizer {
 
  protected:
   void Update(size_t i, const std::vector<int64_t>& rows) override;
+  Status SaveSlots(std::ostream& out) const override;
+  Status LoadSlots(std::istream& in) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;
@@ -83,6 +105,8 @@ class AdaGrad : public Optimizer {
 
  protected:
   void Update(size_t i, const std::vector<int64_t>& rows) override;
+  Status SaveSlots(std::ostream& out) const override;
+  Status LoadSlots(std::istream& in) override;
 
  private:
   float lr_, eps_;

@@ -1,0 +1,87 @@
+#include "util/fault_injection.h"
+
+namespace sttr {
+
+namespace {
+
+Status Injected(const char* op, const std::string& path) {
+  return Status::IOError(std::string("injected ") + op + " fault: " + path);
+}
+
+}  // namespace
+
+void FaultInjectionEnv::FailNth(Op op, size_t n) {
+  const size_t i = static_cast<size_t>(op);
+  armed_[i] = true;
+  fail_at_[i] = counts_[i] + n;
+}
+
+void FaultInjectionEnv::Reset() {
+  counts_.fill(0);
+  armed_.fill(false);
+  fail_at_.fill(0);
+  faults_triggered_ = 0;
+}
+
+bool FaultInjectionEnv::ShouldFail(Op op) {
+  const size_t i = static_cast<size_t>(op);
+  const size_t index = counts_[i]++;
+  if (armed_[i] && index == fail_at_[i]) {
+    armed_[i] = false;  // one-shot
+    ++faults_triggered_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    std::string_view data) {
+  if (ShouldFail(Op::kWrite)) {
+    if (torn_writes_) {
+      // Crash mid write(): half the payload reaches the file.
+      (void)base_->WriteFile(path, data.substr(0, data.size() / 2));
+    }
+    return Injected("write", path);
+  }
+  return base_->WriteFile(path, data);
+}
+
+StatusOr<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectionEnv::Fsync(const std::string& path) {
+  if (ShouldFail(Op::kFsync)) return Injected("fsync", path);
+  return base_->Fsync(path);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (ShouldFail(Op::kRename)) return Injected("rename", from);
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectionEnv::Remove(const std::string& path) {
+  if (ShouldFail(Op::kRemove)) return Injected("remove", path);
+  return base_->Remove(path);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  if (ShouldFail(Op::kFsync)) return Injected("directory fsync", path);
+  return base_->SyncDir(path);
+}
+
+}  // namespace sttr

@@ -1,0 +1,69 @@
+#ifndef STTR_UTIL_FAULT_INJECTION_H_
+#define STTR_UTIL_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/fs.h"
+
+namespace sttr {
+
+/// Env decorator that fails the Nth operation of a chosen kind with an
+/// IOError, simulating crashes and full disks at every point of the
+/// atomic-write protocol. Used by the checkpoint fault-injection tests to
+/// prove that a failure at any step leaves the previous checkpoint intact.
+///
+/// Not thread-safe; intended for single-threaded test drivers (the
+/// checkpoint writer runs on one thread even under ParallelTrainer).
+class FaultInjectionEnv : public Env {
+ public:
+  enum class Op { kWrite = 0, kFsync, kRename, kRemove };
+  static constexpr size_t kNumOps = 4;
+
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  /// Schedules the `n`th (0-based, counted from now) operation of kind `op`
+  /// to fail. One fault per op kind at a time.
+  void FailNth(Op op, size_t n);
+
+  /// Clears all scheduled faults and counters.
+  void Reset();
+
+  /// When enabled, an injected write fault still writes the first half of
+  /// the data before failing — a torn write, the worst case a crash mid
+  /// write() can leave behind.
+  void set_torn_writes(bool torn) { torn_writes_ = torn; }
+
+  /// Operations of kind `op` attempted since the last Reset().
+  size_t op_count(Op op) const { return counts_[static_cast<size_t>(op)]; }
+
+  /// Injected faults triggered since the last Reset().
+  size_t faults_triggered() const { return faults_triggered_; }
+
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status Fsync(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  /// Advances the op counter; true when this call must fail.
+  bool ShouldFail(Op op);
+
+  Env* base_;
+  std::array<size_t, kNumOps> counts_{};
+  std::array<bool, kNumOps> armed_{};
+  std::array<size_t, kNumOps> fail_at_{};
+  size_t faults_triggered_ = 0;
+  bool torn_writes_ = false;
+};
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_FAULT_INJECTION_H_

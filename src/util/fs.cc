@@ -1,0 +1,180 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace sttr {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status Env::WriteFile(const std::string& path, std::string_view data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("cannot open", path);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = ErrnoError("write failed", path);
+      ::close(fd);
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::close(fd) != 0) return ErrnoError("close failed", path);
+  return Status::OK();
+}
+
+StatusOr<std::string> Env::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("cannot open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = ErrnoError("read failed", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status Env::Fsync(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("cannot open for fsync", path);
+  if (::fsync(fd) != 0) {
+    const Status s = ErrnoError("fsync failed", path);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status Env::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoError("rename failed", from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status Env::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return ErrnoError("unlink failed", path);
+  return Status::OK();
+}
+
+Status Env::CreateDir(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // mkdir -p: create each prefix in turn, tolerating existing directories.
+  for (size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos != path.size() && path[pos] != '/') continue;
+    const std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir failed", prefix);
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("not a directory: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> Env::ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoError("cannot open directory", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    // Regular files only, as documented: checkpoint discovery must not trip
+    // over subdirectories (d_type can be DT_UNKNOWN on some filesystems, so
+    // fall back to stat).
+    if (entry->d_type == DT_UNKNOWN) {
+      struct stat st;
+      if (::stat((path + "/" + name).c_str(), &st) != 0 ||
+          !S_ISREG(st.st_mode)) {
+        continue;
+      }
+    } else if (entry->d_type != DT_REG) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool Env::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status Env::SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("cannot open directory for fsync", path);
+  if (::fsync(fd) != 0) {
+    const Status s = ErrnoError("directory fsync failed", path);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Env* Env::Default() {
+  static Env* env = new Env();
+  return env;
+}
+
+Status AtomicWriteFile(Env& env, const std::string& path,
+                       std::string_view data) {
+  // The temp file lives in the target directory so the rename cannot cross
+  // filesystems (which would lose atomicity). The pid suffix keeps
+  // concurrent writers from clobbering each other's temp files.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  STTR_RETURN_IF_ERROR(env.WriteFile(tmp, data));
+  STTR_RETURN_IF_ERROR(env.Fsync(tmp));
+  STTR_RETURN_IF_ERROR(env.Rename(tmp, path));
+  return env.SyncDir(DirName(path));
+}
+
+std::string DirName(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+bool IsTempFileName(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos;
+}
+
+}  // namespace sttr

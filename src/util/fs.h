@@ -1,0 +1,69 @@
+#ifndef STTR_UTIL_FS_H_
+#define STTR_UTIL_FS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sttr {
+
+/// Small filesystem abstraction the durability-sensitive code (checkpointing)
+/// goes through instead of touching POSIX directly. Every primitive that the
+/// atomic-write protocol depends on — write, fsync, rename, remove — is a
+/// separate virtual so a fault-injecting implementation can fail each one
+/// independently (see util/fault_injection.h).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates/truncates `path` and writes `data` (no fsync).
+  virtual Status WriteFile(const std::string& path, std::string_view data);
+
+  /// Whole-file read.
+  virtual StatusOr<std::string> ReadFile(const std::string& path);
+
+  /// Flushes `path`'s contents to stable storage (fsync).
+  virtual Status Fsync(const std::string& path);
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to);
+
+  /// Deletes a file.
+  virtual Status Remove(const std::string& path);
+
+  /// Creates `path` and any missing parents (mkdir -p). OK if it exists.
+  virtual Status CreateDir(const std::string& path);
+
+  /// Names (not paths) of regular files in `path`, sorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+
+  virtual bool FileExists(const std::string& path);
+
+  /// Flushes directory metadata (the rename itself) to stable storage.
+  virtual Status SyncDir(const std::string& path);
+
+  /// Process-wide POSIX implementation.
+  static Env* Default();
+};
+
+/// Crash-safe file replacement: write `<path>.tmp.<suffix>` → fsync → rename
+/// over `path` → fsync the directory. After a crash at any step, `path` holds
+/// either its previous contents or the complete new contents, never a torn
+/// mix; a leftover `*.tmp.*` file is the only possible residue.
+Status AtomicWriteFile(Env& env, const std::string& path,
+                       std::string_view data);
+
+/// Directory part of `path` ("." when there is no separator).
+std::string DirName(const std::string& path);
+
+/// Final component of `path`.
+std::string BaseName(const std::string& path);
+
+/// True when `name` looks like an AtomicWriteFile temp file.
+bool IsTempFileName(const std::string& name);
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_FS_H_

@@ -38,6 +38,12 @@ uint64_t Rng::Next() {
   return result;
 }
 
+void Rng::set_state(const std::array<uint64_t, 4>& s) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  // Same guard as the constructor: the all-zero state is absorbing.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 Rng Rng::Split(uint64_t stream_id) {
   return Rng(Next() ^ (0xA0761D6478BD642FULL + stream_id * 0xE7037ED1A0B428DBULL));
 }

@@ -1,6 +1,7 @@
 #ifndef STTR_UTIL_RNG_H_
 #define STTR_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +69,11 @@ class Rng {
 
   /// Samples k distinct indices from [0, n) (reservoir if k << n).
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Raw xoshiro256** state, for checkpointing. A generator restored with
+  /// set_state() continues the exact stream it was captured from.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s);
 
  private:
   uint64_t s_[4];

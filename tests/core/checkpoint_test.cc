@@ -1,0 +1,229 @@
+#include "core/checkpoint.h"
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sttr {
+namespace {
+
+std::string TestDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = ::testing::TempDir();
+  dir /= std::string("sttr_ckpt_") + info->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(Crc32Test, MatchesKnownCheckValue) {
+  // The standard CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SeedContinuesAcrossPieces) {
+  EXPECT_EQ(Crc32("456789", Crc32("123")), Crc32("123456789"));
+}
+
+TEST(PackingTest, ScalarRoundTrip) {
+  std::string buf;
+  AppendU32(buf, 0xDEADBEEFu);
+  AppendU64(buf, 0x0123456789ABCDEFull);
+  AppendDouble(buf, -2.5);
+  std::string_view in(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  double c = 0;
+  ASSERT_TRUE(ReadU32(in, &a));
+  ASSERT_TRUE(ReadU64(in, &b));
+  ASSERT_TRUE(ReadDouble(in, &c));
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 0x0123456789ABCDEFull);
+  EXPECT_EQ(c, -2.5);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(PackingTest, ReadersRefuseTruncatedInput) {
+  std::string buf;
+  AppendU32(buf, 7);
+  std::string_view in(std::string_view(buf).substr(0, 3));
+  uint32_t v = 0;
+  EXPECT_FALSE(ReadU32(in, &v));
+  uint64_t w = 0;
+  EXPECT_FALSE(ReadU64(in, &w));
+  std::string_view bytes;
+  EXPECT_FALSE(ReadBytes(in, 4, &bytes));
+  EXPECT_EQ(in.size(), 3u);  // a failed read consumes nothing
+}
+
+CheckpointWriter ThreeSectionWriter() {
+  CheckpointWriter writer;
+  writer.AddSection("alpha", "first payload");
+  writer.AddSection("beta", std::string("\x00\x01\x02\x03", 4));
+  writer.AddSection("gamma", "");
+  return writer;
+}
+
+TEST(CheckpointContainerTest, EncodeParseRoundTrip) {
+  const std::string bytes = ThreeSectionWriter().Encode();
+  auto reader = CheckpointReader::Parse(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), 1u);
+  ASSERT_EQ(reader->sections().size(), 3u);
+  EXPECT_TRUE(reader->HasSection("alpha"));
+  EXPECT_FALSE(reader->HasSection("delta"));
+  EXPECT_EQ(reader->Section("alpha").value(), "first payload");
+  EXPECT_EQ(reader->Section("beta").value(),
+            std::string("\x00\x01\x02\x03", 4));
+  EXPECT_EQ(reader->Section("gamma").value(), "");  // empty payloads are legal
+  EXPECT_EQ(reader->Section("delta").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointContainerTest, WriteToAndOpen) {
+  const std::string path = TestDir() + "/c.sttr";
+  ASSERT_TRUE(ThreeSectionWriter().WriteTo(*Env::Default(), path).ok());
+  auto reader = CheckpointReader::Open(*Env::Default(), path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->Section("alpha").value(), "first payload");
+}
+
+TEST(CheckpointContainerTest, NotACheckpointFileRejected) {
+  EXPECT_FALSE(CheckpointReader::Parse("").ok());
+  EXPECT_FALSE(CheckpointReader::Parse("short").ok());
+  EXPECT_FALSE(CheckpointReader::Parse("definitely not a checkpoint").ok());
+}
+
+TEST(CheckpointContainerTest, TrailingGarbageRejected) {
+  std::string bytes = ThreeSectionWriter().Encode();
+  bytes.push_back('x');
+  auto reader = CheckpointReader::Parse(bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("trailing"), std::string::npos);
+}
+
+// Corruption matrix, part 1: truncation at *every* byte offset — which
+// includes every section boundary — must fail with a Status, never crash or
+// return a partial reader.
+TEST(CheckpointCorruptionTest, TruncationAtEveryOffsetFails) {
+  const std::string bytes = ThreeSectionWriter().Encode();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto reader = CheckpointReader::Parse(bytes.substr(0, len));
+    EXPECT_FALSE(reader.ok()) << "prefix of length " << len << " parsed";
+  }
+}
+
+// Corruption matrix, part 2: single-bit flips in every byte whose integrity
+// the format guarantees — magic, version, section count, payloads and CRCs —
+// must fail. (Section names are not checksummed by design: the per-section
+// CRC covers the payload.)
+TEST(CheckpointCorruptionTest, BitFlipsInCheckedBytesFail) {
+  CheckpointWriter writer;
+  const std::vector<std::pair<std::string, std::string>> sections = {
+      {"alpha", "first payload"},
+      {"beta", std::string("\x00\x01\x02\x03", 4)},
+  };
+  for (const auto& [name, payload] : sections) {
+    writer.AddSection(name, payload);
+  }
+  const std::string bytes = writer.Encode();
+
+  // Walk the known layout collecting the byte ranges that must be detected.
+  std::vector<std::pair<size_t, size_t>> checked;  // [begin, end)
+  checked.emplace_back(0, 16);  // magic + version + section count
+  size_t off = 16;
+  for (const auto& [name, payload] : sections) {
+    off += 4 + name.size();                         // name_len + name
+    off += 8;                                       // payload_len
+    checked.emplace_back(off, off + payload.size());  // payload
+    off += payload.size();
+    checked.emplace_back(off, off + 4);             // crc
+    off += 4;
+  }
+  ASSERT_EQ(off, bytes.size());
+
+  for (const auto& [begin, end] : checked) {
+    for (size_t i = begin; i < end; ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = bytes;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+        auto reader = CheckpointReader::Parse(corrupt);
+        EXPECT_FALSE(reader.ok())
+            << "flip of bit " << bit << " in byte " << i << " parsed";
+      }
+    }
+  }
+}
+
+// Corruption never crashes, whatever byte it hits (name bytes may legally
+// reparse under a different section name; everything else must error).
+TEST(CheckpointCorruptionTest, AnySingleByteCorruptionIsSafe) {
+  const std::string bytes = ThreeSectionWriter().Encode();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    (void)CheckpointReader::Parse(corrupt);  // must not crash / trip ASan
+  }
+}
+
+TEST(CheckpointDirTest, FileNameRoundTrip) {
+  EXPECT_EQ(CheckpointFileName(42), "ckpt-000042.sttr");
+  EXPECT_EQ(ParseCheckpointEpoch("ckpt-000042.sttr").value(), 42u);
+  EXPECT_FALSE(ParseCheckpointEpoch("ckpt-000042.sttr.tmp.77").ok());
+  EXPECT_FALSE(ParseCheckpointEpoch("model.bin").ok());
+}
+
+TEST(CheckpointDirTest, LatestSkipsCorruptAndTempFiles) {
+  Env& env = *Env::Default();
+  const std::string dir = TestDir();
+  ASSERT_TRUE(ThreeSectionWriter()
+                  .WriteTo(env, dir + "/" + CheckpointFileName(1))
+                  .ok());
+  ASSERT_TRUE(ThreeSectionWriter()
+                  .WriteTo(env, dir + "/" + CheckpointFileName(2))
+                  .ok());
+  // Corrupt the newest checkpoint and drop a torn temp file next to it.
+  std::string bytes = *env.ReadFile(dir + "/" + CheckpointFileName(2));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  ASSERT_TRUE(env.WriteFile(dir + "/" + CheckpointFileName(2), bytes).ok());
+  ASSERT_TRUE(
+      env.WriteFile(dir + "/" + CheckpointFileName(3) + ".tmp.99", "torn").ok());
+
+  auto latest = FindLatestValidCheckpoint(env, dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(BaseName(*latest), CheckpointFileName(1));
+}
+
+TEST(CheckpointDirTest, LatestIsNotFoundWhenNothingValid) {
+  Env& env = *Env::Default();
+  const std::string dir = TestDir();
+  auto r = FindLatestValidCheckpoint(env, dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(env.WriteFile(dir + "/ckpt-000001.sttr.tmp.1", "residue").ok());
+  EXPECT_EQ(FindLatestValidCheckpoint(env, dir).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointDirTest, RotationKeepsNewestAndSweepsResidue) {
+  Env& env = *Env::Default();
+  const std::string dir = TestDir();
+  for (size_t epoch = 1; epoch <= 5; ++epoch) {
+    ASSERT_TRUE(ThreeSectionWriter()
+                    .WriteTo(env, dir + "/" + CheckpointFileName(epoch))
+                    .ok());
+  }
+  ASSERT_TRUE(env.WriteFile(dir + "/ckpt-000006.sttr.tmp.1", "torn").ok());
+  ASSERT_TRUE(RotateCheckpoints(env, dir, 2).ok());
+  EXPECT_EQ(*env.ListDir(dir), (std::vector<std::string>{
+                                   CheckpointFileName(4),
+                                   CheckpointFileName(5)}));
+  EXPECT_EQ(RotateCheckpoints(env, dir, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sttr

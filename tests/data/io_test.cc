@@ -150,5 +150,95 @@ TEST(DatasetIoTest, BadNumberRejected) {
   EXPECT_NE(r.status().message().find("not a number"), std::string::npos);
 }
 
+// A loadable base world the coordinate-validation tests corrupt one file of.
+struct ValidFiles {
+  std::string dir;
+  DatasetPaths paths;
+};
+
+ValidFiles WriteValidWorld() {
+  ValidFiles f{TestDir(), {}};
+  f.paths = DatasetPaths::InDirectory(f.dir);
+  std::ofstream(f.paths.cities) << "0\tm\t0.0\t1.0\t0.0\t1.0\n";
+  std::ofstream(f.paths.users) << "0\t0\n";
+  std::ofstream(f.paths.pois) << "0\t0\t0.5\t0.5\tpark\n";
+  std::ofstream(f.paths.checkins) << "0\t0\t1.5\n";
+  return f;
+}
+
+void ExpectRejected(const DatasetPaths& paths, const std::string& file_and_line,
+                    const std::string& what) {
+  auto r = LoadDataset(paths);
+  ASSERT_FALSE(r.ok()) << "expected rejection: " << what;
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(file_and_line), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find(what), std::string::npos)
+      << r.status().message();
+}
+
+TEST(DatasetIoTest, NonFinitePoiCoordinateRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.pois) << "0\t0\tnan\t0.5\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "non-finite");
+  std::ofstream(f.paths.pois) << "0\t0\t0.5\tinf\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "non-finite");
+}
+
+TEST(DatasetIoTest, OutOfBoundsPoiLatitudeRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.pois) << "0\t0\t91.0\t0.5\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "latitude out of range");
+  std::ofstream(f.paths.pois) << "0\t0\t-90.5\t0.5\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "latitude out of range");
+}
+
+TEST(DatasetIoTest, OutOfBoundsPoiLongitudeRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.pois) << "0\t0\t0.5\t180.5\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "longitude out of range");
+}
+
+TEST(DatasetIoTest, LineNumberCountsPhysicalLines) {
+  auto f = WriteValidWorld();
+  // The bad POI sits on physical line 3 (after a comment and a valid line,
+  // with a second valid POI following).
+  std::ofstream(f.paths.pois)
+      << "# header\n0\t0\t0.5\t0.5\tpark\n1\t0\t200.0\t0.5\tcafe\n";
+  ExpectRejected(f.paths, "pois.tsv:3", "latitude out of range");
+}
+
+TEST(DatasetIoTest, NonFiniteCityBoxRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.cities) << "0\tm\t0.0\tinf\t0.0\t1.0\n";
+  ExpectRejected(f.paths, "cities.tsv:1", "non-finite");
+}
+
+TEST(DatasetIoTest, InvertedCityBoxRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.cities) << "0\tm\t1.0\t0.0\t0.0\t1.0\n";
+  ExpectRejected(f.paths, "cities.tsv:1", "inverted bounding box");
+}
+
+TEST(DatasetIoTest, OutOfRangePoiCityRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.pois) << "0\t3\t0.5\t0.5\tpark\n";
+  ExpectRejected(f.paths, "pois.tsv:1", "city_id out of range");
+}
+
+TEST(DatasetIoTest, OutOfRangeCheckinReferencesRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.checkins) << "5\t0\t1.5\n";
+  ExpectRejected(f.paths, "checkins.tsv:1", "user_id out of range");
+  std::ofstream(f.paths.checkins) << "0\t5\t1.5\n";
+  ExpectRejected(f.paths, "checkins.tsv:1", "poi_id out of range");
+}
+
+TEST(DatasetIoTest, NegativeIdsRejected) {
+  auto f = WriteValidWorld();
+  std::ofstream(f.paths.checkins) << "-1\t0\t1.5\n";
+  ExpectRejected(f.paths, "checkins.tsv:1", "user_id out of range");
+}
+
 }  // namespace
 }  // namespace sttr

@@ -1,0 +1,102 @@
+#include "nn/module.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace sttr::nn {
+namespace {
+
+std::vector<Tensor> Snapshot(const Module& m) {
+  std::vector<Tensor> out;
+  for (const auto& p : m.Parameters()) out.push_back(p.value());
+  return out;
+}
+
+void ExpectUnchanged(const Module& m, const std::vector<Tensor>& before) {
+  const auto params = m.Parameters();
+  ASSERT_EQ(params.size(), before.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ASSERT_TRUE(params[i].value().SameShape(before[i])) << "param " << i;
+    for (size_t j = 0; j < before[i].size(); ++j) {
+      ASSERT_EQ(params[i].value()[j], before[i][j])
+          << "param " << i << " element " << j;
+    }
+  }
+}
+
+TEST(ModuleLoadTest, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Mlp a(4, {3, 2}, 0.0f, rng);
+  Mlp b(4, {3, 2}, 0.0f, rng);  // different init draws
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+  ASSERT_TRUE(b.Load(ss).ok());
+  ExpectUnchanged(b, Snapshot(a));
+}
+
+// Regression test for the partial-overwrite bug: a shape mismatch at a
+// *later* parameter used to leave all earlier parameters already replaced.
+// Load must validate the whole stream before committing anything.
+TEST(ModuleLoadTest, LateShapeMismatchLeavesEveryParameterUntouched) {
+  Rng rng(2);
+  Mlp source(4, {3, 5}, 0.0f, rng);
+  // Same first layer (4 -> 3), so the leading weight and bias tensors match
+  // the stream; the second layer (3 -> 2 vs 3 -> 5) does not.
+  Mlp victim(4, {3, 2}, 0.0f, rng);
+  const auto before = Snapshot(victim);
+  std::stringstream ss;
+  ASSERT_TRUE(source.Save(ss).ok());
+  const Status s = victim.Load(ss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("shape mismatch"), std::string::npos);
+  ExpectUnchanged(victim, before);
+}
+
+TEST(ModuleLoadTest, TruncatedStreamLeavesEveryParameterUntouched) {
+  Rng rng(3);
+  Mlp source(4, {3}, 0.0f, rng);
+  Mlp victim(4, {3}, 0.0f, rng);
+  const auto before = Snapshot(victim);
+  std::stringstream full;
+  ASSERT_TRUE(source.Save(full).ok());
+  const std::string bytes = full.str();
+  // Cut the stream inside the *last* tensor: everything before it is valid.
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+  ASSERT_FALSE(victim.Load(truncated).ok());
+  ExpectUnchanged(victim, before);
+}
+
+TEST(ModuleLoadTest, LoadParametersAtomicNamesTheOffendingParameter) {
+  Rng rng(4);
+  Embedding a(6, 3, rng);
+  Embedding b(5, 3, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+  const Status s = LoadParametersAtomic(ss, b.Parameters());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("parameter 0"), std::string::npos)
+      << s.message();
+}
+
+TEST(ModuleLoadTest, LoadedValuesAliasTheLiveParameters) {
+  // Load writes through Variable handles; the module must see the new
+  // values (i.e. the handles alias the same autograd nodes).
+  Rng rng(5);
+  Embedding a(4, 2, rng);
+  Embedding b(4, 2, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+  ASSERT_TRUE(b.Load(ss).ok());
+  for (size_t j = 0; j < a.table().value().size(); ++j) {
+    EXPECT_EQ(b.table().value()[j], a.table().value()[j]);
+  }
+}
+
+}  // namespace
+}  // namespace sttr::nn

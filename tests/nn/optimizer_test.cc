@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -139,6 +140,93 @@ TEST(OptimizerTest, ClipGradNormNoopBelowThreshold) {
 TEST(OptimizerDeathTest, RejectsFrozenParameters) {
   ag::Variable frozen(Tensor({2}), false);
   EXPECT_DEATH(Sgd({frozen}, 0.1f), "frozen");
+}
+
+/// Runs `steps` quadratic-loss steps on `w` with `opt`.
+void RunQuadraticSteps(ag::Variable& w, Optimizer& opt, int steps) {
+  const Tensor target({4}, std::vector<float>{1, 1, 1, 1});
+  for (int s = 0; s < steps; ++s) {
+    ag::Variable diff = ag::Sub(w, ag::Constant(target));
+    ag::Backward(ag::Sum(ag::Mul(diff, diff)));
+    opt.Step();
+  }
+}
+
+/// Trains 3 steps, serialises the optimiser state, rebuilds a fresh
+/// parameter + optimiser pair from the snapshot and trains both 2 more
+/// steps: the restored run must match the uninterrupted one bit for bit
+/// (this is the contract checkpoint resume depends on).
+template <typename MakeOpt>
+void ExpectStateRoundTripBitIdentical(MakeOpt make_opt) {
+  ag::Variable w1(Tensor({4}, std::vector<float>{5, -3, 2, 8}), true);
+  auto opt1 = make_opt(std::vector<ag::Variable>{w1});
+  RunQuadraticSteps(w1, *opt1, 3);
+
+  std::stringstream state;
+  ASSERT_TRUE(opt1->SaveState(state).ok());
+  ag::Variable w2(w1.value(), true);  // parameters restored separately
+  auto opt2 = make_opt(std::vector<ag::Variable>{w2});
+  ASSERT_TRUE(opt2->LoadState(state).ok());
+  EXPECT_EQ(opt2->step_count(), 3);
+
+  RunQuadraticSteps(w1, *opt1, 2);
+  RunQuadraticSteps(w2, *opt2, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w1.value()[i], w2.value()[i]) << "element " << i;
+  }
+  EXPECT_EQ(opt1->step_count(), opt2->step_count());
+}
+
+TEST(OptimizerStateTest, AdamRoundTripContinuesBitIdentically) {
+  ExpectStateRoundTripBitIdentical(
+      [](auto params) { return std::make_unique<Adam>(params, 0.3f); });
+}
+
+TEST(OptimizerStateTest, SgdMomentumRoundTripContinuesBitIdentically) {
+  ExpectStateRoundTripBitIdentical([](auto params) {
+    return std::make_unique<Sgd>(params, 0.02f, 0.9f);
+  });
+}
+
+TEST(OptimizerStateTest, PlainSgdRoundTripContinuesBitIdentically) {
+  ExpectStateRoundTripBitIdentical(
+      [](auto params) { return std::make_unique<Sgd>(params, 0.05f); });
+}
+
+TEST(OptimizerStateTest, AdaGradRoundTripContinuesBitIdentically) {
+  ExpectStateRoundTripBitIdentical(
+      [](auto params) { return std::make_unique<AdaGrad>(params, 0.5f); });
+}
+
+TEST(OptimizerStateTest, SlotShapeMismatchIsAllOrNothing) {
+  ag::Variable w1(Tensor({4}, std::vector<float>{5, -3, 2, 8}), true);
+  Adam opt1({w1}, 0.1f);
+  RunQuadraticSteps(w1, opt1, 1);
+  std::stringstream state;
+  ASSERT_TRUE(opt1.SaveState(state).ok());
+
+  ag::Variable w2(Tensor({5}), true);
+  Adam opt2({w2}, 0.1f);
+  const Status s = opt2.LoadState(state);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(opt2.step_count(), 0);  // nothing committed on error
+}
+
+TEST(OptimizerStateTest, TruncatedStateRejected) {
+  ag::Variable w1(Tensor({4}, std::vector<float>{5, -3, 2, 8}), true);
+  Adam opt1({w1}, 0.1f);
+  RunQuadraticSteps(w1, opt1, 2);
+  std::stringstream full;
+  ASSERT_TRUE(opt1.SaveState(full).ok());
+  const std::string bytes = full.str();
+
+  ag::Variable w2(w1.value(), true);
+  Adam opt2({w2}, 0.1f);
+  // Cut the stream inside the second moment vector: the first was valid.
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 5));
+  ASSERT_FALSE(opt2.LoadState(truncated).ok());
+  EXPECT_EQ(opt2.step_count(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Checkpoint inspector: lists sections of a checkpoint container, verifies
+// its checksums, diffs two checkpoints, and locates the newest valid
+// checkpoint in a directory. The debugging companion to the crash-safe
+// checkpointing in core/checkpoint.h.
+//
+// Usage:
+//   ckpt_inspect list <file>       print sections with sizes and CRCs
+//   ckpt_inspect verify <file>     verify magic/lengths/checksums (exit 1 on
+//                                  corruption)
+//   ckpt_inspect diff <a> <b>      section-by-section comparison; tensor-level
+//                                  stats for the model section
+//   ckpt_inspect latest <dir>      print the newest checkpoint that verifies
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "tensor/tensor.h"
+#include "util/flags.h"
+
+using namespace sttr;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ckpt_inspect list <file> | verify <file> | "
+               "diff <a> <b> | latest <dir>\n");
+  return 2;
+}
+
+StatusOr<CheckpointReader> OpenOrExplain(const std::string& path) {
+  auto reader = CheckpointReader::Open(*Env::Default(), path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+  }
+  return reader;
+}
+
+/// Decodes a "model"/optimizer-style payload of concatenated tensors.
+std::vector<Tensor> DecodeTensors(const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  std::vector<Tensor> out;
+  while (in.peek() != EOF) {
+    StatusOr<Tensor> t = Tensor::Deserialize(in);
+    if (!t.ok()) break;
+    out.push_back(std::move(t).value());
+  }
+  return out;
+}
+
+int List(const std::string& path) {
+  auto reader = OpenOrExplain(path);
+  if (!reader.ok()) return 1;
+  std::printf("%s: format v%u, %zu sections\n", path.c_str(),
+              reader->version(), reader->sections().size());
+  std::printf("%-16s %12s  %s\n", "section", "bytes", "crc32");
+  for (const CheckpointSection& s : reader->sections()) {
+    std::printf("%-16s %12zu  %08x\n", s.name.c_str(), s.payload.size(),
+                s.crc);
+  }
+  for (const CheckpointSection& s : reader->sections()) {
+    if (s.name == "meta") {
+      std::string_view in(s.payload);
+      uint64_t epoch = 0;
+      if (ReadU64(in, &epoch)) {
+        std::printf("meta: %llu completed epochs\n",
+                    static_cast<unsigned long long>(epoch));
+      }
+    } else if (s.name == "config") {
+      std::printf("config: %s\n", s.payload.c_str());
+    } else if (s.name == "model") {
+      const auto tensors = DecodeTensors(s.payload);
+      std::printf("model: %zu tensors:", tensors.size());
+      for (const Tensor& t : tensors) {
+        std::printf(" %s", ShapeToString(t.shape()).c_str());
+      }
+      std::printf("\n");
+    } else if (s.name == "loss_history") {
+      std::string_view in(s.payload);
+      uint64_t n = 0;
+      if (ReadU64(in, &n)) {
+        std::printf("loss_history: %llu epochs",
+                    static_cast<unsigned long long>(n));
+        double last = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!ReadDouble(in, &last)) break;
+        }
+        if (n > 0) std::printf(", last mean loss %.6f", last);
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
+
+int Verify(const std::string& path) {
+  auto reader = OpenOrExplain(path);
+  if (!reader.ok()) return 1;
+  std::printf("%s: OK (%zu sections, all checksums verified)\n", path.c_str(),
+              reader->sections().size());
+  return 0;
+}
+
+int Diff(const std::string& a_path, const std::string& b_path) {
+  auto a = OpenOrExplain(a_path);
+  auto b = OpenOrExplain(b_path);
+  if (!a.ok() || !b.ok()) return 1;
+  int differences = 0;
+  std::vector<std::string> names;
+  for (const CheckpointSection& s : a->sections()) names.push_back(s.name);
+  for (const CheckpointSection& s : b->sections()) {
+    if (!a->HasSection(s.name)) names.push_back(s.name);
+  }
+  for (const std::string& name : names) {
+    if (!a->HasSection(name) || !b->HasSection(name)) {
+      std::printf("%-16s only in %s\n", name.c_str(),
+                  a->HasSection(name) ? a_path.c_str() : b_path.c_str());
+      ++differences;
+      continue;
+    }
+    const std::string pa = a->Section(name).value();
+    const std::string pb = b->Section(name).value();
+    if (pa == pb) {
+      std::printf("%-16s identical (%zu bytes)\n", name.c_str(), pa.size());
+      continue;
+    }
+    ++differences;
+    if (name == "model") {
+      const auto ta = DecodeTensors(pa);
+      const auto tb = DecodeTensors(pb);
+      if (ta.size() != tb.size()) {
+        std::printf("%-16s differs: %zu vs %zu tensors\n", name.c_str(),
+                    ta.size(), tb.size());
+        continue;
+      }
+      std::printf("%-16s differs in values:\n", name.c_str());
+      for (size_t i = 0; i < ta.size(); ++i) {
+        if (!ta[i].SameShape(tb[i])) {
+          std::printf("  tensor %zu: shape %s vs %s\n", i,
+                      ShapeToString(ta[i].shape()).c_str(),
+                      ShapeToString(tb[i].shape()).c_str());
+          continue;
+        }
+        double max_diff = 0;
+        size_t changed = 0;
+        for (size_t j = 0; j < ta[i].size(); ++j) {
+          const double d = std::abs(static_cast<double>(ta[i][j]) - tb[i][j]);
+          if (d > 0) ++changed;
+          if (d > max_diff) max_diff = d;
+        }
+        std::printf("  tensor %zu %s: %zu/%zu values differ, max |delta| %.3e\n",
+                    i, ShapeToString(ta[i].shape()).c_str(), changed,
+                    ta[i].size(), max_diff);
+      }
+    } else {
+      std::printf("%-16s differs (%zu vs %zu bytes)\n", name.c_str(),
+                  pa.size(), pb.size());
+    }
+  }
+  std::printf("%d section(s) differ\n", differences);
+  return differences == 0 ? 0 : 1;
+}
+
+int Latest(const std::string& dir) {
+  auto path = FindLatestValidCheckpoint(*Env::Default(), dir);
+  if (!path.ok()) {
+    std::fprintf(stderr, "%s\n", path.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", path->c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return Usage();
+  const auto& args = flags.positional();
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+  if (cmd == "list" && args.size() == 2) return List(args[1]);
+  if (cmd == "verify" && args.size() == 2) return Verify(args[1]);
+  if (cmd == "diff" && args.size() == 3) return Diff(args[1], args[2]);
+  if (cmd == "latest" && args.size() == 2) return Latest(args[1]);
+  return Usage();
+}
