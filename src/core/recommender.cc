@@ -16,26 +16,16 @@ inline bool RanksBefore(const std::pair<PoiId, double>& a,
 
 }  // namespace
 
-std::vector<std::pair<PoiId, double>> Recommender::RecommendTopK(
-    const Dataset& dataset, CityId city, UserId user, size_t k,
-    const std::unordered_set<PoiId>* exclude) const {
-  std::vector<PoiId> candidates;
-  const auto& city_pois = dataset.PoisInCity(city);
-  candidates.reserve(city_pois.size());
-  for (PoiId v : city_pois) {
-    if (exclude != nullptr && exclude->count(v)) continue;
-    candidates.push_back(v);
-  }
-  if (k == 0 || candidates.empty()) return {};
-  const std::vector<double> scores = ScoreBatch(user, candidates);
-
+std::vector<std::pair<PoiId, double>> TopKByScore(
+    std::span<const PoiId> pois, std::span<const double> scores, size_t k) {
   // Bounded selection: a size-k heap under RanksBefore, whose front is the
   // *worst* kept entry, so memory stays O(k) instead of materialising and
   // partial_sort-ing every candidate's (poi, score) pair.
+  if (k == 0 || pois.empty()) return {};
   std::vector<std::pair<PoiId, double>> heap;
-  heap.reserve(std::min(k, candidates.size()) + 1);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const std::pair<PoiId, double> entry{candidates[i], scores[i]};
+  heap.reserve(std::min(k, pois.size()) + 1);
+  for (size_t i = 0; i < pois.size(); ++i) {
+    const std::pair<PoiId, double> entry{pois[i], scores[i]};
     if (heap.size() < k) {
       heap.push_back(entry);
       std::push_heap(heap.begin(), heap.end(), RanksBefore);
@@ -49,6 +39,21 @@ std::vector<std::pair<PoiId, double>> Recommender::RecommendTopK(
   // RanksBefore means best first — exactly the output contract.
   std::sort_heap(heap.begin(), heap.end(), RanksBefore);
   return heap;
+}
+
+std::vector<std::pair<PoiId, double>> Recommender::RecommendTopK(
+    const Dataset& dataset, CityId city, UserId user, size_t k,
+    const std::unordered_set<PoiId>* exclude) const {
+  std::vector<PoiId> candidates;
+  const auto& city_pois = dataset.PoisInCity(city);
+  candidates.reserve(city_pois.size());
+  for (PoiId v : city_pois) {
+    if (exclude != nullptr && exclude->count(v)) continue;
+    candidates.push_back(v);
+  }
+  if (k == 0 || candidates.empty()) return {};
+  const std::vector<double> scores = ScoreBatch(user, candidates);
+  return TopKByScore(candidates, scores, k);
 }
 
 }  // namespace sttr

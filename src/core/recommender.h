@@ -1,6 +1,7 @@
 #ifndef STTR_CORE_RECOMMENDER_H_
 #define STTR_CORE_RECOMMENDER_H_
 
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -12,6 +13,14 @@
 #include "util/status.h"
 
 namespace sttr {
+
+/// Bounded top-k selection over parallel (poi, score) arrays under the
+/// canonical ranking order: higher score first, ties broken by smaller POI
+/// id. Shared by RecommendTopK and the online serving path so both rank
+/// identically. O(k) memory; returns best first.
+std::vector<std::pair<PoiId, double>> TopKByScore(std::span<const PoiId> pois,
+                                                  std::span<const double> scores,
+                                                  size_t k);
 
 /// Common interface of ST-TransRec, its ablation variants and every
 /// baseline: fit on the crossing-city training split, then score

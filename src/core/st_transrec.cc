@@ -33,6 +33,9 @@ size_t DefaultTrainWorkers() {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+    STTR_LOG(Warning) << "STTR_TRAIN_WORKERS='" << env
+                      << "' is not a positive integer; falling back to 1 "
+                         "training worker";
   }
   return 1;
 }
@@ -480,6 +483,38 @@ std::vector<double> StTransRec::ScoreBatch(UserId user,
   // Per-element scalar sigmoid on purpose: the vector kernel's polynomial
   // exp differs from the scalar one by ulps across batch positions, which
   // would break the ScoreBatch == per-pair Score exactness contract.
+  for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(logits[i]);
+  return out;
+}
+
+std::vector<double> StTransRec::ScorePairs(std::span<const UserId> users,
+                                           std::span<const PoiId> pois) const {
+  STTR_CHECK(fitted_) << "ScorePairs() before Fit()";
+  STTR_CHECK_EQ(users.size(), pois.size());
+  if (pois.empty()) return {};
+  const Tensor& user_table = user_emb_->table().value();
+  const Tensor& poi_table = poi_emb_->table().value();
+  const size_t n = pois.size();
+  const size_t d = user_table.cols();
+  Tensor h({n, 2 * d});
+  for (size_t i = 0; i < n; ++i) {
+    const UserId u = users[i];
+    const PoiId v = pois[i];
+    STTR_CHECK_GE(u, 0);
+    STTR_CHECK_LT(static_cast<size_t>(u), user_table.rows());
+    STTR_CHECK_GE(v, 0);
+    STTR_CHECK_LT(static_cast<size_t>(v), poi_table.rows());
+    float* dst = h.row(i);
+    const float* urow = user_table.row(static_cast<size_t>(u));
+    const float* vrow = poi_table.row(static_cast<size_t>(v));
+    for (size_t j = 0; j < d; ++j) dst[j] = urow[j];
+    for (size_t j = 0; j < d; ++j) dst[d + j] = vrow[j];
+  }
+  const Tensor logits = mlp_->InferenceForward(h);
+  std::vector<double> out(n);
+  // Scalar sigmoid for the same reason as ScoreBatch: the vector kernel
+  // differs by ulps across batch positions, which would break the
+  // ScorePairs == per-pair Score exactness contract.
   for (size_t i = 0; i < n; ++i) out[i] = SigmoidScalar(logits[i]);
   return out;
 }

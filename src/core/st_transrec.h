@@ -174,6 +174,14 @@ class StTransRec : public Recommender {
   std::vector<double> ScoreBatch(UserId user,
                                  std::span<const PoiId> pois) const override;
 
+  /// Mixed-user batched inference (the serving micro-batcher's hot path):
+  /// gathers each pair's user and POI embedding rows into one (n, 2d) block
+  /// and runs the tower once. Because the MLP kernels compute every output
+  /// row independently of the rest of the batch, each returned value is
+  /// bit-identical to Score(users[i], pois[i]).
+  std::vector<double> ScorePairs(std::span<const UserId> users,
+                                 std::span<const PoiId> pois) const override;
+
   std::string name() const override;
 
   const StTransRecConfig& config() const { return config_; }

@@ -36,6 +36,21 @@ class PoiScorer {
     for (PoiId v : pois) out.push_back(Score(user, v));
     return out;
   }
+
+  /// Scores heterogeneous (user, poi) pairs, returned in input order. This
+  /// is the entry point the online micro-batcher coalesces concurrent
+  /// requests from *different* users into. The default loops over Score();
+  /// overrides must return exactly the per-pair values Score() would, so
+  /// batching is invisible to callers. Precondition: equal span lengths.
+  virtual std::vector<double> ScorePairs(std::span<const UserId> users,
+                                         std::span<const PoiId> pois) const {
+    std::vector<double> out;
+    out.reserve(pois.size());
+    for (size_t i = 0; i < pois.size(); ++i) {
+      out.push_back(Score(users[i], pois[i]));
+    }
+    return out;
+  }
 };
 
 /// Configuration of the paper's §4.1 ranking protocol.

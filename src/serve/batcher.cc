@@ -1,0 +1,163 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sttr::serve {
+
+ScoreBatcher::ScoreBatcher(BatcherConfig config, ServeStats* stats)
+    : config_(config), stats_(stats) {
+  STTR_CHECK_GT(config_.max_batch_pairs, 0u);
+}
+
+ScoreBatcher::~ScoreBatcher() { Stop(); }
+
+void ScoreBatcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void ScoreBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  dispatcher_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+std::future<std::vector<double>> ScoreBatcher::Submit(
+    std::shared_ptr<const PoiScorer> model, UserId user,
+    std::vector<PoiId> pois) {
+  Request req;
+  req.model = std::move(model);
+  req.user = user;
+  req.pois = std::move(pois);
+  req.enqueued_at = std::chrono::steady_clock::now();
+  std::future<std::vector<double>> future = req.promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  STTR_CHECK(running_ && !stopping_) << "Submit() on a stopped ScoreBatcher";
+
+  // Caller-runs fast path: nothing queued and nobody scoring, so handing
+  // off to the dispatcher would only add a wake-up and two context
+  // switches. Score right here instead. Skipped when min_batch_pairs asks
+  // lone requests to wait for co-batchable traffic.
+  if (config_.min_batch_pairs <= 1 && queue_.empty() && !flush_in_flight_) {
+    flush_in_flight_ = true;
+    ++batches_;
+    lock.unlock();
+    std::vector<Request> one;
+    one.push_back(std::move(req));
+    Flush(std::move(one));
+    lock.lock();
+    flush_in_flight_ = false;
+    lock.unlock();
+    // The dispatcher blocks on flush_in_flight_; wake it for requests that
+    // arrived while we were scoring, or for a Stop() that fired meanwhile.
+    work_ready_.notify_one();
+    return future;
+  }
+
+  pending_pairs_ += req.pois.size();
+  queue_.push_back(std::move(req));
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+uint64_t ScoreBatcher::num_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+void ScoreBatcher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return (!queue_.empty() || stopping_) && !flush_in_flight_;
+    });
+    if (queue_.empty() && stopping_) return;
+
+    // Below the minimum batch, wait for co-batchable traffic until either
+    // the pair budget fills or the oldest request's deadline expires
+    // (Stop() flushes immediately). At the default min_batch_pairs of 1
+    // this never waits: the queue already holds everything that arrived
+    // while the previous flush was scoring.
+    const auto deadline = queue_.front().enqueued_at + config_.max_wait;
+    while (!stopping_ && pending_pairs_ < config_.min_batch_pairs &&
+           pending_pairs_ < config_.max_batch_pairs &&
+           std::chrono::steady_clock::now() < deadline) {
+      work_ready_.wait_until(lock, deadline);
+    }
+
+    // Take requests up to the pair budget (always at least one, so an
+    // oversized request still flushes as its own batch).
+    std::vector<Request> batch;
+    size_t taken_pairs = 0;
+    while (!queue_.empty()) {
+      const size_t next = queue_.front().pois.size();
+      if (!batch.empty() && taken_pairs + next > config_.max_batch_pairs) {
+        break;
+      }
+      taken_pairs += next;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      pending_pairs_ -= next;
+    }
+    ++batches_;
+    flush_in_flight_ = true;
+
+    lock.unlock();
+    Flush(std::move(batch));
+    lock.lock();
+    flush_in_flight_ = false;
+  }
+}
+
+void ScoreBatcher::Flush(std::vector<Request> batch) {
+  if (stats_ != nullptr) {
+    stats_->batches.fetch_add(1, std::memory_order_relaxed);
+    stats_->batched_requests.fetch_add(batch.size(),
+                                       std::memory_order_relaxed);
+  }
+  // Group consecutive requests by model snapshot: one ScorePairs call per
+  // snapshot present in the batch (normally exactly one; briefly two around
+  // a hot reload).
+  size_t start = 0;
+  while (start < batch.size()) {
+    size_t end = start + 1;
+    while (end < batch.size() && batch[end].model == batch[start].model) {
+      ++end;
+    }
+    std::vector<UserId> users;
+    std::vector<PoiId> pois;
+    for (size_t i = start; i < end; ++i) {
+      users.insert(users.end(), batch[i].pois.size(), batch[i].user);
+      pois.insert(pois.end(), batch[i].pois.begin(), batch[i].pois.end());
+    }
+    if (stats_ != nullptr) {
+      stats_->scored_pairs.fetch_add(pois.size(), std::memory_order_relaxed);
+    }
+    const std::vector<double> scores = batch[start].model->ScorePairs(
+        {users.data(), users.size()}, {pois.data(), pois.size()});
+    size_t offset = 0;
+    for (size_t i = start; i < end; ++i) {
+      const size_t n = batch[i].pois.size();
+      batch[i].promise.set_value(std::vector<double>(
+          scores.begin() + static_cast<long>(offset),
+          scores.begin() + static_cast<long>(offset + n)));
+      offset += n;
+    }
+    start = end;
+  }
+}
+
+}  // namespace sttr::serve

@@ -1,0 +1,108 @@
+#ifndef STTR_SERVE_BATCHER_H_
+#define STTR_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/types.h"
+#include "eval/protocol.h"
+#include "serve/stats.h"
+
+namespace sttr::serve {
+
+struct BatcherConfig {
+  /// Flush when the pending (user, poi) pair count reaches this. 1 degrades
+  /// to per-request scoring (the loadgen's baseline mode).
+  size_t max_batch_pairs = 512;
+  /// Don't wait for more traffic once this many pairs are pending. The
+  /// default of 1 is continuous batching: the dispatcher flushes whatever
+  /// queued while the previous flush was scoring, so batches grow with load
+  /// and a lone request is never delayed.
+  size_t min_batch_pairs = 1;
+  /// With min_batch_pairs > 1: flush no later than this after the *oldest*
+  /// pending request arrived, bounding the latency cost of waiting for
+  /// co-batchable traffic.
+  std::chrono::microseconds max_wait{300};
+};
+
+/// Dynamic micro-batching queue: concurrent recommendation requests enqueue
+/// their (user, candidates) work and block on a future; a dispatcher thread
+/// coalesces everything pending into one ScorePairs call — one MLP forward
+/// over the union batch instead of one per request — and distributes the
+/// scores back. Because ScorePairs computes every row independently
+/// (bit-identical to per-pair Score), batching is invisible in the results;
+/// it only changes throughput.
+///
+/// Dispatch is caller-runs when idle: a Submit that finds the queue empty
+/// and no flush in flight scores its own request on the submitting thread,
+/// skipping the dispatcher hand-off entirely — so an unloaded server pays
+/// no batching overhead. Under load the hand-off path takes over and
+/// flushes coalesce. (Only with min_batch_pairs == 1; a larger minimum
+/// always queues, since lone requests must wait for co-batchable traffic.)
+///
+/// A coalesced ScorePairs call runs on the dispatcher thread, from where
+/// the model's kernels fan out over the shared GlobalThreadPool exactly as
+/// offline batched inference does. At most one flush runs at a time, so
+/// scoring working sets never contend with each other for cache.
+class ScoreBatcher {
+ public:
+  /// `stats` (optional) receives batch-occupancy counters.
+  explicit ScoreBatcher(BatcherConfig config, ServeStats* stats = nullptr);
+  ~ScoreBatcher();
+
+  ScoreBatcher(const ScoreBatcher&) = delete;
+  ScoreBatcher& operator=(const ScoreBatcher&) = delete;
+
+  void Start();
+  /// Drains pending requests (they still get scored), then joins.
+  void Stop();
+
+  /// Enqueues one request against `model` (kept alive via the shared_ptr
+  /// until its flush completes, so a hot reload never pulls a snapshot out
+  /// from under a queued request). The future yields scores in `pois` order.
+  std::future<std::vector<double>> Submit(
+      std::shared_ptr<const PoiScorer> model, UserId user,
+      std::vector<PoiId> pois);
+
+  /// ScorePairs flushes issued so far.
+  uint64_t num_batches() const;
+
+ private:
+  struct Request {
+    std::shared_ptr<const PoiScorer> model;
+    UserId user;
+    std::vector<PoiId> pois;
+    std::promise<std::vector<double>> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void DispatchLoop();
+  /// Scores `batch` (grouped by model snapshot) and fulfils its promises.
+  void Flush(std::vector<Request> batch);
+
+  BatcherConfig config_;
+  ServeStats* stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Request> queue_;
+  size_t pending_pairs_ = 0;
+  uint64_t batches_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  /// True while any thread (dispatcher or a caller-runs Submit) is inside
+  /// Flush; keeps scoring serialized.
+  bool flush_in_flight_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_BATCHER_H_

@@ -1,0 +1,167 @@
+#include "serve/model_bundle.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "util/logging.h"
+
+namespace sttr::serve {
+
+namespace {
+
+/// A serving snapshot never trains, so its model must not write checkpoints
+/// of its own; everything else has to match the training config for the
+/// fingerprint check to pass.
+StTransRecConfig ServingConfig(StTransRecConfig cfg, Env* env) {
+  cfg.checkpoint_dir.clear();
+  cfg.env = env;
+  cfg.verbose = false;
+  return cfg;
+}
+
+}  // namespace
+
+ModelBundle::ModelBundle(const Dataset& dataset, const CrossCitySplit& split,
+                         ModelBundleConfig config)
+    : dataset_(dataset), split_(split), config_(std::move(config)) {}
+
+ModelBundle::~ModelBundle() { StopWatcher(); }
+
+Env& ModelBundle::env() const {
+  return config_.env != nullptr ? *config_.env : *Env::Default();
+}
+
+StatusOr<std::shared_ptr<ModelSnapshot>> ModelBundle::LoadSnapshot(
+    const std::string& path) const {
+  auto model = std::make_shared<StTransRec>(
+      ServingConfig(config_.model, config_.env));
+  STTR_RETURN_IF_ERROR(model->Prepare(dataset_, split_));
+
+  StatusOr<CheckpointReader> reader = CheckpointReader::Open(env(), path);
+  if (!reader.ok()) return reader.status();
+
+  StatusOr<std::string> fingerprint = reader->Section("config");
+  if (!fingerprint.ok()) return fingerprint.status();
+  if (*fingerprint != model->ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " was written under a different config or "
+        "dataset than this bundle serves\n  checkpoint: " + *fingerprint +
+        "\n  serving:    " + model->ConfigFingerprint());
+  }
+
+  StatusOr<std::string> params = reader->Section("model");
+  if (!params.ok()) return params.status();
+  {
+    std::istringstream in(*params, std::ios::binary);
+    STTR_RETURN_IF_ERROR(model->Load(in));
+  }
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = std::move(model);
+  snapshot->checkpoint_path = path;
+  StatusOr<std::string> meta = reader->Section("meta");
+  if (meta.ok()) {
+    std::string_view in(*meta);
+    uint64_t epoch = 0;
+    if (ReadU64(in, &epoch)) snapshot->epoch = static_cast<size_t>(epoch);
+  }
+  return snapshot;
+}
+
+Status ModelBundle::LoadInitial() {
+  StatusOr<std::string> path =
+      FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+  if (!path.ok()) return path.status();
+  StatusOr<std::shared_ptr<ModelSnapshot>> snapshot = LoadSnapshot(*path);
+  if (!snapshot.ok()) return snapshot.status();
+  Swap(std::move(*snapshot));
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelSnapshot> ModelBundle::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+StatusOr<bool> ModelBundle::ReloadIfNewer() {
+  StatusOr<std::string> path =
+      FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+  if (!path.ok()) return path.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snapshot_ != nullptr && snapshot_->checkpoint_path == *path) {
+      return false;
+    }
+  }
+  // Load outside the lock: Prepare() + parameter IO takes long enough that
+  // requests must keep reading the current snapshot meanwhile.
+  StatusOr<std::shared_ptr<ModelSnapshot>> snapshot = LoadSnapshot(*path);
+  if (!snapshot.ok()) return snapshot.status();
+  Swap(std::move(*snapshot));
+  return true;
+}
+
+void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
+  std::vector<std::function<void(const ModelSnapshot&)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    snapshot_ = next;
+    listeners = listeners_;
+  }
+  // Listeners run after the swap is visible: a cache invalidated here can
+  // only be refilled from the new snapshot.
+  for (const auto& listener : listeners) listener(*next);
+  STTR_LOG(Info) << "model bundle: serving " << next->checkpoint_path
+                 << " (epoch " << next->epoch << ", version "
+                 << next->version << ")";
+}
+
+void ModelBundle::AddReloadListener(
+    std::function<void(const ModelSnapshot&)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+uint64_t ModelBundle::reload_count() const {
+  return reloads_.load(std::memory_order_acquire);
+}
+
+void ModelBundle::StartWatcher() {
+  std::lock_guard<std::mutex> lock(watcher_mu_);
+  if (watcher_.joinable()) return;
+  watcher_stop_ = false;
+  watcher_ = std::thread([this] { WatcherLoop(); });
+}
+
+void ModelBundle::StopWatcher() {
+  {
+    std::lock_guard<std::mutex> lock(watcher_mu_);
+    if (!watcher_.joinable()) return;
+    watcher_stop_ = true;
+  }
+  watcher_cv_.notify_all();
+  watcher_.join();
+}
+
+void ModelBundle::WatcherLoop() {
+  std::unique_lock<std::mutex> lock(watcher_mu_);
+  while (!watcher_stop_) {
+    watcher_cv_.wait_for(lock, config_.poll_interval,
+                         [this] { return watcher_stop_; });
+    if (watcher_stop_) return;
+    lock.unlock();
+    StatusOr<bool> swapped = ReloadIfNewer();
+    if (!swapped.ok()) {
+      // NotFound just means the trainer hasn't written anything new; a
+      // checkpoint deleted by rotation mid-load lands here too and is
+      // retried next poll.
+      STTR_LOG(Debug) << "model bundle: reload attempt: "
+                      << swapped.status().ToString();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace sttr::serve

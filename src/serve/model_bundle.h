@@ -1,0 +1,113 @@
+#ifndef STTR_SERVE_MODEL_BUNDLE_H_
+#define STTR_SERVE_MODEL_BUNDLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/st_transrec.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace sttr::serve {
+
+/// One immutable serving snapshot: a fully loaded model plus the provenance
+/// of the checkpoint it came from. Requests capture a shared_ptr to the
+/// snapshot at admission and score against it for their whole lifetime, so
+/// a hot reload can never hand one request parameters from two models.
+struct ModelSnapshot {
+  std::shared_ptr<const StTransRec> model;
+  std::string checkpoint_path;
+  size_t epoch = 0;      ///< completed training epochs in the checkpoint
+  uint64_t version = 0;  ///< reload counter, 1 for the initial load
+};
+
+struct ModelBundleConfig {
+  /// Directory the trainer writes checkpoints into.
+  std::string checkpoint_dir;
+  /// Must match the training config: checkpoints carry a config fingerprint
+  /// and a snapshot that doesn't match is rejected, never served.
+  StTransRecConfig model;
+  /// Watcher poll period for newer checkpoints.
+  std::chrono::milliseconds poll_interval{200};
+  /// Filesystem; null means Env::Default().
+  Env* env = nullptr;
+};
+
+/// Loads the newest valid checkpoint into an immutable, atomically swappable
+/// model snapshot, and (optionally) watches the checkpoint directory in the
+/// background, hot-reloading whenever the trainer lands a newer one.
+/// Corrupt or torn files are skipped by FindLatestValidCheckpoint, and a
+/// checkpoint that vanishes mid-load (rotation racing the watcher) surfaces
+/// as a Status and is retried on the next poll — the previous snapshot keeps
+/// serving throughout. In-flight requests are never dropped: they hold
+/// their snapshot's shared_ptr, and the old model is destroyed only when the
+/// last request using it completes.
+class ModelBundle {
+ public:
+  /// The dataset and split must outlive the bundle (snapshots Prepare()
+  /// against them).
+  ModelBundle(const Dataset& dataset, const CrossCitySplit& split,
+              ModelBundleConfig config);
+  ~ModelBundle();
+
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+
+  /// Blocking initial load of the newest valid checkpoint. Must succeed
+  /// before snapshot() is usable.
+  Status LoadInitial();
+
+  /// Current snapshot (never null after a successful LoadInitial()).
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Checks for a checkpoint newer than the current snapshot and swaps it
+  /// in. Returns true when a swap happened, false when already current.
+  StatusOr<bool> ReloadIfNewer();
+
+  /// Registered callbacks run after every swap (initial load included),
+  /// on the thread that performed it — the hook the result cache's
+  /// InvalidateAll() hangs off.
+  void AddReloadListener(std::function<void(const ModelSnapshot&)> listener);
+
+  /// Background polling via ReloadIfNewer() every poll_interval.
+  void StartWatcher();
+  void StopWatcher();
+
+  /// Successful swaps so far (1 after LoadInitial()).
+  uint64_t reload_count() const;
+
+ private:
+  StatusOr<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
+      const std::string& path) const;
+  void Swap(std::shared_ptr<ModelSnapshot> next);
+  Env& env() const;
+  void WatcherLoop();
+
+  const Dataset& dataset_;
+  const CrossCitySplit& split_;
+  ModelBundleConfig config_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::vector<std::function<void(const ModelSnapshot&)>> listeners_;
+  std::atomic<uint64_t> reloads_{0};
+
+  std::mutex watcher_mu_;
+  std::condition_variable watcher_cv_;
+  bool watcher_stop_ = false;
+  std::thread watcher_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_MODEL_BUNDLE_H_

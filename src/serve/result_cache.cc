@@ -1,0 +1,114 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sttr::serve {
+
+namespace {
+
+/// SplitMix64 finaliser: cheap, well-mixed 64-bit hash step.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ResultCache::KeyHash::operator()(const ResultCacheKey& k) const {
+  uint64_t h = Mix(static_cast<uint64_t>(k.user));
+  h = Mix(h ^ static_cast<uint64_t>(static_cast<int64_t>(k.city)));
+  h = Mix(h ^ k.cell);
+  h = Mix(h ^ k.k);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(ResultCacheConfig config)
+    : config_(std::move(config)) {
+  STTR_CHECK_GT(config_.num_shards, 0u);
+  per_shard_capacity_ =
+      std::max<size_t>(1, config_.capacity / config_.num_shards);
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardOf(const ResultCacheKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::chrono::steady_clock::time_point ResultCache::Now() const {
+  return config_.clock ? config_.clock() : std::chrono::steady_clock::now();
+}
+
+std::optional<ResultCache::Value> ResultCache::Get(const ResultCacheKey& key) {
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  const Entry& entry = *it->second;
+  const bool expired = config_.ttl.count() > 0 && Now() >= entry.expires_at;
+  if (entry.generation != gen || expired) {
+    // Stale generation or past TTL: evict lazily, count as a miss.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.evictions;
+    ++shard.misses;
+    return std::nullopt;
+  }
+  // Refresh LRU position: splice the hit entry to the front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->value;
+}
+
+void ResultCache::Put(const ResultCacheKey& key, Value value) {
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.value = std::move(value);
+  entry.generation = gen;
+  if (config_.ttl.count() > 0) entry.expires_at = Now() + config_.ttl;
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::InvalidateAll() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace sttr::serve

@@ -1,0 +1,115 @@
+#ifndef STTR_SERVE_RESULT_CACHE_H_
+#define STTR_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/types.h"
+
+namespace sttr::serve {
+
+/// Cache key of one recommendation result. Queries are keyed by the grid
+/// cell of the request location (not the raw coordinates), so every query
+/// falling into the same cell — which by construction sees the same
+/// candidate set — shares one entry.
+struct ResultCacheKey {
+  UserId user = -1;
+  CityId city = -1;
+  uint64_t cell = 0;
+  uint32_t k = 0;
+
+  bool operator==(const ResultCacheKey& o) const {
+    return user == o.user && city == o.city && cell == o.cell && k == o.k;
+  }
+};
+
+struct ResultCacheConfig {
+  /// Independent LRU shards; the shard is picked by key hash, so concurrent
+  /// requests for different users rarely contend on the same mutex.
+  size_t num_shards = 8;
+  /// Total entry capacity across shards (each shard gets its equal cut,
+  /// minimum 1).
+  size_t capacity = 4096;
+  /// Entries older than this are served as misses and lazily evicted.
+  /// Zero or negative disables expiry.
+  std::chrono::milliseconds ttl{5000};
+  /// Injectable clock for tests; null uses steady_clock.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// Sharded LRU cache of per-(user, cell, k) top-K results with TTL and
+/// wholesale invalidation. InvalidateAll() bumps a generation counter —
+/// O(1), no locking of the shards — and entries from older generations are
+/// treated as misses and evicted lazily; the model bundle calls it on every
+/// hot reload so no request is ever served from a stale model's scores.
+class ResultCache {
+ public:
+  using Value = std::vector<std::pair<PoiId, double>>;
+
+  explicit ResultCache(ResultCacheConfig config);
+
+  /// Returns the cached top-K, refreshing its LRU position; nullopt on
+  /// miss/expired/invalidated.
+  std::optional<Value> Get(const ResultCacheKey& key);
+
+  /// Inserts or replaces under the current generation, evicting the shard's
+  /// LRU tail beyond capacity.
+  void Put(const ResultCacheKey& key, Value value);
+
+  /// Drops every current entry in O(1) by advancing the generation.
+  void InvalidateAll();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  ///< InvalidateAll() calls
+    size_t entries = 0;          ///< resident entries, any generation
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    ResultCacheKey key;
+    Value value;
+    uint64_t generation = 0;
+    std::chrono::steady_clock::time_point expires_at;
+  };
+
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& k) const;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recent. The map holds iterators into the list.
+    std::list<Entry> lru;
+    std::unordered_map<ResultCacheKey, std::list<Entry>::iterator, KeyHash>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(const ResultCacheKey& key);
+  std::chrono::steady_clock::time_point Now() const;
+
+  ResultCacheConfig config_;
+  size_t per_shard_capacity_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,462 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/recommender.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sttr::serve {
+
+namespace {
+
+/// Minimal query-string decoding: splits "a=1&b=2" into pairs. Values are
+/// numeric in this API, so %-unescaping is deliberately not implemented.
+std::vector<std::pair<std::string, std::string>> ParseQuery(
+    const std::string& query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  for (const std::string& part : Split(query, '&')) {
+    if (part.empty()) continue;
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      params.emplace_back(part, "");
+    } else {
+      params.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
+const std::string* FindParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::string& name) {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleParam(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string ErrorJson(const std::string& message) {
+  // Parameter names and static messages only — nothing here needs escaping.
+  return std::string("{\"error\": \"") + message + "\"}";
+}
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Writes the full buffer, retrying on short writes/EINTR.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendResponse(int fd, int code, const std::string& body,
+                  bool keep_alive) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << code << " " << StatusText(code) << "\r\n"
+     << "Content-Type: application/json\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
+     << "\r\n"
+     << body;
+  return WriteAll(fd, os.str());
+}
+
+}  // namespace
+
+RecommendServer::RecommendServer(ServerConfig config, const Dataset& dataset,
+                                 ModelBundle* bundle, CandidateIndex* index,
+                                 ScoreBatcher* batcher, ResultCache* cache,
+                                 ServeStats* stats)
+    : config_(config),
+      dataset_(dataset),
+      bundle_(bundle),
+      index_(index),
+      batcher_(batcher),
+      cache_(cache),
+      stats_(stats) {
+  STTR_CHECK(bundle_ != nullptr);
+  STTR_CHECK(index_ != nullptr);
+  STTR_CHECK(stats_ != nullptr);
+  STTR_CHECK(!config_.enable_cache || cache_ != nullptr)
+      << "enable_cache without a ResultCache";
+  STTR_CHECK_GT(config_.num_workers, 0u);
+}
+
+RecommendServer::~RecommendServer() { Shutdown(); }
+
+Status RecommendServer::Start() {
+  STTR_CHECK(!running_.load()) << "Start() on a running server";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, static_cast<int>(config_.max_pending_connections)) <
+      0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  started_at_ = std::chrono::steady_clock::now();
+  shutting_down_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  STTR_LOG(Info) << "recommend server listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void RecommendServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  shutting_down_.store(true, std::memory_order_release);
+  // Closing the listener wakes the blocking accept(). The acceptor reads
+  // listen_fd_, so the -1 store must wait until it has joined.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;
+  // Drain: workers exit once the pending queue is empty and shutting_down_.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  STTR_LOG(Info) << "recommend server on port " << port_ << " shut down";
+}
+
+void RecommendServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or fatal accept error
+    }
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() >= config_.max_pending_connections) {
+        rejected = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (rejected) {
+      stats_->rejected_connections.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(fd, 503, ErrorJson("server overloaded"),
+                   /*keep_alive=*/false);
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void RecommendServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || shutting_down_.load();
+      });
+      if (pending_.empty()) return;  // shutting down, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+  }
+}
+
+void RecommendServer::HandleConnection(int fd) {
+  const timeval tv{
+      .tv_sec = static_cast<time_t>(config_.request_timeout.count() / 1000),
+      .tv_usec = static_cast<suseconds_t>(
+          (config_.request_timeout.count() % 1000) * 1000)};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  while (HandleOneRequest(fd, buffer)) {
+    // Keep-alive: loop until the client closes, times out, or asks to stop.
+    // During graceful shutdown, finish the in-flight request then close.
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+  }
+  ::close(fd);
+}
+
+bool RecommendServer::HandleOneRequest(int fd, std::string& buffer) {
+  // Read until the header terminator. Requests have no body in this API.
+  size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > config_.max_request_bytes) {
+      SendResponse(fd, 431, ErrorJson("request too large"), false);
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK: idle keep-alive connection timed out. Only
+      // answer 408 when a partial request is stranded.
+      if (!buffer.empty()) {
+        SendResponse(fd, 408, ErrorJson("request timeout"), false);
+      }
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  buffer.erase(0, header_end + 4);
+
+  const auto lines = Split(head, '\n');
+  const auto request_parts = SplitWhitespace(lines[0]);
+  if (request_parts.size() != 3 || !StartsWith(request_parts[2], "HTTP/1.")) {
+    stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(fd, 400, ErrorJson("malformed request line"), false);
+    return false;
+  }
+  const std::string& method = request_parts[0];
+  const std::string& target = request_parts[1];
+  bool keep_alive = true;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string line = ToLower(std::string(Trim(lines[i])));
+    if (line == "connection: close") keep_alive = false;
+  }
+
+  const size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  int http_status = 200;
+  std::string body;
+  if (method != "GET" && method != "POST") {
+    http_status = 400;
+    body = ErrorJson("unsupported method");
+  } else if (path == "/recommend") {
+    body = HandleRecommend(query, &http_status);
+  } else if (path == "/healthz") {
+    body = HandleHealthz();
+  } else if (path == "/statz") {
+    body = HandleStatz();
+  } else {
+    http_status = 404;
+    body = ErrorJson("unknown path");
+  }
+  if (http_status >= 400) {
+    stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  stats_->request_latency.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return SendResponse(fd, http_status, body, keep_alive) && keep_alive;
+}
+
+std::string RecommendServer::HandleRecommend(const std::string& query,
+                                             int* http_status) {
+  const auto params = ParseQuery(query);
+
+  int64_t user = -1;
+  double lat = 0.0, lon = 0.0;
+  const std::string* user_param = FindParam(params, "user");
+  const std::string* lat_param = FindParam(params, "lat");
+  const std::string* lon_param = FindParam(params, "lon");
+  if (user_param == nullptr || !ParseInt64(*user_param, &user) || user < 0 ||
+      static_cast<size_t>(user) >= dataset_.num_users()) {
+    *http_status = 400;
+    return ErrorJson("missing or invalid 'user'");
+  }
+  if (lat_param == nullptr || lon_param == nullptr ||
+      !ParseDoubleParam(*lat_param, &lat) ||
+      !ParseDoubleParam(*lon_param, &lon)) {
+    *http_status = 400;
+    return ErrorJson("missing or invalid 'lat'/'lon'");
+  }
+  int64_t city = config_.default_city;
+  if (const std::string* p = FindParam(params, "city")) {
+    if (!ParseInt64(*p, &city) || city < 0 ||
+        static_cast<size_t>(city) >= dataset_.num_cities()) {
+      *http_status = 400;
+      return ErrorJson("invalid 'city'");
+    }
+  }
+  int64_t k = static_cast<int64_t>(config_.default_k);
+  if (const std::string* p = FindParam(params, "k")) {
+    if (!ParseInt64(*p, &k) || k <= 0 ||
+        k > static_cast<int64_t>(config_.max_k)) {
+      *http_status = 400;
+      return ErrorJson("invalid 'k'");
+    }
+  }
+  bool use_cache = config_.enable_cache;
+  if (const std::string* p = FindParam(params, "nocache")) {
+    if (*p != "0") use_cache = false;
+  }
+
+  // Capture the snapshot once: this request scores (and reports provenance)
+  // against exactly one model even if a hot reload lands mid-flight.
+  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+  if (snapshot == nullptr || snapshot->model == nullptr) {
+    *http_status = 503;
+    return ErrorJson("no model loaded");
+  }
+
+  const GeoPoint loc{lat, lon};
+  const CityId city_id = static_cast<CityId>(city);
+  const uint64_t cell = index_->CellOf(city_id, loc);
+  const ResultCacheKey key{user, city_id, cell, static_cast<uint32_t>(k)};
+
+  std::vector<std::pair<PoiId, double>> top;
+  bool cached = false;
+  if (use_cache) {
+    if (std::optional<ResultCache::Value> hit = cache_->Get(key)) {
+      top = std::move(*hit);
+      cached = true;
+      stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!cached) {
+    const std::vector<PoiId> candidates = index_->Candidates(city_id, loc);
+    if (candidates.empty()) {
+      *http_status = 404;
+      return ErrorJson("no candidate POIs in city");
+    }
+    std::vector<double> scores;
+    if (batcher_ != nullptr) {
+      std::future<std::vector<double>> scores_future =
+          batcher_->Submit(snapshot->model, user, candidates);
+      scores = scores_future.get();
+    } else {
+      // Per-request mode: score inline on this handler thread. Same
+      // ScorePairs call shape as a single-request flush, so the scores are
+      // bit-identical to the micro-batched path.
+      const std::vector<UserId> users(candidates.size(), user);
+      scores = snapshot->model->ScorePairs(
+          {users.data(), users.size()},
+          {candidates.data(), candidates.size()});
+    }
+    top = TopKByScore(candidates, scores, static_cast<size_t>(k));
+    if (use_cache) cache_->Put(key, top);
+  }
+
+  std::ostringstream os;
+  os << "{\"user\": " << user << ", \"city\": " << city
+     << ", \"cell\": " << cell << ", \"k\": " << k
+     << ", \"cached\": " << (cached ? "true" : "false")
+     << ", \"model_epoch\": " << snapshot->epoch
+     << ", \"model_version\": " << snapshot->version << ", \"results\": [";
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"poi\": " << top[i].first << ", \"score\": "
+       << StrFormat("%.17g", top[i].second) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string RecommendServer::HandleHealthz() const {
+  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+  std::ostringstream os;
+  os << "{\"status\": \"" << (snapshot != nullptr ? "ok" : "loading")
+     << "\"";
+  if (snapshot != nullptr) {
+    os << ", \"checkpoint\": \"" << snapshot->checkpoint_path << "\""
+       << ", \"model_epoch\": " << snapshot->epoch
+       << ", \"model_version\": " << snapshot->version;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string RecommendServer::HandleStatz() const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  return stats_->ToJson(uptime);
+}
+
+}  // namespace sttr::serve

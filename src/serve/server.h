@@ -1,0 +1,124 @@
+#ifndef STTR_SERVE_SERVER_H_
+#define STTR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/batcher.h"
+#include "serve/candidate_index.h"
+#include "serve/model_bundle.h"
+#include "serve/result_cache.h"
+#include "serve/stats.h"
+
+namespace sttr::serve {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Handler threads == max concurrently served connections.
+  size_t num_workers = 8;
+  /// Accepted connections beyond the workers queue up to this depth; past
+  /// it they are answered 503 and closed.
+  size_t max_pending_connections = 64;
+  /// Per-read socket timeout; an idle keep-alive connection is closed when
+  /// it fires.
+  std::chrono::milliseconds request_timeout{5000};
+  /// Request line + headers larger than this are rejected 431.
+  size_t max_request_bytes = 16 * 1024;
+  /// Default K when /recommend omits ?k=.
+  size_t default_k = 10;
+  /// Largest accepted ?k= (bounds per-request work).
+  size_t max_k = 100;
+  /// Default city when /recommend omits ?city= (the split's target city).
+  CityId default_city = 0;
+  /// Requests may bypass the cache with ?nocache=1 (the loadgen's cold
+  /// mode); this disables the cache entirely.
+  bool enable_cache = true;
+};
+
+/// Minimal HTTP/1.1 JSON server over POSIX sockets gluing the serving
+/// pieces together:
+///
+///   GET /recommend?user=U&lat=..&lon=..[&city=C][&k=K][&nocache=1]
+///       -> {"user":U, "city":C, "cell":id, "k":K, "cached":bool,
+///           "model_epoch":E, "model_version":V,
+///           "results":[{"poi":id, "score":s}, ...]}
+///   GET /healthz -> serving readiness + current snapshot provenance
+///   GET /statz   -> ServeStats::ToJson()
+///
+/// One request's path: snapshot capture -> cache probe (keyed by the query
+/// location's grid cell) -> candidate generation -> micro-batched scoring ->
+/// TopKByScore -> cache fill. Keep-alive is supported; shutdown is graceful
+/// (stop accepting, drain queued connections, join every worker).
+class RecommendServer {
+ public:
+  /// All dependencies must outlive the server. `cache` may be null iff
+  /// config.enable_cache is false. `batcher` may be null: requests then
+  /// score inline on their handler thread (per-request mode, the loadgen's
+  /// micro-batching baseline), bit-identical to the batched path.
+  RecommendServer(ServerConfig config, const Dataset& dataset,
+                  ModelBundle* bundle, CandidateIndex* index,
+                  ScoreBatcher* batcher, ResultCache* cache,
+                  ServeStats* stats);
+  ~RecommendServer();
+
+  RecommendServer(const RecommendServer&) = delete;
+  RecommendServer& operator=(const RecommendServer&) = delete;
+
+  /// Binds, listens and spawns the accept + worker threads.
+  Status Start();
+
+  /// Graceful shutdown: closes the listener, serves already-accepted
+  /// connections to completion, joins all threads. Idempotent.
+  void Shutdown();
+
+  /// Bound port (after Start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection (possibly many keep-alive requests).
+  void HandleConnection(int fd);
+  /// Parses and answers a single request; false ends the connection.
+  bool HandleOneRequest(int fd, std::string& buffer);
+
+  std::string HandleRecommend(const std::string& query, int* http_status);
+  std::string HandleHealthz() const;
+  std::string HandleStatz() const;
+
+  ServerConfig config_;
+  const Dataset& dataset_;
+  ModelBundle* bundle_;
+  CandidateIndex* index_;
+  ScoreBatcher* batcher_;
+  ResultCache* cache_;
+  ServeStats* stats_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutting_down_{false};
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_SERVER_H_

@@ -1,0 +1,75 @@
+#ifndef STTR_SERVE_STATS_H_
+#define STTR_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sttr::serve {
+
+/// Lock-free latency histogram: log2 major buckets with 16 linear
+/// sub-buckets per octave (~6% relative resolution), recorded in
+/// nanoseconds. Record() is a single relaxed atomic increment, cheap enough
+/// for every request on the serving hot path; Summarize() walks the buckets
+/// and interpolates percentiles.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t nanos);
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  /// Consistent-enough snapshot for monitoring: buckets are read relaxed, so
+  /// a summary taken under concurrent Record() traffic may straddle a few
+  /// in-flight increments.
+  Summary Summarize() const;
+
+  void Reset();
+
+ private:
+  // Octaves 0..39 cover [1ns, ~18 minutes); 16 sub-buckets each.
+  static constexpr size_t kSubBits = 4;
+  static constexpr size_t kNumBuckets = 40u << kSubBits;
+
+  static size_t BucketOf(uint64_t nanos);
+  /// Representative (upper-bound) value of a bucket, in nanoseconds.
+  static double BucketValue(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_nanos_;
+  std::atomic<uint64_t> max_nanos_;
+};
+
+/// Counters of the serving subsystem, surfaced at /statz. All relaxed
+/// atomics: every field is monotonic and independently meaningful, so torn
+/// cross-field reads only show a monitoring snapshot a few events stale.
+struct ServeStats {
+  std::atomic<uint64_t> requests{0};        ///< HTTP requests accepted
+  std::atomic<uint64_t> bad_requests{0};    ///< 4xx responses
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> batches{0};           ///< ScorePairs flushes
+  std::atomic<uint64_t> batched_requests{0};  ///< requests inside flushes
+  std::atomic<uint64_t> scored_pairs{0};      ///< (user, poi) pairs scored
+  std::atomic<uint64_t> model_reloads{0};
+  std::atomic<uint64_t> rejected_connections{0};  ///< over connection limit
+
+  LatencyHistogram request_latency;  ///< full request handling, server side
+
+  /// /statz payload. `uptime_seconds` <= 0 omits the QPS estimate.
+  std::string ToJson(double uptime_seconds) const;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_STATS_H_

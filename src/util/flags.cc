@@ -1,10 +1,45 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "util/string_util.h"
 
 namespace sttr {
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& description,
+                        const std::string& default_help) {
+  specs_.push_back(FlagSpec{name, description, default_help});
+}
+
+std::string FlagParser::HelpText(const std::string& program,
+                                 const std::string& usage,
+                                 const std::string& summary) const {
+  std::ostringstream os;
+  os << "usage: " << program << " "
+     << (usage.empty() ? "[--flag=value ...]" : usage) << "\n";
+  if (!summary.empty()) os << "\n" << summary << "\n";
+  std::vector<FlagSpec> specs = specs_;
+  specs.push_back(FlagSpec{"help", "print this help and exit", ""});
+  size_t width = 0;
+  std::vector<std::string> labels;
+  labels.reserve(specs.size());
+  for (const FlagSpec& spec : specs) {
+    std::string label = "--" + spec.name;
+    if (!spec.default_help.empty()) label += "=" + spec.default_help;
+    width = std::max(width, label.size());
+    labels.push_back(std::move(label));
+  }
+  os << "\nflags:\n";
+  for (size_t i = 0; i < specs.size(); ++i) {
+    os << "  " << labels[i]
+       << std::string(width - labels[i].size() + 2, ' ')
+       << specs[i].description << "\n";
+  }
+  return os.str();
+}
 
 Status FlagParser::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

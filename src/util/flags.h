@@ -9,12 +9,28 @@
 
 namespace sttr {
 
-/// Minimal command-line flag parser used by examples and benchmark drivers.
+/// Minimal command-line flag parser used by examples, tools and benchmark
+/// drivers.
 ///
 /// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
 /// Unrecognised positional arguments are collected in positional().
+///
+/// Tools that want a generated `--help` register their flags up front:
+///
+///   FlagParser flags;
+///   flags.Define("port", "TCP port to listen on (0 = ephemeral)", "0");
+///   STTR_CHECK_OK(flags.Parse(argc, argv));
+///   if (flags.Has("help")) { std::fputs(flags.HelpText(...).c_str(), ...); }
+///
+/// Define() is optional — undeclared flags still parse (the benches rely on
+/// that) — but only defined flags appear in HelpText().
 class FlagParser {
  public:
+  /// Registers a flag for HelpText(). `default_help` is display-only (shown
+  /// as the default); it does not affect the Get*() defaults.
+  void Define(const std::string& name, const std::string& description,
+              const std::string& default_help = "");
+
   /// Parses argv; returns InvalidArgument on malformed flags.
   Status Parse(int argc, char** argv);
 
@@ -30,9 +46,23 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Generated usage text: `usage` line, `summary` paragraph, then one
+  /// aligned row per Define()d flag (in registration order) plus the
+  /// implicit --help row.
+  std::string HelpText(const std::string& program,
+                       const std::string& usage = "",
+                       const std::string& summary = "") const;
+
  private:
+  struct FlagSpec {
+    std::string name;
+    std::string description;
+    std::string default_help;
+  };
+
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  std::vector<FlagSpec> specs_;
 };
 
 }  // namespace sttr

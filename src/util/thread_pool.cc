@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace sttr {
 
@@ -103,6 +104,9 @@ size_t DefaultNumThreads() {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+    STTR_LOG(Warning) << "STTR_NUM_THREADS='" << env
+                      << "' is not a positive integer; falling back to "
+                         "hardware_concurrency()";
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);

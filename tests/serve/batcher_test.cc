@@ -1,0 +1,196 @@
+// ScoreBatcher and the mixed-user ScorePairs primitive it rides on: scores
+// coming out of the micro-batching queue must be bit-identical to serial
+// per-request scoring, for lone requests and for concurrent mixed-user
+// traffic coalesced into shared flushes.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve_test_util.h"
+#include "util/rng.h"
+
+namespace sttr::serve {
+namespace {
+
+class BatcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new ServeFixture(MakeServeFixture());
+    model_ = new std::shared_ptr<StTransRec>(TrainSmallModel(*fixture_));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete fixture_;
+    model_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  const Dataset& dataset() { return fixture_->world.dataset; }
+  const CrossCitySplit& split() { return fixture_->split; }
+  std::shared_ptr<StTransRec> model() { return *model_; }
+
+  /// A candidate list drawn deterministically from the target city.
+  std::vector<PoiId> SomePois(size_t n, uint64_t seed) {
+    const auto& pois = dataset().PoisInCity(split().target_city);
+    Rng rng(seed);
+    std::vector<PoiId> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(pois[rng.UniformInt(static_cast<uint64_t>(pois.size()))]);
+    }
+    return out;
+  }
+
+  static ServeFixture* fixture_;
+  static std::shared_ptr<StTransRec>* model_;
+};
+
+ServeFixture* BatcherTest::fixture_ = nullptr;
+std::shared_ptr<StTransRec>* BatcherTest::model_ = nullptr;
+
+TEST_F(BatcherTest, ScorePairsMatchesScalarScoreBitwise) {
+  const std::vector<PoiId> pois = SomePois(64, /*seed=*/1);
+  std::vector<UserId> users;
+  for (size_t i = 0; i < pois.size(); ++i) {
+    users.push_back(static_cast<UserId>(i % dataset().num_users()));
+  }
+  const std::vector<double> batched =
+      model()->ScorePairs({users.data(), users.size()},
+                          {pois.data(), pois.size()});
+  ASSERT_EQ(batched.size(), pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    EXPECT_EQ(batched[i], model()->Score(users[i], pois[i]))
+        << "pair " << i << " (user " << users[i] << ", poi " << pois[i]
+        << ") must be bit-identical regardless of batch composition";
+  }
+}
+
+TEST_F(BatcherTest, ScorePairsMatchesScoreBatchForOneUser) {
+  const std::vector<PoiId> pois = SomePois(32, /*seed=*/2);
+  const UserId user = 3;
+  const std::vector<UserId> users(pois.size(), user);
+  EXPECT_EQ(model()->ScorePairs({users.data(), users.size()},
+                                {pois.data(), pois.size()}),
+            model()->ScoreBatch(user, {pois.data(), pois.size()}));
+}
+
+TEST_F(BatcherTest, SingleRequestMatchesSerialScoring) {
+  ScoreBatcher batcher(BatcherConfig{});
+  batcher.Start();
+  const std::vector<PoiId> pois = SomePois(20, /*seed=*/3);
+  const UserId user = 5;
+  std::future<std::vector<double>> future =
+      batcher.Submit(model(), user, pois);
+  const std::vector<double> got = future.get();
+  EXPECT_EQ(got, model()->ScoreBatch(user, {pois.data(), pois.size()}));
+  batcher.Stop();
+  EXPECT_GE(batcher.num_batches(), 1u);
+}
+
+TEST_F(BatcherTest, ConcurrentMixedRequestsBitIdenticalToSerial) {
+  // Force co-batching: a big pair budget and a min/wait that holds the
+  // flush until all submitters are in the queue.
+  BatcherConfig config;
+  config.max_batch_pairs = 10'000;
+  config.min_batch_pairs = 10'000;
+  config.max_wait = std::chrono::milliseconds(50);
+  ServeStats stats;
+  ScoreBatcher batcher(config, &stats);
+  batcher.Start();
+
+  constexpr size_t kRequests = 16;
+  std::vector<std::vector<PoiId>> pois(kRequests);
+  std::vector<UserId> users(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    pois[i] = SomePois(10 + i, /*seed=*/100 + i);  // varied batch sizes
+    users[i] = static_cast<UserId>(i % dataset().num_users());
+  }
+
+  std::vector<std::future<std::vector<double>>> futures(kRequests);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&, i] {
+      futures[i] = batcher.Submit(model(), users[i], pois[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    const std::vector<double> got = futures[i].get();
+    const std::vector<double> want =
+        model()->ScoreBatch(users[i], {pois[i].data(), pois[i].size()});
+    EXPECT_EQ(got, want) << "request " << i
+                         << " altered by sharing a flush with other users";
+  }
+  batcher.Stop();
+  // The whole burst fit into far fewer flushes than requests.
+  EXPECT_LT(batcher.num_batches(), kRequests);
+  EXPECT_EQ(stats.batched_requests.load(), kRequests);
+}
+
+TEST_F(BatcherTest, OversizedRequestStillFlushes) {
+  BatcherConfig config;
+  config.max_batch_pairs = 8;  // far below the request size
+  ScoreBatcher batcher(config);
+  batcher.Start();
+  const std::vector<PoiId> pois = SomePois(100, /*seed=*/4);
+  const std::vector<double> got = batcher.Submit(model(), 1, pois).get();
+  EXPECT_EQ(got, model()->ScoreBatch(1, {pois.data(), pois.size()}));
+  batcher.Stop();
+}
+
+TEST_F(BatcherTest, StopDrainsPendingRequests) {
+  BatcherConfig config;
+  config.min_batch_pairs = 1'000'000;  // would wait forever without Stop()
+  config.max_wait = std::chrono::seconds(30);
+  ScoreBatcher batcher(config);
+  batcher.Start();
+  const std::vector<PoiId> pois = SomePois(5, /*seed=*/5);
+  std::vector<std::future<std::vector<double>>> futures;
+  for (UserId u = 0; u < 4; ++u) {
+    futures.push_back(batcher.Submit(model(), u, pois));
+  }
+  batcher.Stop();  // must flush everything pending, not abandon it
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_EQ(futures[static_cast<size_t>(u)].get(),
+              model()->ScoreBatch(u, {pois.data(), pois.size()}));
+  }
+}
+
+TEST_F(BatcherTest, ManyConcurrentSubmittersStressScoringIsExact) {
+  BatcherConfig config;
+  config.max_batch_pairs = 256;
+  ScoreBatcher batcher(config);
+  batcher.Start();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const UserId user =
+            static_cast<UserId>((t * kPerThread + i) % dataset().num_users());
+        const std::vector<PoiId> pois =
+            SomePois(1 + (i % 30), /*seed=*/static_cast<uint64_t>(t * 1000 + i));
+        const std::vector<double> got =
+            batcher.Submit(model(), user, pois).get();
+        if (got != model()->ScoreBatch(user, {pois.data(), pois.size()})) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  batcher.Stop();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sttr::serve

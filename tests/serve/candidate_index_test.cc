@@ -1,0 +1,135 @@
+// CandidateIndex: candidate sets are sorted, deduplicated, city-scoped,
+// meet the min_candidates target (or exhaust the city), and are a
+// deterministic function of (city, query cell) — the property per-cell
+// result caching relies on.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/candidate_index.h"
+#include "serve_test_util.h"
+
+namespace sttr::serve {
+namespace {
+
+class CandidateIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { fixture_ = new ServeFixture(MakeServeFixture()); }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  const Dataset& dataset() { return fixture_->world.dataset; }
+  const CrossCitySplit& split() { return fixture_->split; }
+
+  static ServeFixture* fixture_;
+};
+
+ServeFixture* CandidateIndexTest::fixture_ = nullptr;
+
+TEST_F(CandidateIndexTest, CandidatesAreSortedUniqueAndInCity) {
+  CandidateIndex index(dataset(), &split(), CandidateIndexConfig{});
+  for (CityId city = 0; city < static_cast<CityId>(dataset().num_cities());
+       ++city) {
+    const auto& pois = dataset().PoisInCity(city);
+    if (pois.empty()) continue;
+    const GeoPoint loc = dataset().poi(pois[pois.size() / 2]).location;
+    const std::vector<PoiId> candidates = index.Candidates(city, loc);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    EXPECT_EQ(std::adjacent_find(candidates.begin(), candidates.end()),
+              candidates.end())
+        << "duplicate candidate";
+    for (PoiId poi : candidates) {
+      EXPECT_EQ(dataset().poi(poi).city, city);
+    }
+  }
+}
+
+TEST_F(CandidateIndexTest, MeetsMinCandidatesOrExhaustsCity) {
+  CandidateIndexConfig config;
+  config.min_candidates = 50;
+  CandidateIndex index(dataset(), &split(), config);
+  const CityId city = split().target_city;
+  const size_t city_size = dataset().PoisInCity(city).size();
+  const GeoPoint loc = dataset().poi(dataset().PoisInCity(city)[0]).location;
+
+  const auto defaulted = index.Candidates(city, loc);
+  EXPECT_GE(defaulted.size(), std::min<size_t>(50, city_size));
+
+  // An explicit target overrides the config default.
+  const auto ten = index.Candidates(city, loc, 10);
+  EXPECT_GE(ten.size(), std::min<size_t>(10, city_size));
+
+  // Asking for more than the city holds returns the whole city.
+  const auto all = index.Candidates(city, loc, city_size * 10);
+  EXPECT_EQ(all.size(), city_size);
+}
+
+TEST_F(CandidateIndexTest, SameCellSameCandidates) {
+  CandidateIndex index(dataset(), &split(), CandidateIndexConfig{});
+  const CityId city = split().target_city;
+  const auto& pois = dataset().PoisInCity(city);
+  // Find two POIs in the same grid cell.
+  for (size_t i = 0; i + 1 < pois.size(); ++i) {
+    const GeoPoint a = dataset().poi(pois[i]).location;
+    for (size_t j = i + 1; j < pois.size(); ++j) {
+      const GeoPoint b = dataset().poi(pois[j]).location;
+      if (index.CellOf(city, a) != index.CellOf(city, b)) continue;
+      EXPECT_EQ(index.Candidates(city, a), index.Candidates(city, b))
+          << "same cell must yield the same candidate set";
+      return;
+    }
+  }
+  GTEST_SKIP() << "no two POIs share a cell in this world";
+}
+
+TEST_F(CandidateIndexTest, RepeatedQueriesAreDeterministic) {
+  CandidateIndex index(dataset(), &split(), CandidateIndexConfig{});
+  const CityId city = split().target_city;
+  const GeoPoint loc = dataset().poi(dataset().PoisInCity(city)[3]).location;
+  const auto first = index.Candidates(city, loc);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(index.Candidates(city, loc), first);
+  }
+  // Two independently constructed indexes agree too (no hidden RNG state).
+  CandidateIndex other(dataset(), &split(), CandidateIndexConfig{});
+  EXPECT_EQ(other.Candidates(city, loc), first);
+}
+
+TEST_F(CandidateIndexTest, GridOnlyModeWorks) {
+  CandidateIndexConfig config;
+  config.use_regions = false;
+  CandidateIndex index(dataset(), &split(), config);
+  const CityId city = split().target_city;
+  EXPECT_EQ(index.NumRegions(city), index.NumCells(city));
+  const GeoPoint loc = dataset().poi(dataset().PoisInCity(city)[0]).location;
+  const auto candidates = index.Candidates(city, loc);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+}
+
+TEST_F(CandidateIndexTest, RegionsCoarsenCells) {
+  CandidateIndex index(dataset(), &split(), CandidateIndexConfig{});
+  const CityId city = split().target_city;
+  EXPECT_GE(index.NumRegions(city), 1u);
+  EXPECT_LE(index.NumRegions(city), index.NumCells(city));
+}
+
+TEST_F(CandidateIndexTest, CellOfIsWithinGrid) {
+  CandidateIndex index(dataset(), &split(), CandidateIndexConfig{});
+  const CityId city = split().target_city;
+  for (PoiId poi : dataset().PoisInCity(city)) {
+    EXPECT_LT(index.CellOf(city, dataset().poi(poi).location),
+              index.NumCells(city));
+  }
+  // Out-of-bounds coordinates clamp to a valid cell instead of crashing.
+  EXPECT_LT(index.CellOf(city, GeoPoint{1000.0, -1000.0}),
+            index.NumCells(city));
+}
+
+}  // namespace
+}  // namespace sttr::serve

@@ -1,0 +1,155 @@
+// ResultCache: LRU ordering, TTL expiry on an injected clock, O(1)
+// generation-bump invalidation, sharding, and concurrent access.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/result_cache.h"
+
+namespace sttr::serve {
+namespace {
+
+ResultCacheKey Key(UserId user, uint64_t cell = 0, uint32_t k = 10,
+                   CityId city = 1) {
+  ResultCacheKey key;
+  key.user = user;
+  key.city = city;
+  key.cell = cell;
+  key.k = k;
+  return key;
+}
+
+ResultCache::Value Val(PoiId poi, double score) { return {{poi, score}}; }
+
+TEST(ResultCacheTest, PutGetRoundTrip) {
+  ResultCache cache(ResultCacheConfig{});
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());
+  cache.Put(Key(1), Val(42, 0.5));
+  const auto hit = cache.Get(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].first, 42);
+  EXPECT_EQ((*hit)[0].second, 0.5);
+}
+
+TEST(ResultCacheTest, DistinctKeyComponentsAreDistinctEntries) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Put(Key(1, /*cell=*/0, /*k=*/10), Val(1, 1.0));
+  EXPECT_FALSE(cache.Get(Key(2, 0, 10)).has_value());   // other user
+  EXPECT_FALSE(cache.Get(Key(1, 1, 10)).has_value());   // other cell
+  EXPECT_FALSE(cache.Get(Key(1, 0, 20)).has_value());   // other k
+  EXPECT_FALSE(cache.Get(Key(1, 0, 10, 2)).has_value());  // other city
+  EXPECT_TRUE(cache.Get(Key(1, 0, 10)).has_value());
+}
+
+TEST(ResultCacheTest, PutReplacesExistingEntry) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Put(Key(1), Val(7, 0.1));
+  cache.Put(Key(1), Val(8, 0.2));
+  const auto hit = cache.Get(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].first, 8);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLruBeyondCapacity) {
+  ResultCacheConfig config;
+  config.num_shards = 1;  // single shard so capacity is exact
+  config.capacity = 3;
+  ResultCache cache(config);
+  cache.Put(Key(1), Val(1, 1));
+  cache.Put(Key(2), Val(2, 2));
+  cache.Put(Key(3), Val(3, 3));
+  ASSERT_TRUE(cache.Get(Key(1)).has_value());  // refresh 1: LRU is now 2
+  cache.Put(Key(4), Val(4, 4));                // evicts 2
+  EXPECT_TRUE(cache.Get(Key(1)).has_value());
+  EXPECT_FALSE(cache.Get(Key(2)).has_value());
+  EXPECT_TRUE(cache.Get(Key(3)).has_value());
+  EXPECT_TRUE(cache.Get(Key(4)).has_value());
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 3u);
+}
+
+TEST(ResultCacheTest, TtlExpiresOnInjectedClock) {
+  auto now = std::chrono::steady_clock::time_point{};
+  ResultCacheConfig config;
+  config.ttl = std::chrono::milliseconds(100);
+  config.clock = [&now] { return now; };
+  ResultCache cache(config);
+
+  cache.Put(Key(1), Val(1, 1));
+  now += std::chrono::milliseconds(99);
+  EXPECT_TRUE(cache.Get(Key(1)).has_value());
+  now += std::chrono::milliseconds(2);  // 101ms after Put
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());
+  // The expired entry was lazily evicted by the failed Get.
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ZeroTtlNeverExpires) {
+  auto now = std::chrono::steady_clock::time_point{};
+  ResultCacheConfig config;
+  config.ttl = std::chrono::milliseconds(0);
+  config.clock = [&now] { return now; };
+  ResultCache cache(config);
+  cache.Put(Key(1), Val(1, 1));
+  now += std::chrono::hours(1000);
+  EXPECT_TRUE(cache.Get(Key(1)).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateAllDropsEveryEntry) {
+  ResultCache cache(ResultCacheConfig{});
+  for (UserId u = 0; u < 100; ++u) cache.Put(Key(u), Val(u, 1.0));
+  cache.InvalidateAll();
+  for (UserId u = 0; u < 100; ++u) {
+    EXPECT_FALSE(cache.Get(Key(u)).has_value()) << "user " << u;
+  }
+  EXPECT_EQ(cache.GetStats().invalidations, 1u);
+  // New puts after the invalidation are served again.
+  cache.Put(Key(5), Val(9, 2.0));
+  EXPECT_TRUE(cache.Get(Key(5)).has_value());
+}
+
+TEST(ResultCacheTest, StatsCountHitsAndMisses) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Get(Key(1));  // miss
+  cache.Put(Key(1), Val(1, 1));
+  cache.Get(Key(1));  // hit
+  cache.Get(Key(1));  // hit
+  cache.Get(Key(2));  // miss
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficIsSafe) {
+  ResultCacheConfig config;
+  config.capacity = 64;  // small enough to force constant eviction
+  ResultCache cache(config);
+  std::atomic<uint64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) {
+        const UserId u = (t * 37 + i) % 200;
+        if (i % 3 == 0) {
+          cache.Put(Key(u), Val(u, static_cast<double>(i)));
+        } else if (auto hit = cache.Get(Key(u))) {
+          EXPECT_EQ((*hit)[0].first, u);
+          observed_hits.fetch_add(1);
+        }
+        if (i % 1000 == 999) cache.InvalidateAll();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(observed_hits.load(), 0u);
+  EXPECT_LE(cache.GetStats().entries, 64u + 8u);  // capacity, give-or-take lazy eviction
+}
+
+}  // namespace
+}  // namespace sttr::serve

@@ -1,0 +1,74 @@
+#ifndef STTR_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define STTR_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/st_transrec.h"
+#include "data/split.h"
+#include "data/synth/world_generator.h"
+
+namespace sttr::serve {
+
+/// Per-test scratch directory under the gtest temp dir, wiped on entry.
+/// Outside a test body (e.g. SetUpTestSuite) current_test_info() is null, so
+/// fall back to the suite name.
+inline std::string ServeTestDir() {
+  const auto* unit = ::testing::UnitTest::GetInstance();
+  const auto* info = unit->current_test_info();
+  std::string leaf;
+  if (info != nullptr) {
+    leaf = std::string(info->test_suite_name()) + "_" + info->name();
+  } else if (unit->current_test_suite() != nullptr) {
+    leaf = std::string(unit->current_test_suite()->name()) + "_suite";
+  } else {
+    leaf = "suite";
+  }
+  std::filesystem::path dir = ::testing::TempDir();
+  dir /= "sttr_serve_" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+struct ServeFixture {
+  synth::SynthWorld world;
+  CrossCitySplit split;
+};
+
+inline ServeFixture MakeServeFixture() {
+  auto cfg = synth::SynthWorldConfig::FoursquareLike(synth::Scale::kTiny);
+  ServeFixture f{synth::GenerateWorld(cfg), {}};
+  f.split = MakeCrossCitySplit(f.world.dataset, cfg.target_city);
+  return f;
+}
+
+/// Small-and-deterministic model config (one in-process worker) that trains
+/// on the tiny world in well under a second.
+inline StTransRecConfig SmallServeModelConfig() {
+  StTransRecConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_dims = {16};
+  cfg.num_epochs = 2;
+  cfg.batch_size = 32;
+  cfg.mmd_batch = 8;
+  cfg.num_train_workers = 1;
+  return cfg;
+}
+
+/// Trains a model, writing checkpoints into `ckpt_dir` when non-empty.
+inline std::shared_ptr<StTransRec> TrainSmallModel(
+    const ServeFixture& f, const std::string& ckpt_dir = "") {
+  StTransRecConfig cfg = SmallServeModelConfig();
+  cfg.checkpoint_dir = ckpt_dir;
+  auto model = std::make_shared<StTransRec>(cfg);
+  STTR_CHECK_OK(model->Fit(f.world.dataset, f.split));
+  return model;
+}
+
+}  // namespace sttr::serve
+
+#endif  // STTR_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -1,0 +1,399 @@
+// End-to-end HTTP tests over real loopback sockets: the full serving stack
+// (bundle + index + batcher + cache + server) must return exactly what the
+// offline ranking path computes — identical POI ids and scores — for lone
+// requests and for concurrent mixed-user traffic; plus endpoint/error
+// semantics, caching behaviour and graceful shutdown.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "serve/batcher.h"
+#include "serve/candidate_index.h"
+#include "serve/model_bundle.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "serve_test_util.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sttr::serve {
+namespace {
+
+/// Tiny blocking HTTP/1.1 client for one keep-alive loopback connection.
+class TestHttpClient {
+ public:
+  explicit TestHttpClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    STTR_CHECK_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    STTR_CHECK_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~TestHttpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  struct Response {
+    int status = 0;
+    std::string body;
+  };
+
+  /// Sends raw bytes and reads one HTTP response.
+  Response Roundtrip(const std::string& raw) {
+    STTR_CHECK_EQ(
+        ::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL),
+        static_cast<ssize_t>(raw.size()));
+    return ReadResponse();
+  }
+
+  Response Get(const std::string& target) {
+    return Roundtrip("GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+  }
+
+  Response ReadResponse() {
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      STTR_CHECK(Fill()) << "connection closed before response headers";
+    }
+    Response response;
+    const std::string head = buffer_.substr(0, header_end);
+    STTR_CHECK_EQ(std::sscanf(head.c_str(), "HTTP/1.1 %d", &response.status),
+                  1);
+    const size_t cl = ToLower(head).find("content-length:");
+    STTR_CHECK_NE(cl, std::string::npos);
+    const size_t length = static_cast<size_t>(
+        std::strtoull(head.c_str() + cl + 15, nullptr, 10));
+    while (buffer_.size() < header_end + 4 + length) {
+      STTR_CHECK(Fill()) << "connection closed mid-body";
+    }
+    response.body = buffer_.substr(header_end + 4, length);
+    buffer_.erase(0, header_end + 4 + length);
+    return response;
+  }
+
+  /// True when the server has closed the connection.
+  bool WaitForClose() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Parses the "results" array of a /recommend response.
+std::vector<std::pair<PoiId, double>> ParseResults(const std::string& body) {
+  std::vector<std::pair<PoiId, double>> out;
+  size_t pos = body.find("\"results\"");
+  STTR_CHECK_NE(pos, std::string::npos) << body;
+  while ((pos = body.find("{\"poi\": ", pos)) != std::string::npos) {
+    long long poi = 0;
+    double score = 0;
+    STTR_CHECK_EQ(std::sscanf(body.c_str() + pos, "{\"poi\": %lld, \"score\": %lf",
+                              &poi, &score),
+                  2)
+        << body.substr(pos, 60);
+    out.emplace_back(static_cast<PoiId>(poi), score);
+    ++pos;
+  }
+  return out;
+}
+
+/// The full serving stack on an ephemeral loopback port.
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new ServeFixture(MakeServeFixture());
+    ckpt_dir_ = new std::string(ServeTestDir());
+    trainer_ = new std::shared_ptr<StTransRec>(
+        TrainSmallModel(*fixture_, *ckpt_dir_));
+  }
+  static void TearDownTestSuite() {
+    delete trainer_;
+    delete ckpt_dir_;
+    delete fixture_;
+    trainer_ = nullptr;
+    ckpt_dir_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  void SetUp() override {
+    ModelBundleConfig bundle_config;
+    bundle_config.checkpoint_dir = *ckpt_dir_;
+    bundle_config.model = SmallServeModelConfig();
+    bundle_ = std::make_unique<ModelBundle>(fixture_->world.dataset,
+                                            fixture_->split, bundle_config);
+    ASSERT_TRUE(bundle_->LoadInitial().ok());
+
+    CandidateIndexConfig index_config;
+    index_config.min_candidates = 30;
+    index_ = std::make_unique<CandidateIndex>(fixture_->world.dataset,
+                                              &fixture_->split, index_config);
+
+    batcher_ = std::make_unique<ScoreBatcher>(BatcherConfig{}, &stats_);
+    batcher_->Start();
+
+    ResultCacheConfig cache_config;
+    cache_config.ttl = std::chrono::milliseconds(0);
+    cache_ = std::make_unique<ResultCache>(cache_config);
+    bundle_->AddReloadListener(
+        [this](const ModelSnapshot&) { cache_->InvalidateAll(); });
+
+    ServerConfig server_config;
+    server_config.num_workers = 4;
+    server_config.default_city = fixture_->split.target_city;
+    server_ = std::make_unique<RecommendServer>(
+        server_config, fixture_->world.dataset, bundle_.get(), index_.get(),
+        batcher_.get(), cache_.get(), &stats_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (batcher_ != nullptr) batcher_->Stop();
+  }
+
+  const Dataset& dataset() { return fixture_->world.dataset; }
+  CityId target_city() { return fixture_->split.target_city; }
+
+  /// What the server *should* return: candidates from the same index,
+  /// scored serially against the trained model, ranked by TopKByScore.
+  std::vector<std::pair<PoiId, double>> ExpectedTopK(UserId user,
+                                                     const GeoPoint& loc,
+                                                     size_t k) {
+    const std::vector<PoiId> candidates =
+        index_->Candidates(target_city(), loc);
+    const std::vector<double> scores =
+        (*trainer_)->ScoreBatch(user, {candidates.data(), candidates.size()});
+    return TopKByScore({candidates.data(), candidates.size()},
+                       {scores.data(), scores.size()}, k);
+  }
+
+  GeoPoint PoiLocation(size_t i) {
+    const auto& pois = dataset().PoisInCity(target_city());
+    return dataset().poi(pois[i % pois.size()]).location;
+  }
+
+  std::string RecommendTarget(UserId user, const GeoPoint& loc, size_t k,
+                              bool nocache = false) {
+    std::string target = "/recommend?user=" + std::to_string(user) +
+                         "&lat=" + StrFormat("%.8f", loc.lat) +
+                         "&lon=" + StrFormat("%.8f", loc.lon) +
+                         "&k=" + std::to_string(k);
+    if (nocache) target += "&nocache=1";
+    return target;
+  }
+
+  static ServeFixture* fixture_;
+  static std::string* ckpt_dir_;
+  static std::shared_ptr<StTransRec>* trainer_;
+
+  ServeStats stats_;
+  std::unique_ptr<ModelBundle> bundle_;
+  std::unique_ptr<CandidateIndex> index_;
+  std::unique_ptr<ScoreBatcher> batcher_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<RecommendServer> server_;
+};
+
+ServeFixture* ServerTest::fixture_ = nullptr;
+std::string* ServerTest::ckpt_dir_ = nullptr;
+std::shared_ptr<StTransRec>* ServerTest::trainer_ = nullptr;
+
+TEST_F(ServerTest, RecommendMatchesOfflineRankingExactly) {
+  TestHttpClient client(server_->port());
+  for (UserId user = 0; user < 5; ++user) {
+    const GeoPoint loc = PoiLocation(static_cast<size_t>(user) * 7);
+    const auto response =
+        client.Get(RecommendTarget(user, loc, /*k=*/10, /*nocache=*/true));
+    ASSERT_EQ(response.status, 200) << response.body;
+    const auto got = ParseResults(response.body);
+    const auto want = ExpectedTopK(user, loc, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "rank " << i;
+      // %.17g round-trips doubles exactly.
+      EXPECT_EQ(got[i].second, want[i].second) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(ServerTest, InlineScoringWithoutBatcherMatchesOfflineRanking) {
+  // A null batcher puts the server in per-request mode: handlers score
+  // inline. Results must still be bit-identical to the offline ranking
+  // (and therefore to the batched path, which the other tests pin).
+  server_->Shutdown();
+  ServerConfig server_config;
+  server_config.num_workers = 4;
+  server_config.default_city = fixture_->split.target_city;
+  server_ = std::make_unique<RecommendServer>(
+      server_config, fixture_->world.dataset, bundle_.get(), index_.get(),
+      /*batcher=*/nullptr, cache_.get(), &stats_);
+  ASSERT_TRUE(server_->Start().ok());
+
+  TestHttpClient client(server_->port());
+  for (UserId user = 0; user < 5; ++user) {
+    const GeoPoint loc = PoiLocation(static_cast<size_t>(user) * 7);
+    const auto response =
+        client.Get(RecommendTarget(user, loc, /*k=*/10, /*nocache=*/true));
+    ASSERT_EQ(response.status, 200) << response.body;
+    const auto got = ParseResults(response.body);
+    const auto want = ExpectedTopK(user, loc, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "rank " << i;
+      EXPECT_EQ(got[i].second, want[i].second) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(ServerTest, ConcurrentMixedRequestsMatchOfflineRanking) {
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestHttpClient client(server_->port());
+      for (int i = 0; i < kPerClient; ++i) {
+        const UserId user = static_cast<UserId>(
+            (c * kPerClient + i) % dataset().num_users());
+        const GeoPoint loc = PoiLocation(static_cast<size_t>(c * 13 + i));
+        const size_t k = 5 + static_cast<size_t>(i);
+        const auto response =
+            client.Get(RecommendTarget(user, loc, k, /*nocache=*/true));
+        if (response.status != 200 ||
+            ParseResults(response.body) != ExpectedTopK(user, loc, k)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "micro-batched concurrent serving diverged from serial ranking";
+}
+
+TEST_F(ServerTest, CacheServesSecondRequestAndReportsIt) {
+  TestHttpClient client(server_->port());
+  const GeoPoint loc = PoiLocation(2);
+  const std::string target = RecommendTarget(7, loc, 10);
+
+  const auto cold = client.Get(target);
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_NE(cold.body.find("\"cached\": false"), std::string::npos);
+
+  const auto warm = client.Get(target);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_NE(warm.body.find("\"cached\": true"), std::string::npos);
+  // Identical payload apart from the cached flag.
+  EXPECT_EQ(ParseResults(cold.body), ParseResults(warm.body));
+  EXPECT_GE(stats_.cache_hits.load(), 1u);
+
+  // nocache bypasses the cache but must compute the same answer.
+  const auto bypass = client.Get(RecommendTarget(7, loc, 10, true));
+  EXPECT_NE(bypass.body.find("\"cached\": false"), std::string::npos);
+  EXPECT_EQ(ParseResults(bypass.body), ParseResults(cold.body));
+}
+
+TEST_F(ServerTest, HealthzReportsServingCheckpoint) {
+  TestHttpClient client(server_->port());
+  const auto response = client.Get("/healthz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("ckpt-"), std::string::npos);
+  EXPECT_NE(response.body.find("\"model_version\": 1"), std::string::npos);
+}
+
+TEST_F(ServerTest, StatzCountsTraffic) {
+  TestHttpClient client(server_->port());
+  client.Get(RecommendTarget(1, PoiLocation(0), 5));
+  client.Get("/recommend");  // 400
+  const auto response = client.Get("/statz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"requests\": "), std::string::npos);
+  EXPECT_NE(response.body.find("\"bad_requests\": 1"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"latency_ms\""), std::string::npos);
+}
+
+TEST_F(ServerTest, RejectsBadRequests) {
+  TestHttpClient client(server_->port());
+  EXPECT_EQ(client.Get("/recommend").status, 400);  // no params
+  EXPECT_EQ(client.Get("/recommend?user=notanumber&lat=1&lon=1").status, 400);
+  EXPECT_EQ(client.Get("/recommend?user=999999999&lat=1&lon=1").status, 400);
+  EXPECT_EQ(client.Get("/recommend?user=1&lat=abc&lon=1").status, 400);
+  EXPECT_EQ(client.Get("/recommend?user=1&lat=1&lon=1&k=0").status, 400);
+  EXPECT_EQ(client.Get("/recommend?user=1&lat=1&lon=1&k=100000").status, 400);
+  EXPECT_EQ(client.Get("/recommend?user=1&lat=1&lon=1&city=99").status, 400);
+  EXPECT_EQ(client.Get("/nosuchpath").status, 404);
+  EXPECT_GE(stats_.bad_requests.load(), 8u);
+}
+
+TEST_F(ServerTest, RejectsMalformedAndOversizedRequests) {
+  {
+    TestHttpClient client(server_->port());
+    const auto response = client.Roundtrip("NONSENSE\r\n\r\n");
+    EXPECT_EQ(response.status, 400);
+    EXPECT_TRUE(client.WaitForClose());
+  }
+  {
+    TestHttpClient client(server_->port());
+    // Headers past max_request_bytes (16K default) without a terminator.
+    const std::string huge =
+        "GET / HTTP/1.1\r\nX-Junk: " + std::string(20'000, 'a');
+    const auto response = client.Roundtrip(huge);
+    EXPECT_EQ(response.status, 431);
+    EXPECT_TRUE(client.WaitForClose());
+  }
+}
+
+TEST_F(ServerTest, ConnectionCloseHeaderIsHonoured) {
+  TestHttpClient client(server_->port());
+  const auto response = client.Roundtrip(
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(client.WaitForClose());
+}
+
+TEST_F(ServerTest, GracefulShutdownIsIdempotentAndStopsServing) {
+  EXPECT_TRUE(server_->running());
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+  server_->Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace sttr::serve

@@ -67,5 +67,59 @@ TEST(FlagParserTest, BareDoubleDashIsError) {
   EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
 }
 
+TEST(FlagParserTest, UndefinedFlagsStillParse) {
+  // Define() is opt-in for --help; parsing must not require it.
+  FlagParser parser;
+  parser.Define("known", "a described flag", "1");
+  const char* argv[] = {"prog", "--unknown=7"};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(parser.GetInt("unknown", 0), 7);
+}
+
+TEST(FlagParserTest, HelpTextListsDefinedFlagsInOrder) {
+  FlagParser parser;
+  parser.Define("port", "TCP port to listen on", "8080");
+  parser.Define("verbose", "chatty logging");
+  const std::string help =
+      parser.HelpText("mytool", "--port=N [flags]", "Does a thing.");
+
+  EXPECT_NE(help.find("usage: mytool --port=N [flags]"), std::string::npos)
+      << help;
+  EXPECT_NE(help.find("Does a thing."), std::string::npos);
+  const size_t port_pos = help.find("--port=8080");
+  const size_t verbose_pos = help.find("--verbose");
+  const size_t help_pos = help.find("--help");
+  ASSERT_NE(port_pos, std::string::npos) << help;
+  ASSERT_NE(verbose_pos, std::string::npos) << help;
+  ASSERT_NE(help_pos, std::string::npos) << "implicit --help row missing";
+  // Registration order, --help appended last.
+  EXPECT_LT(port_pos, verbose_pos);
+  EXPECT_LT(verbose_pos, help_pos);
+  EXPECT_NE(help.find("TCP port to listen on"), std::string::npos);
+  EXPECT_NE(help.find("print this help and exit"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpTextDefaultsUsageLine) {
+  FlagParser parser;
+  const std::string help = parser.HelpText("tool");
+  EXPECT_NE(help.find("usage: tool [--flag=value ...]"), std::string::npos)
+      << help;
+}
+
+TEST(FlagParserTest, HelpTextAlignsDescriptions) {
+  FlagParser parser;
+  parser.Define("a", "first");
+  parser.Define("longer_flag_name", "second", "42");
+  const std::string help = parser.HelpText("tool");
+  // Every description starts in the same column.
+  const size_t first = help.find("first");
+  const size_t second = help.find("second");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  const size_t first_col = first - help.rfind('\n', first) - 1;
+  const size_t second_col = second - help.rfind('\n', second) - 1;
+  EXPECT_EQ(first_col, second_col) << help;
+}
+
 }  // namespace
 }  // namespace sttr

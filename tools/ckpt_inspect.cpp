@@ -10,6 +10,7 @@
 //   ckpt_inspect diff <a> <b>      section-by-section comparison; tensor-level
 //                                  stats for the model section
 //   ckpt_inspect latest <dir>      print the newest checkpoint that verifies
+//   ckpt_inspect --help            full usage
 
 #include <cstdio>
 #include <sstream>
@@ -24,10 +25,21 @@ using namespace sttr;
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: ckpt_inspect list <file> | verify <file> | "
-               "diff <a> <b> | latest <dir>\n");
+std::string HelpText(const FlagParser& flags) {
+  return flags.HelpText(
+      "ckpt_inspect", "<command> <args>",
+      "Inspects crash-safe checkpoint containers (core/checkpoint.h).\n"
+      "\ncommands:\n"
+      "  list <file>    print sections with sizes and CRCs\n"
+      "  verify <file>  verify magic/lengths/checksums (exit 1 on "
+      "corruption)\n"
+      "  diff <a> <b>   section-by-section comparison; tensor-level stats\n"
+      "                 for the model section\n"
+      "  latest <dir>   print the newest checkpoint that verifies");
+}
+
+int Usage(const FlagParser& flags) {
+  std::fputs(HelpText(flags).c_str(), stderr);
   return 2;
 }
 
@@ -179,13 +191,17 @@ int Latest(const std::string& dir) {
 
 int main(int argc, char** argv) {
   FlagParser flags;
-  if (!flags.Parse(argc, argv).ok()) return Usage();
+  if (!flags.Parse(argc, argv).ok()) return Usage(flags);
+  if (flags.Has("help")) {
+    std::fputs(HelpText(flags).c_str(), stdout);
+    return 0;
+  }
   const auto& args = flags.positional();
-  if (args.empty()) return Usage();
+  if (args.empty()) return Usage(flags);
   const std::string& cmd = args[0];
   if (cmd == "list" && args.size() == 2) return List(args[1]);
   if (cmd == "verify" && args.size() == 2) return Verify(args[1]);
   if (cmd == "diff" && args.size() == 3) return Diff(args[1], args[2]);
   if (cmd == "latest" && args.size() == 2) return Latest(args[1]);
-  return Usage();
+  return Usage(flags);
 }

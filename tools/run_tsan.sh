@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Race-checks the multi-threaded training/eval paths under ThreadSanitizer:
-# configures a separate build tree with -DSTTR_SANITIZE=thread and runs the
-# concurrency-heavy tier-1 tests (thread pool, parallel trainer, sparse
-# all-reduce). Usage: tools/run_tsan.sh [build-dir] (default: build-tsan).
+# Race-checks the multi-threaded training/eval/serving paths under
+# ThreadSanitizer: configures a separate build tree with -DSTTR_SANITIZE=thread
+# and runs the concurrency-heavy tier-1 tests (thread pool, parallel trainer,
+# sparse all-reduce, and the serving subsystem: score batcher, result cache,
+# checkpoint hot-reload under concurrent scoring, HTTP server).
+# Usage: tools/run_tsan.sh [build-dir] (default: build-tsan).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -11,10 +13,12 @@ build_dir="${1:-${repo_root}/build-tsan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DSTTR_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j \
-  --target thread_pool_test parallel_trainer_test sparse_allreduce_test
+  --target thread_pool_test parallel_trainer_test sparse_allreduce_test \
+           checkpoint_race_test batcher_test result_cache_test \
+           model_bundle_test server_test
 
 # TSan findings abort the run; halt_on_error keeps the first report readable.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '(ThreadPool|ParallelTrainer|SparseAllReduce)'
+  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest)'
 echo "TSan run clean."

@@ -1,0 +1,200 @@
+// Online recommendation server: serves a checkpoint directory over a
+// synthetic world through the src/serve stack — checkpoint hot-reload
+// (ModelBundle), grid/region candidate generation (CandidateIndex),
+// dynamic micro-batching (ScoreBatcher), a sharded LRU result cache and
+// the HTTP endpoints /recommend, /healthz and /statz.
+//
+// The world + model config must match what produced the checkpoints
+// (checkpoints carry a config fingerprint and anything else is refused).
+// With --train, a model is trained first when the directory holds no valid
+// checkpoint — the one-command demo:
+//
+//   sttr_serve --ckpt_dir=/tmp/sttr_ckpt --train --port=8080
+//   curl 'localhost:8080/recommend?user=3&lat=34.05&lon=-118.25&k=10'
+//
+// While the server runs, any newer checkpoint written into --ckpt_dir (e.g.
+// by a concurrently running trainer) is hot-swapped in within --poll_ms,
+// invalidating the result cache and never dropping in-flight requests.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/checkpoint.h"
+#include "serve/batcher.h"
+#include "serve/candidate_index.h"
+#include "serve/model_bundle.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace sttr {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleSignal(int) { g_shutdown_requested = 1; }
+
+void DefineFlags(FlagParser& flags) {
+  flags.Define("ckpt_dir", "checkpoint directory to serve (required)");
+  flags.Define("dataset", "world preset: foursquare | yelp", "foursquare");
+  flags.Define("scale", "world size: tiny | small | paper", "small");
+  flags.Define("seed", "world seed override (0 = preset default)", "0");
+  flags.Define("epochs", "training epochs for --train (0 = model default)",
+               "0");
+  flags.Define("train",
+               "train + checkpoint first when ckpt_dir has no valid "
+               "checkpoint");
+  flags.Define("port", "TCP port to listen on (0 = ephemeral)", "0");
+  flags.Define("workers", "HTTP handler threads", "8");
+  flags.Define("grid_rows", "candidate index grid rows", "16");
+  flags.Define("grid_cols", "candidate index grid cols", "16");
+  flags.Define("min_candidates", "candidate list size target per query",
+               "200");
+  flags.Define("no_regions",
+               "disable region merging in the candidate index (pure grid "
+               "rings)");
+  flags.Define("batch_pairs", "micro-batch flush threshold in (user, poi) "
+               "pairs (0 = no batcher, score inline per request)", "512");
+  flags.Define("batch_min_pairs", "pairs to wait for before flushing "
+               "(1 = continuous batching)", "1");
+  flags.Define("batch_wait_us", "micro-batch max wait for the oldest "
+               "request when below batch_min_pairs", "300");
+  flags.Define("cache_capacity", "result cache entries (0 = cache off)",
+               "4096");
+  flags.Define("cache_ttl_ms", "result cache TTL (0 = no expiry)", "5000");
+  flags.Define("poll_ms", "checkpoint hot-reload poll period", "200");
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  DefineFlags(flags);
+  STTR_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.Has("help")) {
+    std::fputs(flags.HelpText("sttr_serve", "--ckpt_dir=DIR [flags]",
+                              "Serves POI recommendations for a checkpoint "
+                              "directory over HTTP,\nhot-reloading newer "
+                              "checkpoints as the trainer writes them.")
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  const std::string ckpt_dir = flags.GetString("ckpt_dir", "");
+  if (ckpt_dir.empty()) {
+    std::fprintf(stderr, "--ckpt_dir is required (try --help)\n");
+    return 2;
+  }
+
+  const bench::BenchOptions opts = bench::BenchOptions::Parse(argc, argv);
+  const std::string dataset_name = flags.GetString("dataset", "foursquare");
+  bench::WorldAndSplit ws = bench::MakeWorld(dataset_name, opts);
+  STTR_LOG(Info) << "world: " << ws.world.dataset.num_users() << " users, "
+                 << ws.world.dataset.num_pois() << " POIs, "
+                 << ws.world.dataset.num_checkins() << " check-ins";
+
+  StTransRecConfig model_cfg = opts.DeepConfig();
+  bench::ApplyPaperArchitecture(dataset_name, model_cfg);
+
+  if (flags.GetBool("train", false) &&
+      !FindLatestValidCheckpoint(*Env::Default(), ckpt_dir).ok()) {
+    STTR_LOG(Info) << "no valid checkpoint in " << ckpt_dir
+                   << "; training " << model_cfg.num_epochs << " epochs";
+    StTransRecConfig train_cfg = model_cfg;
+    train_cfg.checkpoint_dir = ckpt_dir;
+    StTransRec trainer(train_cfg);
+    STTR_CHECK_OK(trainer.Fit(ws.world.dataset, ws.split));
+  }
+
+  serve::ServeStats stats;
+
+  serve::ModelBundleConfig bundle_cfg;
+  bundle_cfg.checkpoint_dir = ckpt_dir;
+  bundle_cfg.model = model_cfg;
+  bundle_cfg.poll_interval =
+      std::chrono::milliseconds(flags.GetInt("poll_ms", 200));
+  serve::ModelBundle bundle(ws.world.dataset, ws.split, bundle_cfg);
+
+  const Status loaded = bundle.LoadInitial();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load a checkpoint from %s: %s\n"
+                 "(generate one with --train)\n",
+                 ckpt_dir.c_str(), loaded.ToString().c_str());
+    return 1;
+  }
+
+  serve::CandidateIndexConfig index_cfg;
+  index_cfg.grid_rows = static_cast<size_t>(flags.GetInt("grid_rows", 16));
+  index_cfg.grid_cols = static_cast<size_t>(flags.GetInt("grid_cols", 16));
+  index_cfg.use_regions = !flags.GetBool("no_regions", false);
+  index_cfg.min_candidates =
+      static_cast<size_t>(flags.GetInt("min_candidates", 200));
+  serve::CandidateIndex index(ws.world.dataset, &ws.split, index_cfg);
+
+  // --batch_pairs=0 turns micro-batching off: handlers score inline.
+  std::unique_ptr<serve::ScoreBatcher> batcher;
+  const size_t max_batch_pairs =
+      static_cast<size_t>(flags.GetInt("batch_pairs", 512));
+  if (max_batch_pairs > 0) {
+    serve::BatcherConfig batcher_cfg;
+    batcher_cfg.max_batch_pairs = max_batch_pairs;
+    batcher_cfg.min_batch_pairs =
+        static_cast<size_t>(flags.GetInt("batch_min_pairs", 1));
+    batcher_cfg.max_wait =
+        std::chrono::microseconds(flags.GetInt("batch_wait_us", 300));
+    batcher = std::make_unique<serve::ScoreBatcher>(batcher_cfg, &stats);
+    batcher->Start();
+  }
+
+  const size_t cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity", 4096));
+  std::unique_ptr<serve::ResultCache> cache;
+  if (cache_capacity > 0) {
+    serve::ResultCacheConfig cache_cfg;
+    cache_cfg.capacity = cache_capacity;
+    cache_cfg.ttl =
+        std::chrono::milliseconds(flags.GetInt("cache_ttl_ms", 5000));
+    cache = std::make_unique<serve::ResultCache>(cache_cfg);
+    bundle.AddReloadListener([&](const serve::ModelSnapshot&) {
+      cache->InvalidateAll();
+      stats.model_reloads.fetch_add(1, std::memory_order_relaxed);
+    });
+  } else {
+    bundle.AddReloadListener([&](const serve::ModelSnapshot&) {
+      stats.model_reloads.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  serve::ServerConfig server_cfg;
+  server_cfg.port = static_cast<int>(flags.GetInt("port", 0));
+  server_cfg.num_workers = static_cast<size_t>(flags.GetInt("workers", 8));
+  server_cfg.default_city = ws.split.target_city;
+  server_cfg.enable_cache = cache != nullptr;
+  serve::RecommendServer server(server_cfg, ws.world.dataset, &bundle,
+                                &index, batcher.get(), cache.get(), &stats);
+  STTR_CHECK_OK(server.Start());
+  bundle.StartWatcher();
+
+  std::printf("serving %s on http://127.0.0.1:%d  (ctrl-c to stop)\n",
+              ckpt_dir.c_str(), server.port());
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  STTR_LOG(Info) << "shutting down";
+  bundle.StopWatcher();
+  server.Shutdown();
+  if (batcher != nullptr) batcher->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sttr
+
+int main(int argc, char** argv) { return sttr::Main(argc, argv); }
