@@ -15,7 +15,7 @@ ScoreBatcher::ScoreBatcher(BatcherConfig config, ServeStats* stats)
 ScoreBatcher::~ScoreBatcher() { Stop(); }
 
 void ScoreBatcher::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   running_ = true;
   stopping_ = false;
@@ -23,14 +23,20 @@ void ScoreBatcher::Start() {
 }
 
 void ScoreBatcher::Stop() {
+  // Move the handle out under the lock so exactly one caller joins: two
+  // concurrent Stop() calls (say, an explicit Stop racing the destructor's)
+  // used to both reach dispatcher_.join(), which is undefined behaviour on
+  // the second join. Latecomers see stopping_ already set and back off.
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
+    MutexLock lock(mu_);
+    if (!running_ || stopping_) return;
     stopping_ = true;
+    to_join = std::move(dispatcher_);
   }
-  work_ready_.notify_all();
-  dispatcher_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  work_ready_.NotifyAll();
+  to_join.join();
+  MutexLock lock(mu_);
   running_ = false;
 }
 
@@ -43,7 +49,7 @@ std::future<std::vector<double>> ScoreBatcher::Submit(
   req.pois = std::move(pois);
   req.enqueued_at = std::chrono::steady_clock::now();
   std::future<std::vector<double>> future = req.promise.get_future();
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   STTR_CHECK(running_ && !stopping_) << "Submit() on a stopped ScoreBatcher";
 
   // Caller-runs fast path: nothing queued and nobody scoring, so handing
@@ -53,38 +59,41 @@ std::future<std::vector<double>> ScoreBatcher::Submit(
   if (config_.min_batch_pairs <= 1 && queue_.empty() && !flush_in_flight_) {
     flush_in_flight_ = true;
     ++batches_;
-    lock.unlock();
+    mu_.Unlock();
     std::vector<Request> one;
     one.push_back(std::move(req));
     Flush(std::move(one));
-    lock.lock();
+    mu_.Lock();
     flush_in_flight_ = false;
-    lock.unlock();
+    mu_.Unlock();
     // The dispatcher blocks on flush_in_flight_; wake it for requests that
     // arrived while we were scoring, or for a Stop() that fired meanwhile.
-    work_ready_.notify_one();
+    work_ready_.NotifyOne();
     return future;
   }
 
   pending_pairs_ += req.pois.size();
   queue_.push_back(std::move(req));
-  lock.unlock();
-  work_ready_.notify_one();
+  mu_.Unlock();
+  work_ready_.NotifyOne();
   return future;
 }
 
 uint64_t ScoreBatcher::num_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batches_;
 }
 
 void ScoreBatcher::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_ready_.wait(lock, [this] {
-      return (!queue_.empty() || stopping_) && !flush_in_flight_;
-    });
-    if (queue_.empty() && stopping_) return;
+    while (!((!queue_.empty() || stopping_) && !flush_in_flight_)) {
+      work_ready_.Wait(mu_);
+    }
+    if (queue_.empty() && stopping_) {
+      mu_.Unlock();
+      return;
+    }
 
     // Below the minimum batch, wait for co-batchable traffic until either
     // the pair budget fills or the oldest request's deadline expires
@@ -95,31 +104,34 @@ void ScoreBatcher::DispatchLoop() {
     while (!stopping_ && pending_pairs_ < config_.min_batch_pairs &&
            pending_pairs_ < config_.max_batch_pairs &&
            std::chrono::steady_clock::now() < deadline) {
-      work_ready_.wait_until(lock, deadline);
+      work_ready_.WaitUntil(mu_, deadline);
     }
 
-    // Take requests up to the pair budget (always at least one, so an
-    // oversized request still flushes as its own batch).
-    std::vector<Request> batch;
-    size_t taken_pairs = 0;
-    while (!queue_.empty()) {
-      const size_t next = queue_.front().pois.size();
-      if (!batch.empty() && taken_pairs + next > config_.max_batch_pairs) {
-        break;
-      }
-      taken_pairs += next;
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      pending_pairs_ -= next;
-    }
+    std::vector<Request> batch = TakeBatchLocked();
     ++batches_;
     flush_in_flight_ = true;
 
-    lock.unlock();
+    mu_.Unlock();
     Flush(std::move(batch));
-    lock.lock();
+    mu_.Lock();
     flush_in_flight_ = false;
   }
+}
+
+std::vector<ScoreBatcher::Request> ScoreBatcher::TakeBatchLocked() {
+  std::vector<Request> batch;
+  size_t taken_pairs = 0;
+  while (!queue_.empty()) {
+    const size_t next = queue_.front().pois.size();
+    if (!batch.empty() && taken_pairs + next > config_.max_batch_pairs) {
+      break;
+    }
+    taken_pairs += next;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    pending_pairs_ -= next;
+  }
+  return batch;
 }
 
 void ScoreBatcher::Flush(std::vector<Request> batch) {

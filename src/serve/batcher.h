@@ -2,18 +2,18 @@
 #define STTR_SERVE_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "data/types.h"
 #include "eval/protocol.h"
 #include "serve/stats.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sttr::serve {
 
@@ -60,19 +60,21 @@ class ScoreBatcher {
   ScoreBatcher(const ScoreBatcher&) = delete;
   ScoreBatcher& operator=(const ScoreBatcher&) = delete;
 
-  void Start();
-  /// Drains pending requests (they still get scored), then joins.
-  void Stop();
+  void Start() EXCLUDES(mu_);
+  /// Drains pending requests (they still get scored), then joins. Safe to
+  /// call concurrently (e.g. an explicit Stop racing the destructor's): one
+  /// caller performs the shutdown, the others return immediately.
+  void Stop() EXCLUDES(mu_);
 
   /// Enqueues one request against `model` (kept alive via the shared_ptr
   /// until its flush completes, so a hot reload never pulls a snapshot out
   /// from under a queued request). The future yields scores in `pois` order.
   std::future<std::vector<double>> Submit(
       std::shared_ptr<const PoiScorer> model, UserId user,
-      std::vector<PoiId> pois);
+      std::vector<PoiId> pois) EXCLUDES(mu_);
 
   /// ScorePairs flushes issued so far.
-  uint64_t num_batches() const;
+  uint64_t num_batches() const EXCLUDES(mu_);
 
  private:
   struct Request {
@@ -83,24 +85,30 @@ class ScoreBatcher {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
-  void DispatchLoop();
+  void DispatchLoop() EXCLUDES(mu_);
+  /// Pops queued requests up to the pair budget (always at least one, so an
+  /// oversized request still flushes as its own batch).
+  std::vector<Request> TakeBatchLocked() REQUIRES(mu_);
   /// Scores `batch` (grouped by model snapshot) and fulfils its promises.
-  void Flush(std::vector<Request> batch);
+  /// Runs with mu_ dropped — scoring must not block Submit admission.
+  void Flush(std::vector<Request> batch) EXCLUDES(mu_);
 
   BatcherConfig config_;
   ServeStats* stats_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<Request> queue_;
-  size_t pending_pairs_ = 0;
-  uint64_t batches_ = 0;
-  bool running_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_ready_;
+  std::deque<Request> queue_ GUARDED_BY(mu_);
+  size_t pending_pairs_ GUARDED_BY(mu_) = 0;
+  uint64_t batches_ GUARDED_BY(mu_) = 0;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   /// True while any thread (dispatcher or a caller-runs Submit) is inside
   /// Flush; keeps scoring serialized.
-  bool flush_in_flight_ = false;
-  std::thread dispatcher_;
+  bool flush_in_flight_ GUARDED_BY(mu_) = false;
+  /// Joined via a local moved out under mu_, so concurrent Stop() calls
+  /// can never double-join.
+  std::thread dispatcher_ GUARDED_BY(mu_);
 };
 
 }  // namespace sttr::serve

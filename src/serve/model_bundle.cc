@@ -80,7 +80,7 @@ Status ModelBundle::LoadInitial() {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelBundle::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_;
 }
 
@@ -89,7 +89,7 @@ StatusOr<bool> ModelBundle::ReloadIfNewer() {
       FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
   if (!path.ok()) return path.status();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (snapshot_ != nullptr && snapshot_->checkpoint_path == *path) {
       return false;
     }
@@ -105,13 +105,14 @@ StatusOr<bool> ModelBundle::ReloadIfNewer() {
 void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
   std::vector<std::function<void(const ModelSnapshot&)>> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
     snapshot_ = next;
     listeners = listeners_;
   }
-  // Listeners run after the swap is visible: a cache invalidated here can
-  // only be refilled from the new snapshot.
+  // Listeners run on a copy with mu_ dropped, after the swap is visible: a
+  // cache invalidated here can only be refilled from the new snapshot, and
+  // a listener calling back into snapshot() cannot self-deadlock.
   for (const auto& listener : listeners) listener(*next);
   STTR_LOG(Info) << "model bundle: serving " << next->checkpoint_path
                  << " (epoch " << next->epoch << ", version "
@@ -120,7 +121,7 @@ void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
 
 void ModelBundle::AddReloadListener(
     std::function<void(const ModelSnapshot&)> listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   listeners_.push_back(std::move(listener));
 }
 
@@ -129,29 +130,40 @@ uint64_t ModelBundle::reload_count() const {
 }
 
 void ModelBundle::StartWatcher() {
-  std::lock_guard<std::mutex> lock(watcher_mu_);
+  MutexLock lock(watcher_mu_);
   if (watcher_.joinable()) return;
   watcher_stop_ = false;
   watcher_ = std::thread([this] { WatcherLoop(); });
 }
 
 void ModelBundle::StopWatcher() {
+  // Move the handle out under the lock so exactly one caller joins it: the
+  // old shape (joinable() check under the lock, join() on the member after
+  // dropping it) let two concurrent StopWatcher calls — say an explicit
+  // stop racing the destructor's — both reach watcher_.join(), which is
+  // undefined behaviour on the second join.
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(watcher_mu_);
+    MutexLock lock(watcher_mu_);
     if (!watcher_.joinable()) return;
     watcher_stop_ = true;
+    to_join = std::move(watcher_);
   }
-  watcher_cv_.notify_all();
-  watcher_.join();
+  watcher_cv_.NotifyAll();
+  to_join.join();
 }
 
 void ModelBundle::WatcherLoop() {
-  std::unique_lock<std::mutex> lock(watcher_mu_);
+  watcher_mu_.Lock();
   while (!watcher_stop_) {
-    watcher_cv_.wait_for(lock, config_.poll_interval,
-                         [this] { return watcher_stop_; });
-    if (watcher_stop_) return;
-    lock.unlock();
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.poll_interval;
+    // Sleep one poll period, leaving early only when StopWatcher fires
+    // (WaitUntil returning false means the deadline passed).
+    while (!watcher_stop_ && watcher_cv_.WaitUntil(watcher_mu_, deadline)) {
+    }
+    if (watcher_stop_) break;
+    watcher_mu_.Unlock();
     StatusOr<bool> swapped = ReloadIfNewer();
     if (!swapped.ok()) {
       // NotFound just means the trainer hasn't written anything new; a
@@ -160,8 +172,9 @@ void ModelBundle::WatcherLoop() {
       STTR_LOG(Debug) << "model bundle: reload attempt: "
                       << swapped.status().ToString();
     }
-    lock.lock();
+    watcher_mu_.Lock();
   }
+  watcher_mu_.Unlock();
 }
 
 }  // namespace sttr::serve

@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +14,9 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "util/fs.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sttr::serve {
 
@@ -65,23 +65,27 @@ class ModelBundle {
 
   /// Blocking initial load of the newest valid checkpoint. Must succeed
   /// before snapshot() is usable.
-  Status LoadInitial();
+  Status LoadInitial() EXCLUDES(mu_);
 
   /// Current snapshot (never null after a successful LoadInitial()).
-  std::shared_ptr<const ModelSnapshot> snapshot() const;
+  std::shared_ptr<const ModelSnapshot> snapshot() const EXCLUDES(mu_);
 
   /// Checks for a checkpoint newer than the current snapshot and swaps it
   /// in. Returns true when a swap happened, false when already current.
-  StatusOr<bool> ReloadIfNewer();
+  StatusOr<bool> ReloadIfNewer() EXCLUDES(mu_);
 
   /// Registered callbacks run after every swap (initial load included),
-  /// on the thread that performed it — the hook the result cache's
-  /// InvalidateAll() hangs off.
-  void AddReloadListener(std::function<void(const ModelSnapshot&)> listener);
+  /// on the thread that performed it, with mu_ deliberately dropped — a
+  /// listener may call back into snapshot()/the result cache. This is the
+  /// hook the result cache's InvalidateAll() hangs off.
+  void AddReloadListener(std::function<void(const ModelSnapshot&)> listener)
+      EXCLUDES(mu_);
 
-  /// Background polling via ReloadIfNewer() every poll_interval.
-  void StartWatcher();
-  void StopWatcher();
+  /// Background polling via ReloadIfNewer() every poll_interval. Start and
+  /// Stop are safe to call concurrently: the watcher handle only moves
+  /// under watcher_mu_, so exactly one caller ever joins it.
+  void StartWatcher() EXCLUDES(watcher_mu_);
+  void StopWatcher() EXCLUDES(watcher_mu_);
 
   /// Successful swaps so far (1 after LoadInitial()).
   uint64_t reload_count() const;
@@ -89,23 +93,26 @@ class ModelBundle {
  private:
   StatusOr<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
       const std::string& path) const;
-  void Swap(std::shared_ptr<ModelSnapshot> next);
+  void Swap(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);
   Env& env() const;
-  void WatcherLoop();
+  void WatcherLoop() EXCLUDES(watcher_mu_);
 
   const Dataset& dataset_;
   const CrossCitySplit& split_;
   ModelBundleConfig config_;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  std::vector<std::function<void(const ModelSnapshot&)>> listeners_;
+  mutable Mutex mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_ GUARDED_BY(mu_);
+  std::vector<std::function<void(const ModelSnapshot&)>> listeners_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> reloads_{0};
 
-  std::mutex watcher_mu_;
-  std::condition_variable watcher_cv_;
-  bool watcher_stop_ = false;
-  std::thread watcher_;
+  Mutex watcher_mu_;
+  CondVar watcher_cv_;
+  bool watcher_stop_ GUARDED_BY(watcher_mu_) = false;
+  /// Joined via a local moved out under watcher_mu_ (StopWatcher), so two
+  /// concurrent StopWatcher calls can never double-join.
+  std::thread watcher_ GUARDED_BY(watcher_mu_);
 };
 
 }  // namespace sttr::serve

@@ -48,7 +48,7 @@ std::chrono::steady_clock::time_point ResultCache::Now() const {
 std::optional<ResultCache::Value> ResultCache::Get(const ResultCacheKey& key) {
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -73,7 +73,7 @@ std::optional<ResultCache::Value> ResultCache::Get(const ResultCacheKey& key) {
 void ResultCache::Put(const ResultCacheKey& key, Value value) {
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.lru.erase(it->second);
@@ -102,7 +102,7 @@ ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;

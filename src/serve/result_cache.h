@@ -7,13 +7,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "data/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sttr::serve {
 
@@ -90,14 +91,14 @@ class ResultCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recent. The map holds iterators into the list.
-    std::list<Entry> lru;
+    std::list<Entry> lru GUARDED_BY(mu);
     std::unordered_map<ResultCacheKey, std::list<Entry>::iterator, KeyHash>
-        index;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        index GUARDED_BY(mu);
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardOf(const ResultCacheKey& key);

@@ -191,7 +191,7 @@ void RecommendServer::Shutdown() {
   if (acceptor_.joinable()) acceptor_.join();
   listen_fd_ = -1;
   // Drain: workers exit once the pending queue is empty and shutting_down_.
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   STTR_LOG(Info) << "recommend server on port " << port_ << " shut down";
@@ -206,7 +206,7 @@ void RecommendServer::AcceptLoop() {
     }
     bool rejected = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (pending_.size() >= config_.max_pending_connections) {
         rejected = true;
       } else {
@@ -219,7 +219,7 @@ void RecommendServer::AcceptLoop() {
                    /*keep_alive=*/false);
       ::close(fd);
     } else {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     }
   }
 }
@@ -228,10 +228,10 @@ void RecommendServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_.empty() || shutting_down_.load();
-      });
+      MutexLock lock(queue_mu_);
+      while (pending_.empty() && !shutting_down_.load()) {
+        queue_cv_.Wait(queue_mu_);
+      }
       if (pending_.empty()) return;  // shutting down, queue drained
       fd = pending_.front();
       pending_.pop_front();

@@ -3,10 +3,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +15,8 @@
 #include "serve/model_bundle.h"
 #include "serve/result_cache.h"
 #include "serve/stats.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sttr::serve {
 
@@ -86,8 +86,8 @@ class RecommendServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() EXCLUDES(queue_mu_);
+  void WorkerLoop() EXCLUDES(queue_mu_);
   /// Serves one connection (possibly many keep-alive requests).
   void HandleConnection(int fd);
   /// Parses and answers a single request; false ends the connection.
@@ -111,9 +111,9 @@ class RecommendServer {
   std::atomic<bool> shutting_down_{false};
   std::chrono::steady_clock::time_point started_at_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_ GUARDED_BY(queue_mu_);
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -1,13 +1,14 @@
 #ifndef STTR_UTIL_THREAD_POOL_H_
 #define STTR_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sttr {
 
@@ -27,10 +28,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), sharded across the pool, and waits.
   /// Work is split into grain-sized chunks (several per worker) so uneven
@@ -55,15 +56,15 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 /// Worker count for shared parallel paths: the STTR_NUM_THREADS environment

@@ -1,0 +1,23 @@
+// lint-fixture-as: src/core/clean.cc
+//
+// The idiomatic shapes: randomness through sttr::Rng, locking through the
+// annotated wrapper. No rule may fire here (no expect-violation lines).
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+class CleanCounter {
+ public:
+  // Identifiers *containing* banned substrings must not trip the word
+  // boundaries: operand, grand_total, uptime.
+  int operand_grand_total_uptime = 0;
+
+  void Bump(sttr::Rng& rng) {
+    sttr::MutexLock lock(mu_);
+    value_ += static_cast<int>(rng.UniformInt(uint64_t{10}));
+  }
+
+ private:
+  sttr::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,11 @@
+// lint-fixture-as: src/serve/escape_in_serve.cc
+// expect-violation: no-analysis-escape
+//
+// The serving stack carries the hot-reload/batching lock contract; no code
+// there may opt out of the analysis, justified or not.
+#include "util/thread_annotations.h"
+
+struct Batchy {
+  // A justification comment does not help inside src/serve/.
+  void Sneaky() NO_THREAD_SAFETY_ANALYSIS {}
+};

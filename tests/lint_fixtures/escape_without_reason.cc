@@ -1,0 +1,12 @@
+// lint-fixture-as: src/util/escape_without_reason.cc
+// expect-violation: no-analysis-escape
+#include "util/thread_annotations.h"
+
+struct Escapes {
+  // Justified on the preceding line: static init happens-before all readers.
+  void Fine() NO_THREAD_SAFETY_ANALYSIS {}
+
+  void AlsoFine() NO_THREAD_SAFETY_ANALYSIS {}  // justified on the same line
+
+  void Bad() NO_THREAD_SAFETY_ANALYSIS {}
+};

@@ -1,0 +1,10 @@
+// lint-fixture-as: src/serve/includes_tests.cc
+// expect-violation: test-include
+//
+// Library code reaching into tests/ inverts the dependency direction; the
+// include in the comment below must not fire.
+// #include "tests/serve/serve_test_util.h"  <- commented: no fire
+#include "tests/serve/serve_test_util.h"
+#include "../tests/util/helpers.h"
+
+int Library() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: NOT registered in the sibling CMakeLists.txt -> tier1-label.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: registered in the sibling CMakeLists.txt; must not be flagged.
+int main() { return 0; }

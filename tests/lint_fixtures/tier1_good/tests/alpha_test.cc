@@ -1,0 +1,2 @@
+// Fixture: registered; must not be flagged.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: registered via its subdirectory-relative path; must not flag.
+int main() { return 0; }

@@ -1,0 +1,19 @@
+// lint-fixture-as: src/data/uses_banned_randomness.cc
+// expect-violation: banned-randomness
+//
+// Every construct below bypasses sttr::Rng, so a repeated run would not be
+// bit-identical. Note the rule must NOT fire on the commented-out line or
+// the string literal — only on live code.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int BadSeed() {
+  // std::srand(42);  <- in a comment: must not fire
+  const char* msg = "calling rand() here would be bad";  // string: no fire
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  (void)msg;
+  return std::rand() + static_cast<int>(gen());
+}

@@ -1,0 +1,20 @@
+// lint-fixture-as: src/core/uses_raw_mutex.cc
+// expect-violation: raw-mutex
+//
+// Raw std primitives are invisible to -Wthread-safety; only src/util/mutex.h
+// may hold them. sttr::Mutex in the same file is fine and must not fire.
+#include <mutex>
+
+#include "util/mutex.h"
+
+struct BadGuarded {
+  std::mutex mu;                 // violation
+  std::condition_variable cv;    // violation
+  sttr::Mutex good_mu;           // the wrapper: no violation
+  int value = 0;
+
+  void Set(int v) {
+    std::lock_guard<std::mutex> lock(mu);  // violation
+    value = v;
+  }
+};

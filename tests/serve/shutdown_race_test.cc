@@ -1,0 +1,133 @@
+// Regression tests for the shutdown double-join races surfaced by the
+// thread-safety-annotation migration: ScoreBatcher::Stop() and
+// ModelBundle::StopWatcher() used to check joinable() under their mutex but
+// join() the *member* thread after dropping it, so two concurrent stops —
+// the canonical shape being an explicit Stop racing the destructor's — could
+// both reach join() on the same std::thread handle, which is undefined
+// behaviour (in practice std::terminate). Both now move the handle into a
+// local under the lock, so exactly one caller ever joins. These tests hammer
+// exactly that window and also run under tools/run_tsan.sh, where the old
+// code additionally reports the data race on the thread member.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve/model_bundle.h"
+#include "serve_test_util.h"
+
+namespace sttr::serve {
+namespace {
+
+/// Releases `n` threads as close to simultaneously as possible.
+class StartGate {
+ public:
+  explicit StartGate(size_t n) : waiting_for_(n) {}
+  void ArriveAndWait() {
+    waiting_for_.fetch_sub(1, std::memory_order_acq_rel);
+    while (waiting_for_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<int64_t> waiting_for_;
+};
+
+TEST(ShutdownRaceTest, BatcherConcurrentStopJoinsDispatcherOnce) {
+  constexpr size_t kStoppers = 4;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    ScoreBatcher batcher(BatcherConfig{});
+    batcher.Start();
+    StartGate gate(kStoppers);
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(kStoppers);
+    for (size_t i = 0; i < kStoppers; ++i) {
+      stoppers.emplace_back([&] {
+        gate.ArriveAndWait();
+        batcher.Stop();
+      });
+    }
+    for (auto& t : stoppers) t.join();
+    // The destructor's Stop() is yet another concurrent-in-spirit caller;
+    // it must see the batcher already stopped and return quietly.
+  }
+}
+
+TEST(ShutdownRaceTest, BatcherRestartsCleanlyAfterRacedStop) {
+  ScoreBatcher batcher(BatcherConfig{});
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    batcher.Start();
+    StartGate gate(2);
+    std::thread other([&] {
+      gate.ArriveAndWait();
+      batcher.Stop();
+    });
+    gate.ArriveAndWait();
+    batcher.Stop();
+    other.join();
+    EXPECT_EQ(batcher.num_batches(), 0u);
+  }
+}
+
+TEST(ShutdownRaceTest, BundleConcurrentStopWatcherJoinsOnce) {
+  ServeFixture fixture = MakeServeFixture();
+  ModelBundleConfig config;
+  // Empty checkpoint dir: every poll is a NotFound retry, which is exactly
+  // the state a watcher spends most of its life in. 1ms keeps it cycling
+  // through the wait/reload boundary where StopWatcher must catch it.
+  config.checkpoint_dir = ServeTestDir();
+  config.model = SmallServeModelConfig();
+  config.poll_interval = std::chrono::milliseconds(1);
+  ModelBundle bundle(fixture.world.dataset, fixture.split, config);
+
+  constexpr size_t kStoppers = 4;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    bundle.StartWatcher();
+    StartGate gate(kStoppers);
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(kStoppers);
+    for (size_t i = 0; i < kStoppers; ++i) {
+      stoppers.emplace_back([&] {
+        gate.ArriveAndWait();
+        bundle.StopWatcher();
+      });
+    }
+    for (auto& t : stoppers) t.join();
+  }
+}
+
+TEST(ShutdownRaceTest, BundleStartStopChurnFromManyThreads) {
+  ServeFixture fixture = MakeServeFixture();
+  ModelBundleConfig config;
+  config.checkpoint_dir = ServeTestDir();
+  config.model = SmallServeModelConfig();
+  config.poll_interval = std::chrono::milliseconds(1);
+  ModelBundle bundle(fixture.world.dataset, fixture.split, config);
+
+  constexpr size_t kChurners = 4;
+  StartGate gate(kChurners);
+  std::vector<std::thread> churners;
+  churners.reserve(kChurners);
+  for (size_t i = 0; i < kChurners; ++i) {
+    churners.emplace_back([&] {
+      gate.ArriveAndWait();
+      for (int j = 0; j < 25; ++j) {
+        bundle.StartWatcher();
+        std::this_thread::yield();
+        bundle.StopWatcher();
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  // Whatever interleaving happened, a final stop must leave no watcher.
+  bundle.StopWatcher();
+}
+
+}  // namespace
+}  // namespace sttr::serve

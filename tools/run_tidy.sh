@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Batch clang-tidy runner over compile_commands.json: configures (if needed)
+# a build tree with CMAKE_EXPORT_COMPILE_COMMANDS=ON — the default since the
+# static-analysis PR — and runs the curated .clang-tidy check set
+# (bugprone-*, concurrency-*, performance-*, selected cppcoreguidelines)
+# over every project translation unit. Findings are errors
+# (WarningsAsErrors: '*'); a clean exit means zero findings.
+# The per-compile variant is cmake -DSTTR_TIDY=ON; the sanitizer siblings
+# are tools/run_asan.sh and tools/run_tsan.sh.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tidy"
+fix=0
+
+usage() {
+  cat <<EOF
+usage: tools/run_tidy.sh [--build-dir=DIR] [--fix]
+
+Runs clang-tidy (config: .clang-tidy) over every src/, tools/, bench/ and
+examples/ translation unit listed in DIR/compile_commands.json, configuring
+DIR first when it does not exist. Any finding fails the run.
+
+flags:
+  --build-dir=${repo_root}/build-tidy  build tree providing compile_commands.json
+  --fix                                apply clang-tidy's suggested fixes in place
+  --help                               print this help and exit
+EOF
+}
+
+for arg in "$@"; do
+  case "${arg}" in
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    --build-dir) echo "error: --build-dir needs =DIR" >&2; exit 2 ;;
+    --fix) fix=1 ;;
+    --help|-h) usage; exit 0 ;;
+    *) echo "error: unknown flag '${arg}' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+# Gate on the tool rather than hard-failing: dev containers without LLVM
+# still run the rest of the analysis stack (sttr_lint, sanitizers); CI's
+# clang-tidy job installs the real thing and does gate on findings.
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    tidy="${candidate}"
+    break
+  fi
+done
+if [[ -z "${tidy}" ]]; then
+  echo "run_tidy.sh: SKIPPED — no clang-tidy binary on PATH." >&2
+  echo "Install clang-tidy (LLVM >= 14) to run this check locally." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  # -march=native off: clang-tidy chokes on GCC-tuned native flags when the
+  # database was produced by a different compiler.
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTTR_NATIVE_ARCH=OFF -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+# Project TUs only: third-party-free tree, so everything under these roots
+# is ours. Headers are covered via HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(cd "${repo_root}" &&
+  find src tools bench examples -name '*.cc' -o -name '*.cpp' | sort)
+
+fix_args=()
+if [[ "${fix}" == "1" ]]; then
+  fix_args+=(--fix --fix-errors)
+fi
+
+echo "run_tidy.sh: ${tidy} over ${#sources[@]} translation units"
+failed=0
+for source in "${sources[@]}"; do
+  if ! "${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" \
+      "${repo_root}/${source}"; then
+    echo "clang-tidy FAILED: ${source}" >&2
+    failed=1
+  fi
+done
+
+if [[ "${failed}" != "0" ]]; then
+  echo "run_tidy.sh: findings above must be fixed (or suppressed with a" >&2
+  echo "// NOLINT(check-name) carrying a reason)." >&2
+  exit 1
+fi
+echo "clang-tidy run clean."

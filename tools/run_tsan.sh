@@ -15,10 +15,10 @@ cmake -B "${build_dir}" -S "${repo_root}" -DSTTR_SANITIZE=thread \
 cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_trainer_test sparse_allreduce_test \
            checkpoint_race_test batcher_test result_cache_test \
-           model_bundle_test server_test
+           model_bundle_test server_test shutdown_race_test
 
 # TSan findings abort the run; halt_on_error keeps the first report readable.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest)'
+  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace)'
 echo "TSan run clean."
