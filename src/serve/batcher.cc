@@ -26,18 +26,30 @@ void ScoreBatcher::Stop() {
   // Move the handle out under the lock so exactly one caller joins: two
   // concurrent Stop() calls (say, an explicit Stop racing the destructor's)
   // used to both reach dispatcher_.join(), which is undefined behaviour on
-  // the second join. Latecomers see stopping_ already set and back off.
+  // the second join. Latecomers block on stop_done_ until the winner has
+  // fully finished — if they returned as soon as they saw stopping_, a
+  // latecoming destructor could destroy mu_/the condvars while the winner
+  // was still joining, trading the double-join UB for use-after-destruction
+  // UB. stop_done_ is a dedicated condvar so the winner's wakeup can never
+  // be swallowed by a work_ready_ NotifyOne meant for the dispatcher.
   std::thread to_join;
   {
     MutexLock lock(mu_);
-    if (!running_ || stopping_) return;
+    while (stopping_) stop_done_.Wait(mu_);
+    if (!running_) return;
     stopping_ = true;
     to_join = std::move(dispatcher_);
+    work_ready_.NotifyAll();
   }
-  work_ready_.NotifyAll();
   to_join.join();
+  // Notify under the lock: a woken latecomer still has to reacquire mu_,
+  // so it cannot observe the stop as complete (and let the destructor run)
+  // until our MutexLock has released the mutex — the winner's last touch
+  // of the object.
   MutexLock lock(mu_);
   running_ = false;
+  stopping_ = false;
+  stop_done_.NotifyAll();
 }
 
 std::future<std::vector<double>> ScoreBatcher::Submit(

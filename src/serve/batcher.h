@@ -62,8 +62,12 @@ class ScoreBatcher {
 
   void Start() EXCLUDES(mu_);
   /// Drains pending requests (they still get scored), then joins. Safe to
-  /// call concurrently (e.g. an explicit Stop racing the destructor's): one
-  /// caller performs the shutdown, the others return immediately.
+  /// call concurrently: one caller performs the shutdown, the others block
+  /// until it completes — so by the time any Stop() returns, the dispatcher
+  /// is joined and the batcher is restartable. In particular the destructor
+  /// waits out an explicit Stop already in flight rather than destroying
+  /// state the stopper still uses. (As with any object, destruction must
+  /// still be externally ordered after all other calls *begin*.)
   void Stop() EXCLUDES(mu_);
 
   /// Enqueues one request against `model` (kept alive via the shared_ptr
@@ -98,9 +102,17 @@ class ScoreBatcher {
 
   mutable Mutex mu_;
   CondVar work_ready_;
+  /// Signalled (under mu_) once a stop has fully completed; latecomer
+  /// Stop() callers wait on this, never on work_ready_, so a NotifyOne
+  /// aimed at the dispatcher can't be swallowed by a waiting stopper.
+  CondVar stop_done_;
   std::deque<Request> queue_ GUARDED_BY(mu_);
   size_t pending_pairs_ GUARDED_BY(mu_) = 0;
   uint64_t batches_ GUARDED_BY(mu_) = 0;
+  /// running_ spans Start() through the end of the stopping caller's join
+  /// (the joiner clears it last); stopping_ marks the one Stop() allowed
+  /// to join. Start() during a stop is a no-op because running_ is still
+  /// true, so a second dispatcher can never be spawned mid-shutdown.
   bool running_ GUARDED_BY(mu_) = false;
   bool stopping_ GUARDED_BY(mu_) = false;
   /// True while any thread (dispatcher or a caller-runs Submit) is inside

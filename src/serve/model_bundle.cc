@@ -131,26 +131,46 @@ uint64_t ModelBundle::reload_count() const {
 
 void ModelBundle::StartWatcher() {
   MutexLock lock(watcher_mu_);
-  if (watcher_.joinable()) return;
+  // Lifecycle is tracked by watcher_running_, not the handle's joinable():
+  // a stopper moves the handle out before joining, and keying Start off
+  // joinable() in that window would reset watcher_stop_ and spawn a second
+  // watcher while the old loop — which would then re-read
+  // watcher_stop_ == false and never exit — is still running.
+  // watcher_running_ stays true until the joining stopper clears it, so a
+  // Start racing a Stop is a no-op, as it was before the handle moved.
+  if (watcher_running_) return;
+  watcher_running_ = true;
   watcher_stop_ = false;
   watcher_ = std::thread([this] { WatcherLoop(); });
 }
 
 void ModelBundle::StopWatcher() {
-  // Move the handle out under the lock so exactly one caller joins it: the
-  // old shape (joinable() check under the lock, join() on the member after
-  // dropping it) let two concurrent StopWatcher calls — say an explicit
-  // stop racing the destructor's — both reach watcher_.join(), which is
-  // undefined behaviour on the second join.
+  // Exactly one caller — the one that flips watcher_stopping_ — moves the
+  // handle out and joins it; the old shape (joinable() check under the
+  // lock, join() on the member after dropping it) let two concurrent
+  // StopWatcher calls both reach watcher_.join(), which is undefined
+  // behaviour on the second join. Latecomers block until the winner has
+  // fully finished: if they returned early, a latecoming destructor could
+  // tear down watcher_mu_/the condvars while the winner still uses them.
   std::thread to_join;
   {
     MutexLock lock(watcher_mu_);
-    if (!watcher_.joinable()) return;
+    while (watcher_stopping_) watcher_stopped_.Wait(watcher_mu_);
+    if (!watcher_running_) return;
+    watcher_stopping_ = true;
     watcher_stop_ = true;
     to_join = std::move(watcher_);
+    watcher_cv_.NotifyAll();
   }
-  watcher_cv_.NotifyAll();
   to_join.join();
+  // Notify under the lock: a latecomer woken here still has to reacquire
+  // watcher_mu_, so it cannot observe the stop as complete (and let the
+  // destructor run) until our MutexLock has released the mutex — the last
+  // time this call touches the object.
+  MutexLock lock(watcher_mu_);
+  watcher_running_ = false;
+  watcher_stopping_ = false;
+  watcher_stopped_.NotifyAll();
 }
 
 void ModelBundle::WatcherLoop() {

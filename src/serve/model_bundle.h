@@ -82,8 +82,13 @@ class ModelBundle {
       EXCLUDES(mu_);
 
   /// Background polling via ReloadIfNewer() every poll_interval. Start and
-  /// Stop are safe to call concurrently: the watcher handle only moves
-  /// under watcher_mu_, so exactly one caller ever joins it.
+  /// Stop are safe to call concurrently: exactly one stopper ever joins the
+  /// watcher, a Start racing an in-progress Stop is a no-op (never a second
+  /// watcher), and a StopWatcher that loses the race blocks until the
+  /// winner's shutdown completes — so by the time any StopWatcher returns,
+  /// no watcher thread remains. (As with any object, destruction must still
+  /// be externally ordered after all other calls *begin*; the destructor
+  /// merely waits out a stop already in flight.)
   void StartWatcher() EXCLUDES(watcher_mu_);
   void StopWatcher() EXCLUDES(watcher_mu_);
 
@@ -108,8 +113,15 @@ class ModelBundle {
   std::atomic<uint64_t> reloads_{0};
 
   Mutex watcher_mu_;
-  CondVar watcher_cv_;
+  CondVar watcher_cv_;       ///< wakes the watcher's poll sleep for shutdown
+  CondVar watcher_stopped_;  ///< signalled once a stop has fully completed
   bool watcher_stop_ GUARDED_BY(watcher_mu_) = false;
+  /// Lifecycle state (see StartWatcher/StopWatcher): running_ spans spawn
+  /// through the end of the stopper's join; stopping_ marks the one caller
+  /// allowed to join. Tracked explicitly because the handle below becomes
+  /// non-joinable mid-stop.
+  bool watcher_running_ GUARDED_BY(watcher_mu_) = false;
+  bool watcher_stopping_ GUARDED_BY(watcher_mu_) = false;
   /// Joined via a local moved out under watcher_mu_ (StopWatcher), so two
   /// concurrent StopWatcher calls can never double-join.
   std::thread watcher_ GUARDED_BY(watcher_mu_);

@@ -1,0 +1,17 @@
+// lint-fixture-as: src/core/digit_separator.cc
+// expect-violation: raw-mutex
+//
+// Pins the stripper against C++14 digit separators: the tick in 1'000 must
+// not open a char-literal state. The std::mutex member sits *between* two
+// separated literals, exactly where a separator-as-quote bug blanks the
+// source (the first tick "opens" the bogus literal, the tick in the next
+// literal "closes" it), so a regression makes raw-mutex vanish here and
+// this fixture fail its expectation.
+#include <mutex>
+
+struct DigitSeparator {
+  char digit_char = '0';  // a real char literal next to digits still works
+  static constexpr long kThousand = 1'000;
+  std::mutex masked_by_a_buggy_stripper;  // violation — must stay visible
+  static constexpr unsigned kMask = 0xdead'beef;
+};

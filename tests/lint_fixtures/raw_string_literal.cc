@@ -1,0 +1,16 @@
+// lint-fixture-as: src/core/raw_string_literal.cc
+// expect-violation: raw-mutex
+//
+// Pins the stripper against raw string literals: content runs to )delim",
+// with inner quotes and banned-looking identifiers inert. A stripper that
+// treats the opening quote as an ordinary string start exits at the first
+// inner quote, leaking the raw string body into code state — a false
+// banned-randomness below — and its quote accounting then blanks real code,
+// hiding the raw-mutex violation at the end.
+#include "util/mutex.h"
+
+struct RawStringLiteral {
+  const char* doc = R"(" rand() mt19937 std::random_device time(nullptr) ")";
+  const char* delimited = R"lint(quote " paren ) inside)lint";
+  std::mutex after_raw_strings;  // violation — must stay visible
+};

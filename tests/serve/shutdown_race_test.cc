@@ -1,13 +1,19 @@
-// Regression tests for the shutdown double-join races surfaced by the
-// thread-safety-annotation migration: ScoreBatcher::Stop() and
+// Regression tests for the shutdown lifecycle races surfaced by the
+// thread-safety-annotation migration. ScoreBatcher::Stop() and
 // ModelBundle::StopWatcher() used to check joinable() under their mutex but
 // join() the *member* thread after dropping it, so two concurrent stops —
 // the canonical shape being an explicit Stop racing the destructor's — could
 // both reach join() on the same std::thread handle, which is undefined
-// behaviour (in practice std::terminate). Both now move the handle into a
-// local under the lock, so exactly one caller ever joins. These tests hammer
-// exactly that window and also run under tools/run_tsan.sh, where the old
-// code additionally reports the data race on the thread member.
+// behaviour (in practice std::terminate). Both now track lifecycle with an
+// explicit running_/stopping_ pair: exactly one caller (the one that flips
+// stopping_) moves the handle into a local and joins it, a Start that races
+// an in-progress stop is a no-op (keying Start off joinable() instead would
+// reset the stop flag and spawn a second worker while the old loop, now
+// unable to see the stop, spins forever — hanging the stopper's join), and
+// latecomer stops block until the winner finishes, so a latecoming
+// destructor can't free the mutex/condvars under the winner. These tests
+// hammer exactly those windows and also run under tools/run_tsan.sh, where
+// the old code additionally reports the data race on the thread member.
 
 #include <atomic>
 #include <thread>
@@ -71,6 +77,35 @@ TEST(ShutdownRaceTest, BatcherRestartsCleanlyAfterRacedStop) {
     batcher.Stop();
     other.join();
     EXPECT_EQ(batcher.num_batches(), 0u);
+  }
+}
+
+TEST(ShutdownRaceTest, BatcherStopReturnsOnlyAfterShutdownCompletes) {
+  // Any Stop() returning — winner or latecomer — means the dispatcher is
+  // joined and the batcher is restartable. Start() right after a raced
+  // Stop() must not collide with a stopper still mid-join (under the old
+  // back-off-early latecomers, the restart could interleave with the
+  // winner's post-join bookkeeping).
+  ScoreBatcher batcher(BatcherConfig{});
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    batcher.Start();
+    StartGate gate(3);
+    std::thread s1([&] {
+      gate.ArriveAndWait();
+      batcher.Stop();
+    });
+    std::thread s2([&] {
+      gate.ArriveAndWait();
+      batcher.Stop();
+    });
+    gate.ArriveAndWait();
+    batcher.Stop();
+    batcher.Start();
+    // s1/s2 may stop this new generation instead — equally valid; the final
+    // Stop below leaves the batcher stopped either way.
+    s1.join();
+    s2.join();
+    batcher.Stop();
   }
 }
 

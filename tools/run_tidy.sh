@@ -64,7 +64,11 @@ fi
 
 # Project TUs only: third-party-free tree, so everything under these roots
 # is ours. Headers are covered via HeaderFilterRegex in .clang-tidy.
-mapfile -t sources < <(cd "${repo_root}" &&
+# while-read instead of mapfile: macOS ships /bin/bash 3.2, which lacks it.
+sources=()
+while IFS= read -r line; do
+  sources+=("${line}")
+done < <(cd "${repo_root}" &&
   find src tools bench examples -name '*.cc' -o -name '*.cpp' | sort)
 
 fix_args=()
@@ -74,8 +78,10 @@ fi
 
 echo "run_tidy.sh: ${tidy} over ${#sources[@]} translation units"
 failed=0
-for source in "${sources[@]}"; do
-  if ! "${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" \
+# ${arr[@]+...} guards: under set -u, expanding an empty array is an error
+# before bash 4.4.
+for source in ${sources[@]+"${sources[@]}"}; do
+  if ! "${tidy}" -p "${build_dir}" --quiet ${fix_args[@]+"${fix_args[@]}"} \
       "${repo_root}/${source}"; then
     echo "clang-tidy FAILED: ${source}" >&2
     failed=1

@@ -79,10 +79,36 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.text.strip()}"
 
 
+# R"delim( possibly preceded by an encoding prefix, anchored so the check
+# below can demand the prefix is a whole token (FOOR"x" is the identifier
+# FOOR followed by an ordinary string, not a raw string).
+RAW_STRING_INTRO = re.compile(r"(?:u8|[uUL])?R$")
+
+
+def _is_digit_separator(source, i):
+    """True when source[i] == "'" separates digits of one numeric literal
+
+    (1'000'000, 0xdead'beef) rather than opening a char literal."""
+    prev_c = source[i - 1] if i > 0 else ""
+    next_c = source[i + 1] if i + 1 < len(source) else ""
+    hexdigits = "0123456789abcdefABCDEF"
+    if prev_c not in hexdigits or next_c not in hexdigits:
+        return False
+    # Walk back over the token: a separator only exists inside a literal
+    # that *starts* with a digit, so u8'a' / L'a' stay char literals even
+    # though 'a' and '8' are hex digits.
+    j = i - 1
+    while j >= 0 and (source[j].isalnum() or source[j] in "'."):
+        j -= 1
+    return source[j + 1].isdigit()
+
+
 def strip_comments_and_strings(source):
     """Blanks comments and string/char literals, preserving line structure,
 
-    so a rule regex never fires on documentation or log text."""
+    so a rule regex never fires on documentation or log text. Knows C++14
+    digit separators (1'000'000 is code, not a char literal) and raw string
+    literals (R"delim(...)delim", where escapes and quotes are inert)."""
     out = []
     i, n = 0, len(source)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -101,11 +127,32 @@ def strip_comments_and_strings(source):
                 i += 2
                 continue
             if c == '"':
+                intro = RAW_STRING_INTRO.search(source, max(0, i - 3), i)
+                if intro is not None and (
+                        intro.start() == 0 or
+                        not (source[intro.start() - 1].isalnum()
+                             or source[intro.start() - 1] == "_")):
+                    # Raw string: blank through the matching )delim" in one
+                    # step — no escape or quote handling applies inside.
+                    open_paren = source.find("(", i + 1)
+                    delim = source[i + 1:open_paren] if open_paren != -1 else ""
+                    terminator = ')' + delim + '"'
+                    end = (source.find(terminator, open_paren + 1)
+                           if open_paren != -1 else -1)
+                    end = n if end == -1 else end + len(terminator)
+                    out.extend("\n" if ch == "\n" else " "
+                               for ch in source[i:end])
+                    i = end
+                    continue
                 state = "string"
                 out.append(" ")
                 i += 1
                 continue
             if c == "'":
+                if _is_digit_separator(source, i):
+                    out.append(c)
+                    i += 1
+                    continue
                 state = "char"
                 out.append(" ")
                 i += 1
