@@ -1,0 +1,101 @@
+// Global operator new/delete replacement that counts per-thread allocations
+// (see alloc_hook.h). The replacement is legal C++ ([replacement.functions]):
+// these definitions take precedence over the library's at link time for the
+// whole binary. Sanitizer builds still work — ASan/TSan intercept the malloc
+// and free these forwards call.
+//
+// The counters are plain thread-local uint64_t (zero-initialized, no guard
+// variable, no dynamic init), so the operators are safe to call before main
+// and from any thread with no synchronization.
+
+#include "serve/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace sttr::serve {
+namespace {
+
+thread_local uint64_t t_allocs = 0;
+thread_local uint64_t t_frees = 0;
+
+void* CountedAlloc(size_t size) {
+  ++t_allocs;
+  // malloc(0) may return null; operator new must return a unique pointer.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(size_t size, size_t align) {
+  ++t_allocs;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  ++t_frees;
+  std::free(p);
+}
+
+}  // namespace
+
+uint64_t ThreadAllocCount() { return t_allocs; }
+uint64_t ThreadFreeCount() { return t_frees; }
+bool AllocHookActive() { return true; }
+
+}  // namespace sttr::serve
+
+// -- Replacement operators (whole-binary scope). ------------------------------
+
+void* operator new(std::size_t size) { return sttr::serve::CountedAlloc(size); }
+void* operator new[](std::size_t size) {
+  return sttr::serve::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++sttr::serve::t_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++sttr::serve::t_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return sttr::serve::CountedAllocAligned(size,
+                                          static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return sttr::serve::CountedAllocAligned(size,
+                                          static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { sttr::serve::CountedFree(p); }
+void operator delete[](void* p) noexcept { sttr::serve::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  sttr::serve::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  sttr::serve::CountedFree(p);
+}

@@ -1,0 +1,44 @@
+#ifndef STTR_SERVE_ALLOC_HOOK_H_
+#define STTR_SERVE_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace sttr::serve {
+
+/// Counting allocator hook: alloc_hook.cc replaces the global operator
+/// new/delete family with thin malloc/free forwards that bump a thread-local
+/// counter. Linking sttr_serve swaps the hook in for the whole binary — the
+/// serving tests and benches use it to *assert* the zero-allocation property
+/// of the request hot path instead of claiming it.
+///
+/// Cost when linked: one thread-local increment per allocation (no locks, no
+/// contention); the allocations themselves still come from malloc. Binaries
+/// that don't link sttr_serve are untouched.
+
+/// Allocations (operator new calls) performed by the calling thread since it
+/// started. Monotonic; deltas around a code region count its allocations.
+uint64_t ThreadAllocCount();
+
+/// Frees (operator delete calls with a non-null pointer) performed by the
+/// calling thread.
+uint64_t ThreadFreeCount();
+
+/// True when the replacement operators are actually linked into this binary
+/// (always true for sttr_serve users; false only if a future build gates the
+/// hook out). Tests consult this instead of silently passing.
+bool AllocHookActive();
+
+/// RAII allocation meter: counts operator new calls on this thread between
+/// construction and Count()/destruction.
+class ScopedAllocCount {
+ public:
+  ScopedAllocCount() : start_(ThreadAllocCount()) {}
+  uint64_t Count() const { return ThreadAllocCount() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_ALLOC_HOOK_H_

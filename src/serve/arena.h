@@ -1,0 +1,170 @@
+#ifndef STTR_SERVE_ARENA_H_
+#define STTR_SERVE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace sttr::serve {
+
+/// Bump allocator backing one connection's per-request scratch memory
+/// (parsed header slots, the JSON response body, the serialized response
+/// bytes). Allocation is a pointer increment; Reset() reclaims everything at
+/// once at the next request's start.
+///
+/// The steady-state contract the serving hot path relies on: growth is a
+/// warmup phenomenon. While a request overflows the current block, older
+/// blocks are retired (their allocations stay live) and the demand is
+/// tracked; Reset() then coalesces to a single block covering the high-water
+/// mark, so every later request of the same shape is satisfied from block 0
+/// with zero heap allocations. `num_grows()` going flat is the asserted
+/// zero-alloc property.
+///
+/// Not thread-safe by itself; a connection's arena is touched by exactly one
+/// thread at a time (the event loop, or the worker the request was handed
+/// to), with hand-offs ordered through the loop's queue mutexes.
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 4096)
+      : initial_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized memory aligned to `align` (a power of
+  /// two). Valid until Reset().
+  char* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    size_t off = (used_ + (align - 1)) & ~(align - 1);
+    if (block_ == nullptr || off + bytes > capacity_) {
+      Grow(bytes);
+      off = 0;  // fresh block, already max-aligned
+    }
+    used_ = off + bytes;
+    if (retired_bytes_ + used_ > high_water_) {
+      high_water_ = retired_bytes_ + used_;
+    }
+    return block_.get() + off;
+  }
+
+  /// Reclaims every allocation. After a request that overflowed into
+  /// retired blocks, coalesces to one block covering the high-water mark so
+  /// the next request of the same shape never grows again.
+  void Reset() {
+    if (capacity_ < high_water_) {
+      block_.reset(new char[high_water_]);
+      capacity_ = high_water_;
+      ++num_grows_;
+    }
+    retired_.clear();
+    retired_bytes_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes live in the current block (excludes retired blocks).
+  size_t used() const { return used_; }
+  /// Largest total demand ever seen between two Resets.
+  size_t high_water() const { return high_water_; }
+  /// Heap allocations performed so far; constant once warmed.
+  uint64_t num_grows() const { return num_grows_; }
+
+ private:
+  void Grow(size_t needed) {
+    // Retire the current block — its allocations are still live until
+    // Reset — and open a block big enough that one request performs O(log)
+    // grows at worst, none once warmed.
+    size_t next = capacity_ == 0 ? initial_bytes_ : capacity_ * 2;
+    while (next < needed) next *= 2;
+    if (block_ != nullptr) {
+      retired_bytes_ += capacity_;
+      retired_.push_back(std::move(block_));
+    }
+    block_.reset(new char[next]);
+    capacity_ = next;
+    used_ = 0;
+    ++num_grows_;
+  }
+
+  size_t initial_bytes_;
+  std::unique_ptr<char[]> block_;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+  /// Sum of retired block capacities (allocations live until Reset).
+  size_t retired_bytes_ = 0;
+  size_t high_water_ = 0;
+  uint64_t num_grows_ = 0;
+  std::vector<std::unique_ptr<char[]>> retired_;
+};
+
+/// Append-only byte sink on an Arena: the response-assembly buffer. Grows by
+/// arena allocation + copy, which after warmup never reaches the heap. The
+/// contents live until the arena is Reset — i.e. exactly one request.
+class ArenaBuf {
+ public:
+  /// `arena` must outlive the buffer. Rebind per request via Clear().
+  explicit ArenaBuf(Arena* arena) : arena_(arena) {}
+
+  void Clear() {
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void Append(std::string_view s) {
+    if (s.empty()) return;
+    EnsureRoom(s.size());
+    std::memcpy(data_ + size_, s.data(), s.size());
+    size_ += s.size();
+  }
+  void Append(char c) {
+    EnsureRoom(1);
+    data_[size_++] = c;
+  }
+  /// Unsigned/signed decimal append without touching the heap.
+  void AppendUint(uint64_t v) {
+    char tmp[20];
+    size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    EnsureRoom(n);
+    while (n > 0) data_[size_++] = tmp[--n];
+  }
+  void AppendInt(int64_t v) {
+    if (v < 0) {
+      Append('-');
+      // Negate in unsigned space so INT64_MIN doesn't overflow.
+      AppendUint(~static_cast<uint64_t>(v) + 1);
+    } else {
+      AppendUint(static_cast<uint64_t>(v));
+    }
+  }
+
+  std::string_view view() const { return {data_, size_}; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void EnsureRoom(size_t more) {
+    if (size_ + more <= capacity_) return;
+    size_t next = capacity_ == 0 ? 256 : capacity_ * 2;
+    while (next < size_ + more) next *= 2;
+    char* grown = arena_->Allocate(next, 1);
+    if (size_ > 0) std::memcpy(grown, data_, size_);
+    data_ = grown;
+    capacity_ = next;
+  }
+
+  Arena* arena_;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_ARENA_H_

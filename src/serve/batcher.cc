@@ -161,8 +161,10 @@ void ScoreBatcher::Flush(std::vector<Request> batch) {
     while (end < batch.size() && batch[end].model == batch[start].model) {
       ++end;
     }
-    std::vector<UserId> users;
-    std::vector<PoiId> pois;
+    std::vector<UserId>& users = flush_users_;
+    std::vector<PoiId>& pois = flush_pois_;
+    users.clear();
+    pois.clear();
     for (size_t i = start; i < end; ++i) {
       users.insert(users.end(), batch[i].pois.size(), batch[i].user);
       pois.insert(pois.end(), batch[i].pois.begin(), batch[i].pois.end());

@@ -118,6 +118,14 @@ class ScoreBatcher {
   /// True while any thread (dispatcher or a caller-runs Submit) is inside
   /// Flush; keeps scoring serialized.
   bool flush_in_flight_ GUARDED_BY(mu_) = false;
+  /// Flush-only scratch for the coalesced (user, poi) columns, reused so a
+  /// steady stream of flushes stops allocating once the capacity high-water
+  /// is reached. Not GUARDED_BY(mu_): Flush runs with mu_ dropped, but at
+  /// most one Flush is ever in flight (flush_in_flight_ is set under mu_
+  /// before entry and cleared under mu_ after return, so successive flushes
+  /// are ordered by the mutex — TSan sees the hand-off).
+  std::vector<UserId> flush_users_;
+  std::vector<PoiId> flush_pois_;
   /// Joined via a local moved out under mu_, so concurrent Stop() calls
   /// can never double-join.
   std::thread dispatcher_ GUARDED_BY(mu_);

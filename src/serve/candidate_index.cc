@@ -76,6 +76,15 @@ size_t CandidateIndex::NumRegions(CityId city) const {
 
 std::vector<PoiId> CandidateIndex::Candidates(CityId city, const GeoPoint& loc,
                                               size_t min_candidates) const {
+  Scratch scratch;
+  std::vector<PoiId> out;
+  CandidatesInto(city, loc, min_candidates, &scratch, &out);
+  return out;
+}
+
+void CandidateIndex::CandidatesInto(CityId city, const GeoPoint& loc,
+                                    size_t min_candidates, Scratch* scratch,
+                                    std::vector<PoiId>* out_ptr) const {
   const CityIndex& index = City(city);
   const GridIndex& grid = *index.grid;
   const size_t target =
@@ -88,9 +97,13 @@ std::vector<PoiId> CandidateIndex::Candidates(CityId city, const GeoPoint& loc,
       std::max(std::max(row0, static_cast<long>(grid.rows()) - 1 - row0),
                std::max(col0, static_cast<long>(grid.cols()) - 1 - col0));
 
-  std::vector<char> cell_taken(grid.NumCells(), 0);
-  std::vector<char> region_taken(index.region_cells.size(), 0);
-  std::vector<PoiId> out;
+  // assign() reuses the scratch capacity: allocation-free once warmed.
+  std::vector<char>& cell_taken = scratch->cell_taken;
+  std::vector<char>& region_taken = scratch->region_taken;
+  cell_taken.assign(grid.NumCells(), 0);
+  region_taken.assign(index.region_cells.size(), 0);
+  std::vector<PoiId>& out = *out_ptr;
+  out.clear();
 
   const auto take_cell = [&](size_t cell) {
     // Pull in the cell's whole region, so a region straddling the ring
@@ -127,7 +140,6 @@ std::vector<PoiId> CandidateIndex::Candidates(CityId city, const GeoPoint& loc,
   }
 
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace sttr::serve

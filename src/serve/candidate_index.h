@@ -55,6 +55,20 @@ class CandidateIndex {
   std::vector<PoiId> Candidates(CityId city, const GeoPoint& loc,
                                 size_t min_candidates = 0) const;
 
+  /// Reusable per-thread working set for CandidatesInto. The visited-cell /
+  /// visited-region bitmaps reach the city's size once and stay there.
+  struct Scratch {
+    std::vector<char> cell_taken;
+    std::vector<char> region_taken;
+  };
+
+  /// Candidates() into caller-owned storage: `*out` is cleared and filled
+  /// with the same sorted list Candidates() returns. With a warmed
+  /// `scratch`/`out` pair this performs zero heap allocations — the serving
+  /// workers' cache-miss path uses it.
+  void CandidatesInto(CityId city, const GeoPoint& loc, size_t min_candidates,
+                      Scratch* scratch, std::vector<PoiId>* out) const;
+
   /// Grid cell of `loc` in `city` (the result-cache key component).
   size_t CellOf(CityId city, const GeoPoint& loc) const;
 

@@ -46,13 +46,19 @@ std::chrono::steady_clock::time_point ResultCache::Now() const {
 }
 
 std::optional<ResultCache::Value> ResultCache::Get(const ResultCacheKey& key) {
+  Value value;
+  if (!GetInto(key, &value)) return std::nullopt;
+  return value;
+}
+
+bool ResultCache::GetInto(const ResultCacheKey& key, Value* out) {
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardOf(key);
   MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    return std::nullopt;
+    return false;
   }
   const Entry& entry = *it->second;
   const bool expired = config_.ttl.count() > 0 && Now() >= entry.expires_at;
@@ -62,12 +68,14 @@ std::optional<ResultCache::Value> ResultCache::Get(const ResultCacheKey& key) {
     shard.index.erase(it);
     ++shard.evictions;
     ++shard.misses;
-    return std::nullopt;
+    return false;
   }
   // Refresh LRU position: splice the hit entry to the front.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
-  return it->second->value;
+  // assign() reuses `out`'s capacity: no allocation once warmed.
+  out->assign(it->second->value.begin(), it->second->value.end());
+  return true;
 }
 
 void ResultCache::Put(const ResultCacheKey& key, Value value) {

@@ -62,6 +62,12 @@ class ResultCache {
   /// miss/expired/invalidated.
   std::optional<Value> Get(const ResultCacheKey& key);
 
+  /// Get() without the return-value allocation: copies the hit into `*out`
+  /// (capacity-sticky, so a reused scratch vector makes the probe
+  /// allocation-free once warmed). Returns false and leaves `*out`
+  /// untouched on miss. This is the serving hot path's probe.
+  bool GetInto(const ResultCacheKey& key, Value* out);
+
   /// Inserts or replaces under the current generation, evicting the shard's
   /// LRU tail beyond capacity.
   void Put(const ResultCacheKey& key, Value value);

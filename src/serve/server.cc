@@ -7,12 +7,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "core/recommender.h"
+#include "serve/alloc_hook.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -72,18 +75,6 @@ std::string ErrorJson(const std::string& message) {
   return std::string("{\"error\": \"") + message + "\"}";
 }
 
-const char* StatusText(int code) {
-  switch (code) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 408: return "Request Timeout";
-    case 431: return "Request Header Fields Too Large";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
-}
-
 /// Writes the full buffer, retrying on short writes/EINTR.
 bool WriteAll(int fd, const std::string& data) {
   size_t off = 0;
@@ -102,13 +93,89 @@ bool WriteAll(int fd, const std::string& data) {
 bool SendResponse(int fd, int code, const std::string& body,
                   bool keep_alive) {
   std::ostringstream os;
-  os << "HTTP/1.1 " << code << " " << StatusText(code) << "\r\n"
+  os << "HTTP/1.1 " << code << " " << HttpStatusText(code) << "\r\n"
      << "Content-Type: application/json\r\n"
      << "Content-Length: " << body.size() << "\r\n"
      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
      << "\r\n"
      << body;
   return WriteAll(fd, os.str());
+}
+
+// ---- Event-loop mode helpers ------------------------------------------
+
+// Pre-serialized error bodies: byte-for-byte the ErrorJson() strings of the
+// blocking implementation, with zero assembly on the hot path.
+constexpr std::string_view kErrUser =
+    "{\"error\": \"missing or invalid 'user'\"}";
+constexpr std::string_view kErrLatLon =
+    "{\"error\": \"missing or invalid 'lat'/'lon'\"}";
+constexpr std::string_view kErrCity = "{\"error\": \"invalid 'city'\"}";
+constexpr std::string_view kErrK = "{\"error\": \"invalid 'k'\"}";
+constexpr std::string_view kErrNoModel = "{\"error\": \"no model loaded\"}";
+constexpr std::string_view kErrNoCandidates =
+    "{\"error\": \"no candidate POIs in city\"}";
+constexpr std::string_view kErrPath = "{\"error\": \"unknown path\"}";
+constexpr std::string_view kErrMethod =
+    "{\"error\": \"unsupported method\"}";
+constexpr std::string_view kErrOverloaded =
+    "{\"error\": \"server overloaded\"}";
+
+/// First value of `name` in the query string, scanning '&' parts in order —
+/// the same first-match-wins rule as ParseQuery + FindParam, without
+/// materializing anything.
+std::optional<std::string_view> FindQueryParam(std::string_view query,
+                                               std::string_view name) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string_view part =
+        query.substr(pos, amp == std::string_view::npos ? std::string_view::npos
+                                                        : amp - pos);
+    if (!part.empty()) {
+      const size_t eq = part.find('=');
+      const std::string_view key =
+          eq == std::string_view::npos ? part : part.substr(0, eq);
+      if (key == name) {
+        return eq == std::string_view::npos ? std::string_view{}
+                                            : part.substr(eq + 1);
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+/// strtoll/strtod need a NUL terminator, so the view is staged through a
+/// stack buffer. Values longer than the buffer are treated as unparsable —
+/// far beyond any representable number this API accepts.
+constexpr size_t kNumBufSize = 128;
+
+bool ParseInt64View(std::string_view s, int64_t* out) {
+  if (s.empty() || s.size() >= kNumBufSize) return false;
+  char buf[kNumBufSize];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleView(std::string_view s, double* out) {
+  if (s.empty() || s.size() >= kNumBufSize) return false;
+  char buf[kNumBufSize];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -155,8 +222,11 @@ Status RecommendServer::Start() {
     listen_fd_ = -1;
     return st;
   }
-  if (::listen(listen_fd_, static_cast<int>(config_.max_pending_connections)) <
-      0) {
+  const size_t backlog = config_.mode == ServeMode::kEventLoop
+                             ? std::max<size_t>(config_.max_pending_connections,
+                                                256)
+                             : config_.max_pending_connections;
+  if (::listen(listen_fd_, static_cast<int>(backlog)) < 0) {
     const Status st =
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(listen_fd_);
@@ -170,12 +240,53 @@ Status RecommendServer::Start() {
   started_at_ = std::chrono::steady_clock::now();
   shutting_down_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  workers_.reserve(config_.num_workers);
-  for (size_t i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+
+  if (config_.mode == ServeMode::kEventLoop) {
+    const size_t n_loops = std::max<size_t>(1, config_.num_io_threads);
+    EventLoop::Options opts;
+    opts.max_request_bytes = config_.max_request_bytes;
+    opts.idle_timeout = config_.request_timeout;
+    opts.max_connections =
+        std::max<size_t>(1, config_.max_connections / n_loops);
+    loops_.clear();
+    for (size_t i = 0; i < n_loops; ++i) {
+      loops_.push_back(std::make_unique<EventLoop>(
+          opts, stats_,
+          [this, i](Conn& conn, const ParsedRequest& req) {
+            return OnRequest(loops_[i].get(), conn, req);
+          }));
+    }
+    for (const auto& loop : loops_) {
+      if (!loop->Start()) {
+        for (const auto& started : loops_) started->Stop();
+        loops_.clear();
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        running_.store(false, std::memory_order_release);
+        return Status::IOError("event loop start failed");
+      }
+    }
+    {
+      MutexLock lock(task_mu_);
+      ring_.assign(std::max<size_t>(1, config_.max_queued_requests), Task{});
+      ring_head_ = 0;
+      ring_count_ = 0;
+      workers_stop_ = false;
+    }
+    workers_.reserve(config_.num_workers);
+    for (size_t i = 0; i < config_.num_workers; ++i) {
+      workers_.emplace_back([this] { ScoringWorkerLoop(); });
+    }
+  } else {
+    workers_.reserve(config_.num_workers);
+    for (size_t i = 0; i < config_.num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
-  STTR_LOG(Info) << "recommend server listening on 127.0.0.1:" << port_;
+  STTR_LOG(Info) << "recommend server listening on 127.0.0.1:" << port_
+                 << (config_.mode == ServeMode::kEventLoop ? " (event loop)"
+                                                           : " (blocking)");
   return Status::OK();
 }
 
@@ -190,19 +301,43 @@ void RecommendServer::Shutdown() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   listen_fd_ = -1;
-  // Drain: workers exit once the pending queue is empty and shutting_down_.
-  queue_cv_.NotifyAll();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  if (config_.mode == ServeMode::kEventLoop) {
+    // Loop shutdown drains in-flight requests: a loop exits only once all
+    // its connections are closed, which requires the scoring workers to
+    // post their completions — so the workers stop strictly after.
+    for (const auto& loop : loops_) loop->Stop();
+    {
+      MutexLock lock(task_mu_);
+      workers_stop_ = true;
+    }
+    task_cv_.NotifyAll();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    loops_.clear();
+  } else {
+    // Drain: workers exit once the pending queue is empty and
+    // shutting_down_.
+    queue_cv_.NotifyAll();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
   STTR_LOG(Info) << "recommend server on port " << port_ << " shut down";
 }
 
 void RecommendServer::AcceptLoop() {
+  size_t next_loop = 0;
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed (shutdown) or fatal accept error
+    }
+    stats_->sys_accepts.fetch_add(1, std::memory_order_relaxed);
+    if (config_.mode == ServeMode::kEventLoop) {
+      // Round-robin across loops; each loop enforces its connection cap.
+      loops_[next_loop]->AddConnection(fd);
+      next_loop = (next_loop + 1) % loops_.size();
+      continue;
     }
     bool rejected = false;
     {
@@ -223,6 +358,299 @@ void RecommendServer::AcceptLoop() {
     }
   }
 }
+
+// ---- Event-loop mode ----------------------------------------------------
+
+EventLoop::Dispatch RecommendServer::OnRequest(EventLoop* loop, Conn& conn,
+                                               const ParsedRequest& req) {
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  Task task;
+  task.loop = loop;
+  task.conn = &conn;
+  task.fd = conn.fd;
+  task.generation = conn.generation;
+
+  if (req.method != "GET" && req.method != "POST") {
+    conn.http_status = 400;
+    conn.body.Append(kErrMethod);
+  } else if (req.path == "/recommend") {
+    int status = 400;
+    std::string_view error;
+    if (!ParseRecommendParams(req.query, &task.params, &status, &error)) {
+      conn.http_status = status;
+      conn.body.Append(error);
+    } else {
+      task.kind = Task::Kind::kRecommend;
+      if (!EnqueueTask(task)) {
+        // Admission control: the worker ring is full, shed load now
+        // instead of queueing unboundedly. Close like the blocking
+        // server's accept-side 503.
+        stats_->rejected_requests.fetch_add(1, std::memory_order_relaxed);
+        conn.http_status = 503;
+        conn.body.Append(kErrOverloaded);
+        conn.close_after_write = true;
+        return EventLoop::Dispatch::kRespond;
+      }
+      return EventLoop::Dispatch::kAsync;
+    }
+  } else if (req.path == "/healthz" || req.path == "/statz") {
+    task.kind = req.path == "/healthz" ? Task::Kind::kHealthz
+                                       : Task::Kind::kStatz;
+    if (!EnqueueTask(task)) {
+      stats_->rejected_requests.fetch_add(1, std::memory_order_relaxed);
+      conn.http_status = 503;
+      conn.body.Append(kErrOverloaded);
+      conn.close_after_write = true;
+      return EventLoop::Dispatch::kRespond;
+    }
+    return EventLoop::Dispatch::kAsync;
+  } else {
+    conn.http_status = 404;
+    conn.body.Append(kErrPath);
+  }
+
+  // Synchronous error reply, answered on the loop thread with a
+  // pre-serialized body: same counters and latency span as the blocking
+  // path gives its routed 4xx responses.
+  stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+  RecordLatency(conn.req_start);
+  return EventLoop::Dispatch::kRespond;
+}
+
+bool RecommendServer::ParseRecommendParams(std::string_view query,
+                                           RequestParams* out, int* status,
+                                           std::string_view* error) const {
+  // Validation order, bounds and error bodies replicate HandleRecommend
+  // exactly — the equivalence suite compares the two byte-for-byte.
+  const std::optional<std::string_view> user_param =
+      FindQueryParam(query, "user");
+  if (!user_param.has_value() || !ParseInt64View(*user_param, &out->user) ||
+      out->user < 0 ||
+      static_cast<size_t>(out->user) >= dataset_.num_users()) {
+    *status = 400;
+    *error = kErrUser;
+    return false;
+  }
+  const std::optional<std::string_view> lat_param =
+      FindQueryParam(query, "lat");
+  const std::optional<std::string_view> lon_param =
+      FindQueryParam(query, "lon");
+  if (!lat_param.has_value() || !lon_param.has_value() ||
+      !ParseDoubleView(*lat_param, &out->lat) ||
+      !ParseDoubleView(*lon_param, &out->lon)) {
+    *status = 400;
+    *error = kErrLatLon;
+    return false;
+  }
+  out->city = config_.default_city;
+  if (const std::optional<std::string_view> p =
+          FindQueryParam(query, "city")) {
+    if (!ParseInt64View(*p, &out->city) || out->city < 0 ||
+        static_cast<size_t>(out->city) >= dataset_.num_cities()) {
+      *status = 400;
+      *error = kErrCity;
+      return false;
+    }
+  }
+  out->k = static_cast<int64_t>(config_.default_k);
+  if (const std::optional<std::string_view> p = FindQueryParam(query, "k")) {
+    if (!ParseInt64View(*p, &out->k) || out->k <= 0 ||
+        out->k > static_cast<int64_t>(config_.max_k)) {
+      *status = 400;
+      *error = kErrK;
+      return false;
+    }
+  }
+  out->use_cache = config_.enable_cache;
+  if (const std::optional<std::string_view> p =
+          FindQueryParam(query, "nocache")) {
+    if (*p != "0") out->use_cache = false;
+  }
+  return true;
+}
+
+bool RecommendServer::EnqueueTask(const Task& task) {
+  {
+    MutexLock lock(task_mu_);
+    if (ring_count_ == ring_.size()) return false;
+    ring_[(ring_head_ + ring_count_) % ring_.size()] = task;
+    ++ring_count_;
+  }
+  task_cv_.NotifyOne();
+  return true;
+}
+
+void RecommendServer::ScoringWorkerLoop() {
+  WorkerScratch scratch;
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(task_mu_);
+      while (ring_count_ == 0 && !workers_stop_) task_cv_.Wait(task_mu_);
+      if (ring_count_ == 0) return;  // stopping and drained
+      task = ring_[ring_head_];
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+      --ring_count_;
+    }
+    Conn& conn = *task.conn;
+    switch (task.kind) {
+      case Task::Kind::kRecommend:
+        ProcessRecommend(task.params, scratch, conn);
+        break;
+      case Task::Kind::kHealthz:
+        ProcessHealthz(conn);
+        break;
+      case Task::Kind::kStatz:
+        ProcessStatz(conn);
+        break;
+    }
+    if (conn.http_status >= 400) {
+      stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    RecordLatency(conn.req_start);
+    task.loop->Complete(task.fd, task.generation);
+  }
+}
+
+void RecommendServer::ProcessRecommend(const RequestParams& p,
+                                       WorkerScratch& scratch, Conn& conn) {
+  const ScopedAllocCount meter;
+
+  // Capture the snapshot once: this request scores (and reports provenance)
+  // against exactly one model even if a hot reload lands mid-flight.
+  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+  if (snapshot == nullptr || snapshot->model == nullptr) {
+    conn.http_status = 503;
+    conn.body.Append(kErrNoModel);
+    stats_->recommend_allocs.fetch_add(meter.Count(),
+                                       std::memory_order_relaxed);
+    return;
+  }
+
+  const GeoPoint loc{p.lat, p.lon};
+  const CityId city_id = static_cast<CityId>(p.city);
+  const uint64_t cell = index_->CellOf(city_id, loc);
+  const ResultCacheKey key{p.user, city_id, cell,
+                           static_cast<uint32_t>(p.k)};
+
+  bool cached = false;
+  const ResultCache::Value* top = nullptr;
+  if (p.use_cache) {
+    if (cache_->GetInto(key, &scratch.cached)) {
+      cached = true;
+      top = &scratch.cached;
+      stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ResultCache::Value computed;  // cold path only: allocations expected
+  if (!cached) {
+    index_->CandidatesInto(city_id, loc, 0, &scratch.cand,
+                           &scratch.candidates);
+    if (scratch.candidates.empty()) {
+      conn.http_status = 404;
+      conn.body.Append(kErrNoCandidates);
+      stats_->recommend_allocs.fetch_add(meter.Count(),
+                                         std::memory_order_relaxed);
+      return;
+    }
+    std::vector<double> scores;
+    if (batcher_ != nullptr) {
+      scores =
+          batcher_->Submit(snapshot->model, p.user, scratch.candidates).get();
+    } else {
+      // Per-request mode: score inline on this worker thread. Same
+      // ScorePairs call shape as a single-request flush, so the scores are
+      // bit-identical to the micro-batched path.
+      scratch.users.assign(scratch.candidates.size(), p.user);
+      scores = snapshot->model->ScorePairs(
+          {scratch.users.data(), scratch.users.size()},
+          {scratch.candidates.data(), scratch.candidates.size()});
+    }
+    computed = TopKByScore(scratch.candidates, scores,
+                           static_cast<size_t>(p.k));
+    if (p.use_cache) cache_->Put(key, computed);
+    top = &computed;
+  }
+
+  // JSON assembly in the connection's arena — %.17g score formatting
+  // matches the blocking path's StrFormat exactly.
+  ArenaBuf& b = conn.body;
+  b.Append("{\"user\": ");
+  b.AppendInt(p.user);
+  b.Append(", \"city\": ");
+  b.AppendInt(p.city);
+  b.Append(", \"cell\": ");
+  b.AppendUint(cell);
+  b.Append(", \"k\": ");
+  b.AppendInt(p.k);
+  b.Append(", \"cached\": ");
+  b.Append(cached ? std::string_view("true") : std::string_view("false"));
+  b.Append(", \"model_epoch\": ");
+  b.AppendUint(snapshot->epoch);
+  b.Append(", \"model_version\": ");
+  b.AppendUint(snapshot->version);
+  b.Append(", \"results\": [");
+  char num[64];
+  for (size_t i = 0; i < top->size(); ++i) {
+    if (i > 0) b.Append(", ");
+    b.Append("{\"poi\": ");
+    b.AppendInt((*top)[i].first);
+    b.Append(", \"score\": ");
+    const int len =
+        std::snprintf(num, sizeof(num), "%.17g", (*top)[i].second);
+    b.Append(std::string_view(num, static_cast<size_t>(len)));
+    b.Append('}');
+  }
+  b.Append("]}");
+
+  const uint64_t allocs = meter.Count();
+  stats_->recommend_allocs.fetch_add(allocs, std::memory_order_relaxed);
+  if (cached) {
+    // The asserted zero-alloc property: a warmed cache-hit request
+    // allocates nothing between dequeue and completion.
+    stats_->hot_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_->hot_allocs.fetch_add(allocs, std::memory_order_relaxed);
+  }
+}
+
+void RecommendServer::ProcessHealthz(Conn& conn) {
+  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+  ArenaBuf& b = conn.body;
+  b.Append("{\"status\": \"");
+  b.Append(snapshot != nullptr ? std::string_view("ok")
+                               : std::string_view("loading"));
+  b.Append('"');
+  if (snapshot != nullptr) {
+    b.Append(", \"checkpoint\": \"");
+    b.Append(snapshot->checkpoint_path);
+    b.Append("\", \"model_epoch\": ");
+    b.AppendUint(snapshot->epoch);
+    b.Append(", \"model_version\": ");
+    b.AppendUint(snapshot->version);
+  }
+  b.Append('}');
+}
+
+void RecommendServer::ProcessStatz(Conn& conn) {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  conn.body.Append(stats_->ToJson(uptime));
+}
+
+void RecommendServer::RecordLatency(
+    std::chrono::steady_clock::time_point start) {
+  stats_->request_latency.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+}
+
+// ---- Blocking mode (legacy reference implementation) --------------------
 
 void RecommendServer::WorkerLoop() {
   for (;;) {

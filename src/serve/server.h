@@ -5,13 +5,17 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "data/dataset.h"
 #include "serve/batcher.h"
 #include "serve/candidate_index.h"
+#include "serve/conn.h"
+#include "serve/event_loop.h"
 #include "serve/model_bundle.h"
 #include "serve/result_cache.h"
 #include "serve/stats.h"
@@ -20,16 +24,44 @@
 
 namespace sttr::serve {
 
+/// How the server drives its sockets.
+enum class ServeMode {
+  /// Epoll event loops own nonblocking sockets and parse incrementally;
+  /// complete requests are handed to a scoring worker pool over a bounded
+  /// ring and responses are written back via write readiness. The
+  /// steady-state request path performs zero heap allocations. Scales to
+  /// thousands of mostly-idle keep-alive connections.
+  kEventLoop,
+  /// The original thread-per-connection blocking implementation: a worker
+  /// blocks on recv/send for one connection at a time, so concurrency is
+  /// capped at num_workers. Kept as the byte-exact reference the event-loop
+  /// mode is equivalence-tested against, and as the benchmark baseline.
+  kBlocking,
+};
+
 struct ServerConfig {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   int port = 0;
-  /// Handler threads == max concurrently served connections.
+  /// Socket strategy; see ServeMode. Event loop is the default.
+  ServeMode mode = ServeMode::kEventLoop;
+  /// kBlocking: handler threads == max concurrently served connections.
+  /// kEventLoop: scoring worker threads draining the request ring.
   size_t num_workers = 8;
-  /// Accepted connections beyond the workers queue up to this depth; past
-  /// it they are answered 503 and closed.
+  /// kEventLoop: epoll I/O threads. One loop comfortably drives thousands
+  /// of keep-alive connections; scoring parallelism lives in num_workers.
+  size_t num_io_threads = 1;
+  /// kBlocking: accepted connections beyond the workers queue up to this
+  /// depth; past it they are answered 503 and closed.
   size_t max_pending_connections = 64;
+  /// kEventLoop: open sockets across all loops; connections beyond the cap
+  /// are answered 503 and closed.
+  size_t max_connections = 4096;
+  /// kEventLoop: bounded loop->worker request ring. When full, requests are
+  /// answered 503 "server overloaded" immediately (admission control)
+  /// instead of queueing unboundedly.
+  size_t max_queued_requests = 1024;
   /// Per-read socket timeout; an idle keep-alive connection is closed when
-  /// it fires.
+  /// it fires (a stranded partial request gets a 408 first).
   std::chrono::milliseconds request_timeout{5000};
   /// Request line + headers larger than this are rejected 431.
   size_t max_request_bytes = 16 * 1024;
@@ -56,13 +88,22 @@ struct ServerConfig {
 ///
 /// One request's path: snapshot capture -> cache probe (keyed by the query
 /// location's grid cell) -> candidate generation -> micro-batched scoring ->
-/// TopKByScore -> cache fill. Keep-alive is supported; shutdown is graceful
-/// (stop accepting, drain queued connections, join every worker).
+/// TopKByScore -> cache fill. Keep-alive and pipelining are supported;
+/// shutdown is graceful (stop accepting, finish in-flight requests, join
+/// every thread). The two ServeModes produce byte-identical responses.
+///
+/// Event-loop mode hot path (zero allocations once warmed): the loop parses
+/// from the connection's sticky buffer, validates parameters as views, and
+/// enqueues a POD task; a worker probes the cache into per-worker scratch,
+/// assembles JSON in the connection's arena, and posts a completion; the
+/// loop serializes headers into the same arena and writes. Allocation
+/// counters (ServeStats::hot_allocs et al., fed by the counting operator-new
+/// hook) assert the property instead of claiming it.
 class RecommendServer {
  public:
   /// All dependencies must outlive the server. `cache` may be null iff
   /// config.enable_cache is false. `batcher` may be null: requests then
-  /// score inline on their handler thread (per-request mode, the loadgen's
+  /// score inline on their worker thread (per-request mode, the loadgen's
   /// micro-batching baseline), bit-identical to the batched path.
   RecommendServer(ServerConfig config, const Dataset& dataset,
                   ModelBundle* bundle, CandidateIndex* index,
@@ -73,11 +114,11 @@ class RecommendServer {
   RecommendServer(const RecommendServer&) = delete;
   RecommendServer& operator=(const RecommendServer&) = delete;
 
-  /// Binds, listens and spawns the accept + worker threads.
+  /// Binds, listens and spawns the accept + I/O + worker threads.
   Status Start();
 
-  /// Graceful shutdown: closes the listener, serves already-accepted
-  /// connections to completion, joins all threads. Idempotent.
+  /// Graceful shutdown: closes the listener, finishes in-flight requests,
+  /// joins all threads. Idempotent.
   void Shutdown();
 
   /// Bound port (after Start()).
@@ -86,16 +127,73 @@ class RecommendServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
-  void AcceptLoop() EXCLUDES(queue_mu_);
+  // ---- Event-loop mode ------------------------------------------------
+
+  /// Validated /recommend parameters, plain data so a queued task copies
+  /// them out of the connection's input buffer before the views die.
+  struct RequestParams {
+    int64_t user = -1;
+    double lat = 0.0;
+    double lon = 0.0;
+    int64_t city = 0;
+    int64_t k = 0;
+    bool use_cache = false;
+  };
+
+  /// One queued request, POD so the ring never allocates. `conn` stays
+  /// valid for the task's whole life: the loop never recycles a
+  /// kProcessing connection, and (fd, generation) guards the completion.
+  struct Task {
+    enum class Kind : uint8_t { kRecommend, kHealthz, kStatz };
+    EventLoop* loop = nullptr;
+    Conn* conn = nullptr;
+    int fd = -1;
+    uint64_t generation = 0;
+    Kind kind = Kind::kRecommend;
+    RequestParams params;
+  };
+
+  /// Per-scoring-worker reusable buffers; every member's capacity is
+  /// sticky, so a warmed worker serves cache hits without allocating.
+  struct WorkerScratch {
+    CandidateIndex::Scratch cand;
+    std::vector<PoiId> candidates;
+    ResultCache::Value cached;
+    std::vector<UserId> users;
+  };
+
+  /// Loop-thread request router: answers errors synchronously (zero-alloc,
+  /// pre-serialized bodies), enqueues real work for the scoring workers.
+  EventLoop::Dispatch OnRequest(EventLoop* loop, Conn& conn,
+                                const ParsedRequest& req);
+  /// Parses and validates ?query params with the blocking path's exact
+  /// semantics and error precedence. False: *status/*error describe the 400.
+  bool ParseRecommendParams(std::string_view query, RequestParams* out,
+                            int* status, std::string_view* error) const;
+  bool EnqueueTask(const Task& task) EXCLUDES(task_mu_);
+  void ScoringWorkerLoop() EXCLUDES(task_mu_);
+  /// Fill conn.body/http_status; called from a scoring worker (event-loop
+  /// mode). Byte-identical to the blocking HandleRecommend/Healthz/Statz.
+  void ProcessRecommend(const RequestParams& params, WorkerScratch& scratch,
+                        Conn& conn);
+  void ProcessHealthz(Conn& conn);
+  void ProcessStatz(Conn& conn);
+  void RecordLatency(std::chrono::steady_clock::time_point start);
+
+  // ---- Blocking mode (legacy reference implementation) ----------------
+
   void WorkerLoop() EXCLUDES(queue_mu_);
   /// Serves one connection (possibly many keep-alive requests).
   void HandleConnection(int fd);
   /// Parses and answers a single request; false ends the connection.
   bool HandleOneRequest(int fd, std::string& buffer);
-
   std::string HandleRecommend(const std::string& query, int* http_status);
   std::string HandleHealthz() const;
   std::string HandleStatz() const;
+
+  // ---- Shared ---------------------------------------------------------
+
+  void AcceptLoop() EXCLUDES(queue_mu_);
 
   ServerConfig config_;
   const Dataset& dataset_;
@@ -111,9 +209,20 @@ class RecommendServer {
   std::atomic<bool> shutting_down_{false};
   std::chrono::steady_clock::time_point started_at_;
 
+  // Blocking mode: pending accepted sockets -> handler threads.
   Mutex queue_mu_;
   CondVar queue_cv_;
   std::deque<int> pending_ GUARDED_BY(queue_mu_);
+
+  // Event-loop mode: bounded request ring -> scoring workers.
+  Mutex task_mu_;
+  CondVar task_cv_;
+  std::vector<Task> ring_ GUARDED_BY(task_mu_);
+  size_t ring_head_ GUARDED_BY(task_mu_) = 0;
+  size_t ring_count_ GUARDED_BY(task_mu_) = 0;
+  bool workers_stop_ GUARDED_BY(task_mu_) = false;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -71,6 +71,24 @@ LatencyHistogram::Summary LatencyHistogram::Summarize() const {
   return s;
 }
 
+double LatencyHistogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return BucketValue(i) / 1e6;
+  }
+  return BucketValue(kNumBuckets - 1) / 1e6;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -103,6 +121,20 @@ std::string ServeStats::ToJson(double uptime_seconds) const {
      << model_reloads.load(std::memory_order_relaxed);
   os << ", \"rejected_connections\": "
      << rejected_connections.load(std::memory_order_relaxed);
+  os << ", \"rejected_requests\": "
+     << rejected_requests.load(std::memory_order_relaxed);
+  os << ", \"allocs\": {\"recommend\": "
+     << recommend_allocs.load(std::memory_order_relaxed)
+     << ", \"hot_requests\": " << hot_requests.load(std::memory_order_relaxed)
+     << ", \"hot\": " << hot_allocs.load(std::memory_order_relaxed)
+     << ", \"loop\": " << loop_allocs.load(std::memory_order_relaxed) << "}";
+  os << ", \"syscalls\": {\"reads\": "
+     << sys_reads.load(std::memory_order_relaxed)
+     << ", \"writes\": " << sys_writes.load(std::memory_order_relaxed)
+     << ", \"epoll_waits\": "
+     << sys_epoll_waits.load(std::memory_order_relaxed)
+     << ", \"accepts\": " << sys_accepts.load(std::memory_order_relaxed)
+     << "}";
   if (uptime_seconds > 0) {
     os << ", \"uptime_seconds\": " << StrFormat("%.3f", uptime_seconds);
     os << ", \"qps\": "

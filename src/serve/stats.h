@@ -33,6 +33,11 @@ class LatencyHistogram {
   /// in-flight increments.
   Summary Summarize() const;
 
+  /// The latency (in milliseconds) at quantile `p` in [0, 1] — e.g.
+  /// Percentile(0.99) is the p99. Returns 0 when nothing was recorded.
+  /// Reads the buckets relaxed, same snapshot semantics as Summarize().
+  double Percentile(double p) const;
+
   void Reset();
 
  private:
@@ -63,6 +68,20 @@ struct ServeStats {
   std::atomic<uint64_t> scored_pairs{0};      ///< (user, poi) pairs scored
   std::atomic<uint64_t> model_reloads{0};
   std::atomic<uint64_t> rejected_connections{0};  ///< over connection limit
+  std::atomic<uint64_t> rejected_requests{0};     ///< worker queue full (503)
+
+  // Allocation accounting (counting operator-new hook, see alloc_hook.h).
+  // The zero-alloc contract of the epoll hot path is asserted on these.
+  std::atomic<uint64_t> recommend_allocs{0};  ///< allocs inside /recommend work
+  std::atomic<uint64_t> hot_requests{0};      ///< cache-hit /recommend requests
+  std::atomic<uint64_t> hot_allocs{0};        ///< allocs inside those (0 warmed)
+  std::atomic<uint64_t> loop_allocs{0};       ///< allocs on event-loop threads
+
+  // Syscall tallies from the event loops (and the blocking path's I/O).
+  std::atomic<uint64_t> sys_reads{0};
+  std::atomic<uint64_t> sys_writes{0};
+  std::atomic<uint64_t> sys_epoll_waits{0};
+  std::atomic<uint64_t> sys_accepts{0};
 
   LatencyHistogram request_latency;  ///< full request handling, server side
 

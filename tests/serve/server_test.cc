@@ -2,19 +2,14 @@
 // (bundle + index + batcher + cache + server) must return exactly what the
 // offline ranking path computes — identical POI ids and scores — for lone
 // requests and for concurrent mixed-user traffic; plus endpoint/error
-// semantics, caching behaviour and graceful shutdown.
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
+// semantics, caching behaviour and graceful shutdown. The whole suite runs
+// twice, parameterized over ServeMode: the epoll event-loop core and the
+// blocking thread-per-connection reference must pass the same tests.
+// (Byte-level cross-mode comparisons live in server_equivalence_test.cc.)
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,87 +26,12 @@
 #include "serve/server.h"
 #include "serve/stats.h"
 #include "serve_test_util.h"
+#include "test_http_client.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace sttr::serve {
 namespace {
-
-/// Tiny blocking HTTP/1.1 client for one keep-alive loopback connection.
-class TestHttpClient {
- public:
-  explicit TestHttpClient(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    STTR_CHECK_GE(fd_, 0);
-    const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    STTR_CHECK_EQ(
-        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-  }
-  ~TestHttpClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  struct Response {
-    int status = 0;
-    std::string body;
-  };
-
-  /// Sends raw bytes and reads one HTTP response.
-  Response Roundtrip(const std::string& raw) {
-    STTR_CHECK_EQ(
-        ::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL),
-        static_cast<ssize_t>(raw.size()));
-    return ReadResponse();
-  }
-
-  Response Get(const std::string& target) {
-    return Roundtrip("GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
-  }
-
-  Response ReadResponse() {
-    size_t header_end;
-    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
-      STTR_CHECK(Fill()) << "connection closed before response headers";
-    }
-    Response response;
-    const std::string head = buffer_.substr(0, header_end);
-    STTR_CHECK_EQ(std::sscanf(head.c_str(), "HTTP/1.1 %d", &response.status),
-                  1);
-    const size_t cl = ToLower(head).find("content-length:");
-    STTR_CHECK_NE(cl, std::string::npos);
-    const size_t length = static_cast<size_t>(
-        std::strtoull(head.c_str() + cl + 15, nullptr, 10));
-    while (buffer_.size() < header_end + 4 + length) {
-      STTR_CHECK(Fill()) << "connection closed mid-body";
-    }
-    response.body = buffer_.substr(header_end + 4, length);
-    buffer_.erase(0, header_end + 4 + length);
-    return response;
-  }
-
-  /// True when the server has closed the connection.
-  bool WaitForClose() {
-    char c;
-    return ::recv(fd_, &c, 1, 0) == 0;
-  }
-
- private:
-  bool Fill() {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
-    buffer_.append(chunk, static_cast<size_t>(n));
-    return true;
-  }
-
-  int fd_ = -1;
-  std::string buffer_;
-};
 
 /// Parses the "results" array of a /recommend response.
 std::vector<std::pair<PoiId, double>> ParseResults(const std::string& body) {
@@ -131,8 +51,9 @@ std::vector<std::pair<PoiId, double>> ParseResults(const std::string& body) {
   return out;
 }
 
-/// The full serving stack on an ephemeral loopback port.
-class ServerTest : public ::testing::Test {
+/// The full serving stack on an ephemeral loopback port, run once per
+/// ServeMode.
+class ServerTest : public ::testing::TestWithParam<ServeMode> {
  protected:
   static void SetUpTestSuite() {
     fixture_ = new ServeFixture(MakeServeFixture());
@@ -172,6 +93,7 @@ class ServerTest : public ::testing::Test {
         [this](const ModelSnapshot&) { cache_->InvalidateAll(); });
 
     ServerConfig server_config;
+    server_config.mode = GetParam();
     server_config.num_workers = 4;
     server_config.default_city = fixture_->split.target_city;
     server_ = std::make_unique<RecommendServer>(
@@ -232,7 +154,7 @@ ServeFixture* ServerTest::fixture_ = nullptr;
 std::string* ServerTest::ckpt_dir_ = nullptr;
 std::shared_ptr<StTransRec>* ServerTest::trainer_ = nullptr;
 
-TEST_F(ServerTest, RecommendMatchesOfflineRankingExactly) {
+TEST_P(ServerTest, RecommendMatchesOfflineRankingExactly) {
   TestHttpClient client(server_->port());
   for (UserId user = 0; user < 5; ++user) {
     const GeoPoint loc = PoiLocation(static_cast<size_t>(user) * 7);
@@ -250,12 +172,13 @@ TEST_F(ServerTest, RecommendMatchesOfflineRankingExactly) {
   }
 }
 
-TEST_F(ServerTest, InlineScoringWithoutBatcherMatchesOfflineRanking) {
+TEST_P(ServerTest, InlineScoringWithoutBatcherMatchesOfflineRanking) {
   // A null batcher puts the server in per-request mode: handlers score
   // inline. Results must still be bit-identical to the offline ranking
   // (and therefore to the batched path, which the other tests pin).
   server_->Shutdown();
   ServerConfig server_config;
+  server_config.mode = GetParam();
   server_config.num_workers = 4;
   server_config.default_city = fixture_->split.target_city;
   server_ = std::make_unique<RecommendServer>(
@@ -279,7 +202,7 @@ TEST_F(ServerTest, InlineScoringWithoutBatcherMatchesOfflineRanking) {
   }
 }
 
-TEST_F(ServerTest, ConcurrentMixedRequestsMatchOfflineRanking) {
+TEST_P(ServerTest, ConcurrentMixedRequestsMatchOfflineRanking) {
   constexpr int kClients = 8;
   constexpr int kPerClient = 5;
   std::atomic<int> mismatches{0};
@@ -306,7 +229,7 @@ TEST_F(ServerTest, ConcurrentMixedRequestsMatchOfflineRanking) {
       << "micro-batched concurrent serving diverged from serial ranking";
 }
 
-TEST_F(ServerTest, CacheServesSecondRequestAndReportsIt) {
+TEST_P(ServerTest, CacheServesSecondRequestAndReportsIt) {
   TestHttpClient client(server_->port());
   const GeoPoint loc = PoiLocation(2);
   const std::string target = RecommendTarget(7, loc, 10);
@@ -328,7 +251,7 @@ TEST_F(ServerTest, CacheServesSecondRequestAndReportsIt) {
   EXPECT_EQ(ParseResults(bypass.body), ParseResults(cold.body));
 }
 
-TEST_F(ServerTest, HealthzReportsServingCheckpoint) {
+TEST_P(ServerTest, HealthzReportsServingCheckpoint) {
   TestHttpClient client(server_->port());
   const auto response = client.Get("/healthz");
   ASSERT_EQ(response.status, 200);
@@ -337,7 +260,7 @@ TEST_F(ServerTest, HealthzReportsServingCheckpoint) {
   EXPECT_NE(response.body.find("\"model_version\": 1"), std::string::npos);
 }
 
-TEST_F(ServerTest, StatzCountsTraffic) {
+TEST_P(ServerTest, StatzCountsTraffic) {
   TestHttpClient client(server_->port());
   client.Get(RecommendTarget(1, PoiLocation(0), 5));
   client.Get("/recommend");  // 400
@@ -349,7 +272,7 @@ TEST_F(ServerTest, StatzCountsTraffic) {
   EXPECT_NE(response.body.find("\"latency_ms\""), std::string::npos);
 }
 
-TEST_F(ServerTest, RejectsBadRequests) {
+TEST_P(ServerTest, RejectsBadRequests) {
   TestHttpClient client(server_->port());
   EXPECT_EQ(client.Get("/recommend").status, 400);  // no params
   EXPECT_EQ(client.Get("/recommend?user=notanumber&lat=1&lon=1").status, 400);
@@ -362,7 +285,7 @@ TEST_F(ServerTest, RejectsBadRequests) {
   EXPECT_GE(stats_.bad_requests.load(), 8u);
 }
 
-TEST_F(ServerTest, RejectsMalformedAndOversizedRequests) {
+TEST_P(ServerTest, RejectsMalformedAndOversizedRequests) {
   {
     TestHttpClient client(server_->port());
     const auto response = client.Roundtrip("NONSENSE\r\n\r\n");
@@ -380,7 +303,7 @@ TEST_F(ServerTest, RejectsMalformedAndOversizedRequests) {
   }
 }
 
-TEST_F(ServerTest, ConnectionCloseHeaderIsHonoured) {
+TEST_P(ServerTest, ConnectionCloseHeaderIsHonoured) {
   TestHttpClient client(server_->port());
   const auto response = client.Roundtrip(
       "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
@@ -388,12 +311,42 @@ TEST_F(ServerTest, ConnectionCloseHeaderIsHonoured) {
   EXPECT_TRUE(client.WaitForClose());
 }
 
-TEST_F(ServerTest, GracefulShutdownIsIdempotentAndStopsServing) {
+TEST_P(ServerTest, GracefulShutdownIsIdempotentAndStopsServing) {
   EXPECT_TRUE(server_->running());
   server_->Shutdown();
   EXPECT_FALSE(server_->running());
   server_->Shutdown();  // idempotent
 }
+
+TEST_P(ServerTest, PipelinedRequestsAnswerInOrder) {
+  TestHttpClient client(server_->port());
+  const GeoPoint loc = PoiLocation(3);
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    burst += "GET " + RecommendTarget(2, loc, 5 + static_cast<size_t>(i)) +
+             " HTTP/1.1\r\nHost: t\r\n\r\n";
+  }
+  burst += "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  client.Roundtrip(burst);  // reads the first response
+  for (int i = 1; i < 3; ++i) {
+    const auto r = client.ReadResponse();
+    ASSERT_EQ(r.status, 200);
+    EXPECT_NE(r.body.find("\"k\": " + std::to_string(5 + i)),
+              std::string::npos)
+        << r.body;
+  }
+  EXPECT_NE(client.ReadResponse().body.find("\"status\": \"ok\""),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServerTest,
+                         ::testing::Values(ServeMode::kEventLoop,
+                                           ServeMode::kBlocking),
+                         [](const auto& param_info) {
+                           return param_info.param == ServeMode::kEventLoop
+                                      ? "EventLoop"
+                                      : "Blocking";
+                         });
 
 }  // namespace
 }  // namespace sttr::serve

@@ -1,0 +1,104 @@
+#ifndef STTR_TESTS_SERVE_TEST_HTTP_CLIENT_H_
+#define STTR_TESTS_SERVE_TEST_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sttr::serve {
+
+/// Tiny blocking HTTP/1.1 client for one keep-alive loopback connection,
+/// shared by the serving test suites.
+class TestHttpClient {
+ public:
+  explicit TestHttpClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    STTR_CHECK_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    STTR_CHECK_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~TestHttpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  TestHttpClient(const TestHttpClient&) = delete;
+  TestHttpClient& operator=(const TestHttpClient&) = delete;
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    /// The full response bytes as they came off the wire (headers + body) —
+    /// what the equivalence suite compares across serving modes.
+    std::string raw;
+  };
+
+  /// Sends raw bytes and reads one HTTP response.
+  Response Roundtrip(const std::string& raw) {
+    STTR_CHECK_EQ(::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(raw.size()));
+    return ReadResponse();
+  }
+
+  Response Get(const std::string& target) {
+    return Roundtrip("GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+  }
+
+  Response ReadResponse() {
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      STTR_CHECK(Fill()) << "connection closed before response headers";
+    }
+    Response response;
+    const std::string head = buffer_.substr(0, header_end);
+    STTR_CHECK_EQ(std::sscanf(head.c_str(), "HTTP/1.1 %d", &response.status),
+                  1);
+    const size_t cl = ToLower(head).find("content-length:");
+    STTR_CHECK_NE(cl, std::string::npos);
+    const size_t length = static_cast<size_t>(
+        std::strtoull(head.c_str() + cl + 15, nullptr, 10));
+    while (buffer_.size() < header_end + 4 + length) {
+      STTR_CHECK(Fill()) << "connection closed mid-body";
+    }
+    response.raw = buffer_.substr(0, header_end + 4 + length);
+    response.body = buffer_.substr(header_end + 4, length);
+    buffer_.erase(0, header_end + 4 + length);
+    return response;
+  }
+
+  /// True when the server has closed the connection.
+  bool WaitForClose() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_TESTS_SERVE_TEST_HTTP_CLIENT_H_

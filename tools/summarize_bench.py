@@ -14,11 +14,9 @@ import re
 import sys
 
 
-def summarize_micro(path: str) -> None:
+def summarize_micro(path: str, data: dict) -> None:
     """Prints per-kernel throughput and the serial-vs-parallel speedups of a
     micro-benchmark JSON file."""
-    with open(path) as f:
-        data = json.load(f)
     print(f"\n### {data.get('bench', path)} (threads={data.get('threads', '?')})")
     for row in data.get("results", []):
         # Shape columns vary per bench: GEMM uses n/k/m, the all-reduce bench
@@ -38,11 +36,40 @@ def summarize_micro(path: str) -> None:
         print(line)
 
 
+def summarize_serve(path: str, data: dict) -> None:
+    """Prints the serve_loadgen rows: throughput/latency per serving mode,
+    plus the epoll core's allocation and syscall rates and the open-loop
+    dropped/late accounting."""
+    print(f"\n### {data.get('bench', path)} (threads={data.get('threads', '?')})")
+    for row in data.get("results", []):
+        line = (
+            f"  {row['kernel']:<18} [{row.get('mode', '?'):<8}]"
+            f" conns={row.get('connections', row.get('clients', '?')):<5}"
+            f" {row['qps']:>9.1f} qps"
+            f"  p50 {row['p50_ms']:7.3f}ms  p99 {row['p99_ms']:7.3f}ms"
+        )
+        if "allocs_per_req" in row:
+            line += f"  {row['allocs_per_req']:6.1f} alloc/req"
+            line += f"  {row['sys_per_req']:5.2f} sys/req"
+        if "hot_allocs_per_hit" in row:
+            line += f"  hot={row['hot_allocs_per_hit']:.2f} alloc/hit"
+        if "dropped" in row:
+            line += f"  dropped={row['dropped']} late={row['late']}"
+        if "speedup_vs_nobatch" in row:
+            line += f"  {row['speedup_vs_nobatch']:5.2f}x vs nobatch"
+        print(line)
+
+
 def main() -> None:
     paths = sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"]
     json_paths = [p for p in paths if p.endswith(".json")]
     for p in json_paths:
-        summarize_micro(p)
+        with open(p) as f:
+            data = json.load(f)
+        if data.get("bench") == "serve_loadgen":
+            summarize_serve(p, data)
+        else:
+            summarize_micro(p, data)
     text_paths = [p for p in paths if not p.endswith(".json")]
     if not text_paths:
         return
