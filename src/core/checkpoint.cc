@@ -10,7 +10,6 @@ namespace sttr {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'T', 'T', 'R', 'C', 'K', 'P', '1'};
-constexpr uint32_t kFormatVersion = 1;
 // A name longer than this is garbage from a corrupted header, not a real
 // section; bail before trying to allocate it.
 constexpr uint32_t kMaxSectionName = 256;
@@ -109,7 +108,7 @@ void CheckpointWriter::AddSection(std::string name, std::string payload) {
 std::string CheckpointWriter::Encode() const {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  AppendU32(out, kFormatVersion);
+  AppendU32(out, version_);
   AppendU32(out, static_cast<uint32_t>(sections_.size()));
   for (const CheckpointSection& s : sections_) {
     AppendU32(out, static_cast<uint32_t>(s.name.size()));
@@ -125,7 +124,8 @@ Status CheckpointWriter::WriteTo(Env& env, const std::string& path) const {
   return AtomicWriteFile(env, path, Encode());
 }
 
-StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
+StatusOr<CheckpointReader> CheckpointReader::Parse(
+    std::string bytes, uint32_t max_supported_version) {
   std::string_view in(bytes);
   std::string_view magic;
   if (!ReadBytes(in, sizeof(kMagic), &magic) ||
@@ -137,9 +137,11 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
   if (!ReadU32(in, &reader.version_) || !ReadU32(in, &count)) {
     return Status::IOError("checkpoint: truncated header");
   }
-  if (reader.version_ != kFormatVersion) {
+  if (reader.version_ == 0 || reader.version_ > max_supported_version) {
     return Status::IOError("checkpoint: unsupported format version " +
-                           std::to_string(reader.version_));
+                           std::to_string(reader.version_) +
+                           " (this reader supports 1.." +
+                           std::to_string(max_supported_version) + ")");
   }
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
@@ -180,11 +182,11 @@ StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
   return reader;
 }
 
-StatusOr<CheckpointReader> CheckpointReader::Open(Env& env,
-                                                  const std::string& path) {
+StatusOr<CheckpointReader> CheckpointReader::Open(
+    Env& env, const std::string& path, uint32_t max_supported_version) {
   StatusOr<std::string> bytes = env.ReadFile(path);
   if (!bytes.ok()) return bytes.status();
-  return Parse(std::move(bytes).value());
+  return Parse(std::move(bytes).value(), max_supported_version);
 }
 
 bool CheckpointReader::HasSection(std::string_view name) const {

@@ -28,6 +28,18 @@ bool ReadU64(std::string_view& in, uint64_t* v);
 bool ReadDouble(std::string_view& in, double* v);
 bool ReadBytes(std::string_view& in, size_t n, std::string_view* v);
 
+// -- Container format versions ----------------------------------------------------
+// v1: fp32 training checkpoints (model + optimizer + RNG streams + loss
+//     history). Every pre-quantization file is v1 and always will be —
+//     training keeps writing v1 so older builds can still read it.
+// v2: quantized serving artifacts (int8 tables + quant MLP sections, no
+//     optimizer/RNG state). Bumped so a pre-quantization reader rejects
+//     them cleanly ("unsupported format version 2") instead of
+//     misinterpreting sections it has never heard of.
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+inline constexpr uint32_t kQuantCheckpointFormatVersion = 2;
+inline constexpr uint32_t kMaxSupportedCheckpointVersion = 2;
+
 /// One named blob inside a checkpoint file.
 struct CheckpointSection {
   std::string name;
@@ -45,6 +57,12 @@ struct CheckpointSection {
 /// silently wrong parameters.
 class CheckpointWriter {
  public:
+  /// `version` is the container format version stamped into the header;
+  /// training checkpoints use the v1 default, quantized serving artifacts
+  /// pass kQuantCheckpointFormatVersion.
+  explicit CheckpointWriter(uint32_t version = kCheckpointFormatVersion)
+      : version_(version) {}
+
   void AddSection(std::string name, std::string payload);
 
   /// Serialised container bytes.
@@ -54,6 +72,7 @@ class CheckpointWriter {
   Status WriteTo(Env& env, const std::string& path) const;
 
  private:
+  uint32_t version_ = kCheckpointFormatVersion;
   std::vector<CheckpointSection> sections_;
 };
 
@@ -62,8 +81,17 @@ class CheckpointWriter {
 /// guarantees all payloads are intact.
 class CheckpointReader {
  public:
-  static StatusOr<CheckpointReader> Parse(std::string bytes);
-  static StatusOr<CheckpointReader> Open(Env& env, const std::string& path);
+  /// `max_supported_version` rejects containers newer than the caller
+  /// understands ("unsupported format version N"). The default accepts
+  /// everything this build knows; passing kCheckpointFormatVersion
+  /// reproduces (and tests) the pre-quantization reader's behaviour on a
+  /// v2 file.
+  static StatusOr<CheckpointReader> Parse(
+      std::string bytes,
+      uint32_t max_supported_version = kMaxSupportedCheckpointVersion);
+  static StatusOr<CheckpointReader> Open(
+      Env& env, const std::string& path,
+      uint32_t max_supported_version = kMaxSupportedCheckpointVersion);
 
   const std::vector<CheckpointSection>& sections() const { return sections_; }
   bool HasSection(std::string_view name) const;

@@ -678,6 +678,14 @@ Status StTransRec::RestoreFromCheckpoint(const std::string& path,
   }
   StatusOr<CheckpointReader> reader = CheckpointReader::Open(env(), path);
   if (!reader.ok()) return reader.status();
+  if (reader->version() != kCheckpointFormatVersion) {
+    // v2 files are quantized serving artifacts: no optimizer/RNG state, int8
+    // tables. There is nothing to resume training from.
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " is a v" + std::to_string(reader->version()) +
+        " quantized serving artifact, not a training checkpoint; training "
+        "resumes only from v1 files");
+  }
 
   StatusOr<std::string> fp = reader->Section(kSectionConfig);
   if (!fp.ok()) return fp.status();

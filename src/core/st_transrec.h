@@ -208,6 +208,10 @@ class StTransRec : public Recommender {
   /// training. Fit() == Prepare() + num_epochs of epoch loops.
   Status Prepare(const Dataset& dataset, const CrossCitySplit& split);
 
+  /// Prepare() has been called: parameters exist and Parameters() /
+  /// ConfigFingerprint() are safe to call.
+  bool prepared() const { return user_emb_ != nullptr; }
+
   /// Samples one step's batch using `rng`.
   TrainingBatch SampleBatch(Rng& rng) const;
 

@@ -20,7 +20,25 @@ StTransRecConfig ServingConfig(StTransRecConfig cfg, Env* env) {
   return cfg;
 }
 
+/// Epoch encoded in a checkpoint path's file name ("dir/ckpt-000042.sttr").
+StatusOr<size_t> EpochOfPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return ParseCheckpointEpoch(slash == std::string::npos
+                                  ? path
+                                  : path.substr(slash + 1));
+}
+
 }  // namespace
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
 
 ModelBundle::ModelBundle(const Dataset& dataset, const CrossCitySplit& split,
                          ModelBundleConfig config)
@@ -32,8 +50,41 @@ Env& ModelBundle::env() const {
   return config_.env != nullptr ? *config_.env : *Env::Default();
 }
 
+std::string ModelBundle::QuantDir() const {
+  return config_.quant_checkpoint_dir.empty()
+             ? config_.checkpoint_dir + "/quant"
+             : config_.quant_checkpoint_dir;
+}
+
+StatusOr<std::string> ModelBundle::SelectCheckpoint() const {
+  switch (config_.precision) {
+    case PrecisionMode::kFp32:
+      return FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+    case PrecisionMode::kInt8:
+      return FindLatestValidCheckpoint(env(), QuantDir());
+    case PrecisionMode::kAuto:
+      break;
+  }
+  StatusOr<std::string> fp32 =
+      FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+  StatusOr<std::string> quant = FindLatestValidCheckpoint(env(), QuantDir());
+  if (!quant.ok()) return fp32;
+  if (!fp32.ok()) return quant;
+  StatusOr<size_t> fp32_epoch = EpochOfPath(*fp32);
+  StatusOr<size_t> quant_epoch = EpochOfPath(*quant);
+  if (!fp32_epoch.ok()) return quant;
+  if (!quant_epoch.ok()) return fp32;
+  // Newer epoch wins; ties go to the quantized artifact (it was distilled
+  // from that very fp32 checkpoint, and picking it is the whole point of
+  // landing one).
+  return *quant_epoch >= *fp32_epoch ? quant : fp32;
+}
+
 StatusOr<std::shared_ptr<ModelSnapshot>> ModelBundle::LoadSnapshot(
     const std::string& path) const {
+  // Prepare() against the serving dataset even for quantized artifacts: the
+  // prepared model carries the config fingerprint every flavor is verified
+  // against.
   auto model = std::make_shared<StTransRec>(
       ServingConfig(config_.model, config_.env));
   STTR_RETURN_IF_ERROR(model->Prepare(dataset_, split_));
@@ -50,15 +101,42 @@ StatusOr<std::shared_ptr<ModelSnapshot>> ModelBundle::LoadSnapshot(
         "\n  serving:    " + model->ConfigFingerprint());
   }
 
-  StatusOr<std::string> params = reader->Section("model");
-  if (!params.ok()) return params.status();
-  {
-    std::istringstream in(*params, std::ios::binary);
-    STTR_RETURN_IF_ERROR(model->Load(in));
+  const bool quantized = reader->version() == kQuantCheckpointFormatVersion;
+  if (quantized && config_.precision == PrecisionMode::kFp32) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " is a quantized artifact but this bundle "
+        "serves fp32 only");
+  }
+  if (!quantized && config_.precision == PrecisionMode::kInt8) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " is an fp32 training checkpoint but this "
+        "bundle serves int8 only");
   }
 
   auto snapshot = std::make_shared<ModelSnapshot>();
-  snapshot->model = std::move(model);
+  if (quantized) {
+    StatusOr<QuantizedModel> quant = QuantizedModel::FromReader(*reader);
+    if (!quant.ok()) return quant.status();
+    auto scorer = std::make_shared<QuantizedModel>(*std::move(quant));
+    snapshot->resident_bytes = scorer->ApproxBytes();
+    snapshot->scorer = std::move(scorer);
+    snapshot->precision = Precision::kInt8;
+  } else {
+    StatusOr<std::string> params = reader->Section("model");
+    if (!params.ok()) return params.status();
+    {
+      std::istringstream in(*params, std::ios::binary);
+      STTR_RETURN_IF_ERROR(model->Load(in));
+    }
+    size_t bytes = 0;
+    for (const auto& p : model->Parameters()) {
+      bytes += p.value().size() * sizeof(float);
+    }
+    snapshot->resident_bytes = bytes;
+    snapshot->model = model;
+    snapshot->scorer = std::move(model);
+    snapshot->precision = Precision::kFp32;
+  }
   snapshot->checkpoint_path = path;
   StatusOr<std::string> meta = reader->Section("meta");
   if (meta.ok()) {
@@ -70,8 +148,7 @@ StatusOr<std::shared_ptr<ModelSnapshot>> ModelBundle::LoadSnapshot(
 }
 
 Status ModelBundle::LoadInitial() {
-  StatusOr<std::string> path =
-      FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+  StatusOr<std::string> path = SelectCheckpoint();
   if (!path.ok()) return path.status();
   StatusOr<std::shared_ptr<ModelSnapshot>> snapshot = LoadSnapshot(*path);
   if (!snapshot.ok()) return snapshot.status();
@@ -85,8 +162,7 @@ std::shared_ptr<const ModelSnapshot> ModelBundle::snapshot() const {
 }
 
 StatusOr<bool> ModelBundle::ReloadIfNewer() {
-  StatusOr<std::string> path =
-      FindLatestValidCheckpoint(env(), config_.checkpoint_dir);
+  StatusOr<std::string> path = SelectCheckpoint();
   if (!path.ok()) return path.status();
   {
     MutexLock lock(mu_);
@@ -116,7 +192,9 @@ void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
   for (const auto& listener : listeners) listener(*next);
   STTR_LOG(Info) << "model bundle: serving " << next->checkpoint_path
                  << " (epoch " << next->epoch << ", version "
-                 << next->version << ")";
+                 << next->version << ", "
+                 << PrecisionName(next->precision) << ", "
+                 << next->resident_bytes << " bytes)";
 }
 
 void ModelBundle::AddReloadListener(

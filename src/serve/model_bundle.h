@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/quantized_model.h"
 #include "core/st_transrec.h"
 #include "data/dataset.h"
 #include "data/split.h"
@@ -20,12 +21,40 @@
 
 namespace sttr::serve {
 
+/// Numeric precision a snapshot serves at.
+enum class Precision : uint8_t {
+  kFp32 = 1,  ///< full StTransRec loaded from a v1 training checkpoint
+  kInt8 = 2,  ///< QuantizedModel loaded from a v2 serving artifact
+};
+
+const char* PrecisionName(Precision p);
+
+/// Which artifacts a bundle is willing to serve.
+enum class PrecisionMode {
+  kFp32,  ///< v1 training checkpoints only (pre-quantization behaviour)
+  kInt8,  ///< v2 quantized artifacts only
+  /// Whichever is newest by epoch, quantized preferred on ties — landing a
+  /// quantized artifact next to the fp32 checkpoint of the same epoch hot-
+  /// swaps the serving path to int8, and a newer fp32 checkpoint swaps it
+  /// back.
+  kAuto,
+};
+
 /// One immutable serving snapshot: a fully loaded model plus the provenance
 /// of the checkpoint it came from. Requests capture a shared_ptr to the
 /// snapshot at admission and score against it for their whole lifetime, so
 /// a hot reload can never hand one request parameters from two models.
 struct ModelSnapshot {
+  /// What requests score with; never null in a published snapshot. Points
+  /// at `model` for fp32 snapshots, at a QuantizedModel for int8 ones.
+  std::shared_ptr<const PoiScorer> scorer;
+  /// The full fp32 model; null when the snapshot is quantized. Kept for
+  /// callers that need more than scoring (embedding inspection).
   std::shared_ptr<const StTransRec> model;
+  Precision precision = Precision::kFp32;
+  /// Approximate resident bytes of the scorer's parameters (the number
+  /// /statz reports as model bytes).
+  size_t resident_bytes = 0;
   std::string checkpoint_path;
   size_t epoch = 0;      ///< completed training epochs in the checkpoint
   uint64_t version = 0;  ///< reload counter, 1 for the initial load
@@ -41,6 +70,11 @@ struct ModelBundleConfig {
   std::chrono::milliseconds poll_interval{200};
   /// Filesystem; null means Env::Default().
   Env* env = nullptr;
+  /// Which checkpoint flavors to serve (see PrecisionMode).
+  PrecisionMode precision = PrecisionMode::kFp32;
+  /// Directory quantized (v2) artifacts are picked up from; empty means
+  /// "<checkpoint_dir>/quant" (where tools/sttr_quantize writes by default).
+  std::string quant_checkpoint_dir;
 };
 
 /// Loads the newest valid checkpoint into an immutable, atomically swappable
@@ -96,6 +130,9 @@ class ModelBundle {
   uint64_t reload_count() const;
 
  private:
+  /// Newest checkpoint path eligible under config_.precision.
+  StatusOr<std::string> SelectCheckpoint() const;
+  std::string QuantDir() const;
   StatusOr<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
       const std::string& path) const;
   void Swap(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);

@@ -23,6 +23,7 @@ size_t ResultCache::KeyHash::operator()(const ResultCacheKey& k) const {
   h = Mix(h ^ static_cast<uint64_t>(static_cast<int64_t>(k.city)));
   h = Mix(h ^ k.cell);
   h = Mix(h ^ k.k);
+  h = Mix(h ^ k.precision);
   return static_cast<size_t>(h);
 }
 

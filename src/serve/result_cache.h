@@ -27,9 +27,15 @@ struct ResultCacheKey {
   CityId city = -1;
   uint64_t cell = 0;
   uint32_t k = 0;
+  /// Precision of the snapshot that produced (or would produce) the entry
+  /// (serve::Precision); int8 and fp32 scores rank slightly differently, so
+  /// a precision flip must not serve the other path's cached top-K even in
+  /// the instant before the reload listener invalidates.
+  uint8_t precision = 0;
 
   bool operator==(const ResultCacheKey& o) const {
-    return user == o.user && city == o.city && cell == o.cell && k == o.k;
+    return user == o.user && city == o.city && cell == o.cell && k == o.k &&
+           precision == o.precision;
   }
 };
 

@@ -520,7 +520,7 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
   // Capture the snapshot once: this request scores (and reports provenance)
   // against exactly one model even if a hot reload lands mid-flight.
   const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
-  if (snapshot == nullptr || snapshot->model == nullptr) {
+  if (snapshot == nullptr || snapshot->scorer == nullptr) {
     conn.http_status = 503;
     conn.body.Append(kErrNoModel);
     stats_->recommend_allocs.fetch_add(meter.Count(),
@@ -531,8 +531,8 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
   const GeoPoint loc{p.lat, p.lon};
   const CityId city_id = static_cast<CityId>(p.city);
   const uint64_t cell = index_->CellOf(city_id, loc);
-  const ResultCacheKey key{p.user, city_id, cell,
-                           static_cast<uint32_t>(p.k)};
+  const ResultCacheKey key{p.user, city_id, cell, static_cast<uint32_t>(p.k),
+                           static_cast<uint8_t>(snapshot->precision)};
 
   bool cached = false;
   const ResultCache::Value* top = nullptr;
@@ -559,13 +559,13 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
     std::vector<double> scores;
     if (batcher_ != nullptr) {
       scores =
-          batcher_->Submit(snapshot->model, p.user, scratch.candidates).get();
+          batcher_->Submit(snapshot->scorer, p.user, scratch.candidates).get();
     } else {
       // Per-request mode: score inline on this worker thread. Same
       // ScorePairs call shape as a single-request flush, so the scores are
       // bit-identical to the micro-batched path.
       scratch.users.assign(scratch.candidates.size(), p.user);
-      scores = snapshot->model->ScorePairs(
+      scores = snapshot->scorer->ScorePairs(
           {scratch.users.data(), scratch.users.size()},
           {scratch.candidates.data(), scratch.candidates.size()});
     }
@@ -639,7 +639,21 @@ void RecommendServer::ProcessStatz(Conn& conn) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_at_)
           .count();
+  RefreshSnapshotGauges();
   conn.body.Append(stats_->ToJson(uptime));
+}
+
+void RecommendServer::RefreshSnapshotGauges() const {
+  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+  if (snapshot == nullptr) {
+    stats_->snapshot_bytes.store(0, std::memory_order_relaxed);
+    stats_->snapshot_precision.store(0, std::memory_order_relaxed);
+    return;
+  }
+  stats_->snapshot_bytes.store(snapshot->resident_bytes,
+                               std::memory_order_relaxed);
+  stats_->snapshot_precision.store(
+      static_cast<uint64_t>(snapshot->precision), std::memory_order_relaxed);
 }
 
 void RecommendServer::RecordLatency(
@@ -805,7 +819,7 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   // Capture the snapshot once: this request scores (and reports provenance)
   // against exactly one model even if a hot reload lands mid-flight.
   const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
-  if (snapshot == nullptr || snapshot->model == nullptr) {
+  if (snapshot == nullptr || snapshot->scorer == nullptr) {
     *http_status = 503;
     return ErrorJson("no model loaded");
   }
@@ -813,7 +827,8 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   const GeoPoint loc{lat, lon};
   const CityId city_id = static_cast<CityId>(city);
   const uint64_t cell = index_->CellOf(city_id, loc);
-  const ResultCacheKey key{user, city_id, cell, static_cast<uint32_t>(k)};
+  const ResultCacheKey key{user, city_id, cell, static_cast<uint32_t>(k),
+                           static_cast<uint8_t>(snapshot->precision)};
 
   std::vector<std::pair<PoiId, double>> top;
   bool cached = false;
@@ -835,14 +850,14 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
     std::vector<double> scores;
     if (batcher_ != nullptr) {
       std::future<std::vector<double>> scores_future =
-          batcher_->Submit(snapshot->model, user, candidates);
+          batcher_->Submit(snapshot->scorer, user, candidates);
       scores = scores_future.get();
     } else {
       // Per-request mode: score inline on this handler thread. Same
       // ScorePairs call shape as a single-request flush, so the scores are
       // bit-identical to the micro-batched path.
       const std::vector<UserId> users(candidates.size(), user);
-      scores = snapshot->model->ScorePairs(
+      scores = snapshot->scorer->ScorePairs(
           {users.data(), users.size()},
           {candidates.data(), candidates.size()});
     }
@@ -884,6 +899,7 @@ std::string RecommendServer::HandleStatz() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_at_)
           .count();
+  RefreshSnapshotGauges();
   return stats_->ToJson(uptime);
 }
 

@@ -178,6 +178,9 @@ class RecommendServer {
                         Conn& conn);
   void ProcessHealthz(Conn& conn);
   void ProcessStatz(Conn& conn);
+  /// Refreshes the /statz snapshot gauges (resident bytes, precision) from
+  /// the bundle's current snapshot. Const: only touches atomics.
+  void RefreshSnapshotGauges() const;
   void RecordLatency(std::chrono::steady_clock::time_point start);
 
   // ---- Blocking mode (legacy reference implementation) ----------------

@@ -119,6 +119,16 @@ std::string ServeStats::ToJson(double uptime_seconds) const {
                                     static_cast<double>(n_batches));
   os << ", \"model_reloads\": "
      << model_reloads.load(std::memory_order_relaxed);
+  {
+    const uint64_t precision =
+        snapshot_precision.load(std::memory_order_relaxed);
+    const char* name = precision == 1   ? "fp32"
+                       : precision == 2 ? "int8"
+                                        : "none";
+    os << ", \"model\": {\"resident_bytes\": "
+       << snapshot_bytes.load(std::memory_order_relaxed)
+       << ", \"precision\": \"" << name << "\"}";
+  }
   os << ", \"rejected_connections\": "
      << rejected_connections.load(std::memory_order_relaxed);
   os << ", \"rejected_requests\": "

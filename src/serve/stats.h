@@ -67,6 +67,11 @@ struct ServeStats {
   std::atomic<uint64_t> batched_requests{0};  ///< requests inside flushes
   std::atomic<uint64_t> scored_pairs{0};      ///< (user, poi) pairs scored
   std::atomic<uint64_t> model_reloads{0};
+  /// Gauges describing the current snapshot, refreshed by the /statz
+  /// handlers: approximate resident parameter bytes and the serving
+  /// precision (0 = no model, else serve::Precision — 1 fp32, 2 int8).
+  std::atomic<uint64_t> snapshot_bytes{0};
+  std::atomic<uint64_t> snapshot_precision{0};
   std::atomic<uint64_t> rejected_connections{0};  ///< over connection limit
   std::atomic<uint64_t> rejected_requests{0};     ///< worker queue full (503)
 

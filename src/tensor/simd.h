@@ -4,11 +4,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
-// Single dispatch point for the hand-vectorised training hot loops: axpy
+#include "util/cpu_features.h"
+
+// Single dispatch point for the hand-vectorised training hot loops — axpy
 // (gradient all-reduce), the optimiser row updates (lazy Adam / AdaGrad /
-// SGD) and the sigmoid / BCE-with-logits forward. STTR_SIMD is defined when
-// the target supports AVX2+FMA (any x86 since Haswell under -march=native)
+// SGD), the sigmoid / BCE-with-logits forward — and the int8 inference
+// kernels of the quantized serving path. STTR_SIMD is defined when the
+// target supports AVX2+FMA (any x86 since Haswell under -march=native)
 // unless the build opts out with -DSTTR_NO_SIMD (cmake -DSTTR_SIMD=OFF).
 //
 // Every kernel has a scalar form, compiled unconditionally: it is the whole
@@ -18,6 +22,12 @@
 // function of its inputs, so results are deterministic across runs and
 // thread counts; across builds (SIMD on vs off) values may differ in final
 // ulps from FMA contraction and the vector exp/log polynomials.
+//
+// Dispatch is two-staged: the compile-time gate above decides whether the
+// vector bodies exist in the binary at all, and RuntimeEnabled() (cpuid via
+// util/cpu_features.h) decides per process whether they are executed — an
+// AVX2-built binary on a core without AVX2/FMA, or with OS YMM state saving
+// disabled, silently takes the scalar path instead of faulting.
 #if defined(__AVX2__) && defined(__FMA__) && !defined(STTR_NO_SIMD)
 #define STTR_SIMD 1
 #include <immintrin.h>
@@ -25,10 +35,23 @@
 
 namespace sttr::simd {
 
-/// True when this build uses the AVX2/FMA kernels.
+/// True when this build contains the AVX2/FMA kernel bodies (compile-time
+/// half of the dispatch; says nothing about the host CPU).
 constexpr bool Enabled() {
 #ifdef STTR_SIMD
   return true;
+#else
+  return false;
+#endif
+}
+
+/// True when the vector kernels are compiled in AND the host CPU can run
+/// them (cpuid-detected AVX2+FMA with OS YMM support, not overridden by
+/// STTR_FORCE_SCALAR). Detected once and cached.
+inline bool RuntimeEnabled() {
+#ifdef STTR_SIMD
+  static const bool enabled = HostSimdAllowed();
+  return enabled;
 #else
   return false;
 #endif
@@ -96,6 +119,31 @@ inline void AdaGradRowScalar(float* w, float* acc, const float* g, size_t n,
 
 inline void SgdRowScalar(float* w, const float* g, size_t n, float lr) {
   for (size_t j = 0; j < n; ++j) w[j] -= lr * g[j];
+}
+
+// ---- Scalar int8 reference kernels ------------------------------------------
+// Inputs must lie in [-127, 127] (the quantizer clamps there; see
+// tensor/quant.h). Excluding -128 keeps |a[i]*b[i]| + |a[i+1]*b[i+1]| <=
+// 2*127*127 = 32258 < 32767, so the AVX2 maddubs pair-sum below can never
+// saturate and vector == scalar exactly.
+
+/// sum_i a[i] * b[i] in int32. Exact for n < ~133k at the +/-127 input
+/// bound (n * 127^2 < 2^31); embedding widths are orders of magnitude
+/// smaller.
+inline int32_t DotI8Scalar(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+/// sum_i v[i] in int32 (per-column weight sums for the affine zero-point
+/// correction). Quantize-time only, so no vector form.
+inline int32_t SumI8Scalar(const int8_t* v, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) acc += static_cast<int32_t>(v[i]);
+  return acc;
 }
 
 #ifdef STTR_SIMD
@@ -177,6 +225,7 @@ inline __m256 Abs256(__m256 x) {
 /// y[i] += alpha * x[i]; the all-reduce / SGD primitive.
 inline void Axpy(float* y, const float* x, float alpha, size_t n) {
 #ifdef STTR_SIMD
+  if (!RuntimeEnabled()) return AxpyScalar(y, x, alpha, n);
   const __m256 va = _mm256_set1_ps(alpha);
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -193,6 +242,7 @@ inline void Axpy(float* y, const float* x, float alpha, size_t n) {
 /// out[i] = sigmoid(x[i]) (stable for any finite input); in-place allowed.
 inline void SigmoidMany(float* out, const float* x, size_t n) {
 #ifdef STTR_SIMD
+  if (!RuntimeEnabled()) return SigmoidManyScalar(out, x, n);
   const __m256 one = _mm256_set1_ps(1.0f);
   const __m256 zero = _mm256_setzero_ps();
   size_t i = 0;
@@ -216,6 +266,7 @@ inline void SigmoidMany(float* out, const float* x, size_t n) {
 /// order per 8-wide block, so the result is deterministic per build.
 inline double BceWithLogitsSum(const float* x, const float* y, size_t n) {
 #ifdef STTR_SIMD
+  if (!RuntimeEnabled()) return BceWithLogitsSumScalar(x, y, n);
   const __m256 one = _mm256_set1_ps(1.0f);
   const __m256 zero = _mm256_setzero_ps();
   double acc = 0.0;
@@ -249,6 +300,9 @@ inline void AdamRow(float* w, float* m, float* v, const float* g, size_t n,
                     float lr, float beta1, float beta2, float bc1, float bc2,
                     float eps) {
 #ifdef STTR_SIMD
+  if (!RuntimeEnabled()) {
+    return AdamRowScalar(w, m, v, g, n, lr, beta1, beta2, bc1, bc2, eps);
+  }
   const __m256 vb1 = _mm256_set1_ps(beta1);
   const __m256 vb2 = _mm256_set1_ps(beta2);
   const __m256 vomb1 = _mm256_set1_ps(1.0f - beta1);
@@ -282,6 +336,7 @@ inline void AdamRow(float* w, float* m, float* v, const float* g, size_t n,
 inline void AdaGradRow(float* w, float* acc, const float* g, size_t n,
                        float lr, float eps) {
 #ifdef STTR_SIMD
+  if (!RuntimeEnabled()) return AdaGradRowScalar(w, acc, g, n, lr, eps);
   const __m256 vlr = _mm256_set1_ps(lr);
   const __m256 veps = _mm256_set1_ps(eps);
   size_t j = 0;
@@ -302,6 +357,53 @@ inline void AdaGradRow(float* w, float* acc, const float* g, size_t n,
 /// Momentum-free SGD: w -= lr * g.
 inline void SgdRow(float* w, const float* g, size_t n, float lr) {
   Axpy(w, g, -lr, n);
+}
+
+// ---- Int8 inference kernels -------------------------------------------------
+
+/// sum_i a[i] * b[i] in int32; inputs in [-127, 127] (see DotI8Scalar).
+/// AVX2 path: |a| (u8) x sign(b, a) (s8) through maddubs pair-sums into
+/// int16 — saturation-free at the +/-127 bound — then madd into 8 int32
+/// accumulator lanes reduced in lane order, so vector == scalar exactly.
+inline int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+#ifdef STTR_SIMD
+  if (!RuntimeEnabled()) return DotI8Scalar(a, b, n);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // maddubs wants (unsigned, signed): move a's sign onto b.
+    const __m256i abs_a = _mm256_abs_epi8(va);
+    const __m256i sgn_b = _mm256_sign_epi8(vb, va);
+    const __m256i pair16 = _mm256_maddubs_epi16(abs_a, sgn_b);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pair16, ones16));
+  }
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int32_t total = 0;
+  for (int lane = 0; lane < 8; ++lane) total += lanes[lane];
+  return total + DotI8Scalar(a + i, b + i, n - i);
+#else
+  return DotI8Scalar(a, b, n);
+#endif
+}
+
+/// Row-major int8 GEMM with the right-hand side pre-transposed:
+/// c[i*m + j] = dot(a_row_i, b_row_j) where `a` is n rows of k and `b` is
+/// m rows of k (the logical B's columns stored contiguously). This is the
+/// quantized MLP's layer-0 shape: every output needs one length-k int8 dot,
+/// and B (the weight) is small enough to stay cache-resident across rows.
+inline void GemmI8RowMajor(const int8_t* a, const int8_t* b, int32_t* c,
+                           size_t n, size_t m, size_t k) {
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t* arow = a + i * k;
+    int32_t* crow = c + i * m;
+    for (size_t j = 0; j < m; ++j) crow[j] = DotI8(arow, b + j * k, k);
+  }
 }
 
 }  // namespace sttr::simd

@@ -1,0 +1,69 @@
+#include "util/cpu_features.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define STTR_CPUID_AVAILABLE 1
+#endif
+
+namespace sttr {
+
+namespace {
+
+#ifdef STTR_CPUID_AVAILABLE
+
+/// XCR0 via xgetbv; callable only after confirming OSXSAVE in cpuid, which
+/// guarantees the instruction exists.
+uint64_t ReadXcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+#endif  // STTR_CPUID_AVAILABLE
+
+}  // namespace
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#ifdef STTR_CPUID_AVAILABLE
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  f.fma = (ecx & bit_FMA) != 0;
+  f.avx = (ecx & bit_AVX) != 0;
+  // XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be set: the OS has
+  // opted into saving the wide registers across context switches.
+  f.os_ymm = osxsave && (ReadXcr0() & 0x6) == 0x6;
+  // AVX2 lives in leaf 7 subleaf 0.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+  }
+#endif
+  return f;
+}
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = DetectCpuFeatures();
+  return features;
+}
+
+bool SimdAllowed(const CpuFeatures& features, bool force_scalar) {
+  return features.SimdOk() && !force_scalar;
+}
+
+bool HostSimdAllowed() {
+  static const bool allowed = [] {
+    const char* force = std::getenv("STTR_FORCE_SCALAR");
+    const bool force_scalar =
+        force != nullptr && *force != '\0' && std::strcmp(force, "0") != 0;
+    return SimdAllowed(HostCpuFeatures(), force_scalar);
+  }();
+  return allowed;
+}
+
+}  // namespace sttr

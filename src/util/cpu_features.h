@@ -1,0 +1,45 @@
+#ifndef STTR_UTIL_CPU_FEATURES_H_
+#define STTR_UTIL_CPU_FEATURES_H_
+
+// Runtime CPU feature detection for the SIMD kernel dispatch
+// (tensor/simd.h). The compile-time STTR_SIMD gate says what the *binary*
+// was built for; this says what the *host* can actually execute, so an
+// AVX2-compiled binary copied onto an older core (or a VM masking AVX)
+// falls back to the scalar kernels instead of dying on SIGILL.
+
+namespace sttr {
+
+/// Host instruction-set capabilities relevant to the vector kernels.
+struct CpuFeatures {
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  /// OSXSAVE set and XCR0 reports the OS saves/restores YMM state; without
+  /// it AVX instructions fault even on AVX-capable silicon.
+  bool os_ymm = false;
+
+  /// The AVX2/FMA kernels in tensor/simd.h are executable on this host.
+  bool SimdOk() const { return avx2 && fma && os_ymm; }
+};
+
+/// Queries the host via cpuid + xgetbv (x86) — fresh, uncached. On non-x86
+/// everything is false.
+CpuFeatures DetectCpuFeatures();
+
+/// DetectCpuFeatures(), detected once and cached.
+const CpuFeatures& HostCpuFeatures();
+
+/// Pure dispatch policy: use the vector kernels iff the host supports them
+/// and the STTR_FORCE_SCALAR escape hatch is off. Split out so tests can
+/// exercise the decision table without faking cpuid.
+bool SimdAllowed(const CpuFeatures& features, bool force_scalar);
+
+/// SimdAllowed(HostCpuFeatures(), getenv("STTR_FORCE_SCALAR")), evaluated
+/// once and cached. This is the runtime half of the kernel dispatch; the
+/// compile-time half (was the vector body even built?) stays in
+/// tensor/simd.h.
+bool HostSimdAllowed();
+
+}  // namespace sttr
+
+#endif  // STTR_UTIL_CPU_FEATURES_H_

@@ -1,0 +1,228 @@
+// Per-row int8 quantization (tensor/quant.h): round-trip error bounds of
+// both schemes, the maddubs-safe [-127, 127] clamp, degenerate-row
+// exactness, serialization, and the IEEE binary16 storage conversions the
+// fp16 MLP tail rides on.
+
+#include "tensor/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sttr {
+namespace {
+
+Tensor RandomMatrix(size_t rows, size_t cols, uint32_t seed, float lo = -2.0f,
+                    float hi = 2.0f) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  Tensor m({rows, cols});
+  for (size_t i = 0; i < m.size(); ++i) m[i] = dist(rng);
+  return m;
+}
+
+/// The documented per-entry bound: scale/2 interior, 1.5*scale at affine
+/// extremes where the zero-point and value roundings collide.
+double ErrorBound(const RowQuantizedMatrix& q, size_t r) {
+  const double s = q.scale(r);
+  return q.scheme == QuantScheme::kAffine ? 1.5 * s : 0.5 * s + 1e-7;
+}
+
+TEST(QuantTest, SymmetricRoundTripWithinHalfStep) {
+  const Tensor m = RandomMatrix(17, 33, 1);
+  const RowQuantizedMatrix q = QuantizeRows(m, QuantScheme::kSymmetric);
+  const Tensor back = q.Dequantize();
+  for (size_t r = 0; r < q.rows; ++r) {
+    for (size_t c = 0; c < q.cols; ++c) {
+      EXPECT_NEAR(back.row(r)[c], m.row(r)[c], ErrorBound(q, r))
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(QuantTest, AffineRoundTripWithinBound) {
+  // Skewed rows (all-positive) are affine's raison d'etre: symmetric wastes
+  // half its range there, affine must still land within its bound.
+  const Tensor m = RandomMatrix(17, 33, 2, 0.5f, 3.5f);
+  const RowQuantizedMatrix q = QuantizeRows(m, QuantScheme::kAffine);
+  const Tensor back = q.Dequantize();
+  for (size_t r = 0; r < q.rows; ++r) {
+    for (size_t c = 0; c < q.cols; ++c) {
+      EXPECT_NEAR(back.row(r)[c], m.row(r)[c], ErrorBound(q, r))
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(QuantTest, AffineBeatsSymmetricOnSkewedRows) {
+  const Tensor m = RandomMatrix(8, 64, 3, 10.0f, 11.0f);
+  const RowQuantizedMatrix sym = QuantizeRows(m, QuantScheme::kSymmetric);
+  const RowQuantizedMatrix aff = QuantizeRows(m, QuantScheme::kAffine);
+  // Affine's step covers [10, 11]; symmetric's covers [-11, 11].
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_LT(aff.scale(r), sym.scale(r) / 10.0f) << "r=" << r;
+  }
+}
+
+TEST(QuantTest, ValuesNeverReachMinus128) {
+  // -128 would let the AVX2 maddubs pair-sum saturate (tensor/simd.h); the
+  // quantizer must clamp to [-127, 127] even for adversarial inputs.
+  Tensor m({2, 4});
+  m.row(0)[0] = -1e30f;
+  m.row(0)[1] = 1e30f;
+  m.row(0)[2] = 0.0f;
+  m.row(0)[3] = -1.0f;
+  m.row(1)[0] = -0.003f;
+  m.row(1)[1] = 0.001f;
+  m.row(1)[2] = 0.0015f;
+  m.row(1)[3] = -0.0005f;
+  for (const QuantScheme scheme :
+       {QuantScheme::kSymmetric, QuantScheme::kAffine}) {
+    const RowQuantizedMatrix q = QuantizeRows(m, scheme);
+    for (const int8_t v : q.data) {
+      EXPECT_GE(v, -127) << QuantSchemeName(scheme);
+      EXPECT_LE(v, 127) << QuantSchemeName(scheme);
+    }
+  }
+}
+
+TEST(QuantTest, DegenerateRowsEncodeExactly) {
+  Tensor m({3, 16});
+  for (size_t c = 0; c < 16; ++c) {
+    m.row(0)[c] = 0.0f;     // all-zero row
+    m.row(1)[c] = 0.75f;    // constant positive row
+    m.row(2)[c] = -0.125f;  // constant negative row
+  }
+  for (const QuantScheme scheme :
+       {QuantScheme::kSymmetric, QuantScheme::kAffine}) {
+    const RowQuantizedMatrix q = QuantizeRows(m, scheme);
+    const Tensor back = q.Dequantize();
+    for (size_t r = 0; r < 3; ++r) {
+      for (size_t c = 0; c < 16; ++c) {
+        EXPECT_FLOAT_EQ(back.row(r)[c], m.row(r)[c])
+            << QuantSchemeName(scheme) << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(QuantTest, ByteSizeCountsDataAndPerRowMetadata) {
+  const Tensor m = RandomMatrix(10, 32, 4);
+  const RowQuantizedMatrix sym = QuantizeRows(m, QuantScheme::kSymmetric);
+  const RowQuantizedMatrix aff = QuantizeRows(m, QuantScheme::kAffine);
+  EXPECT_EQ(sym.ByteSize(), 10 * 32 + 10 * sizeof(float));
+  EXPECT_EQ(aff.ByteSize(),
+            10 * 32 + 10 * sizeof(float) + 10 * sizeof(int32_t));
+  // The headline property: >= 3x smaller than the fp32 table it replaced.
+  EXPECT_GE(10 * 32 * sizeof(float), 3 * aff.ByteSize());
+}
+
+TEST(QuantTest, SerializeRoundTripsBitIdentically) {
+  for (const QuantScheme scheme :
+       {QuantScheme::kSymmetric, QuantScheme::kAffine}) {
+    const RowQuantizedMatrix q =
+        QuantizeRows(RandomMatrix(9, 24, 5), scheme);
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(q.Serialize(stream).ok());
+    const auto back = RowQuantizedMatrix::Deserialize(stream);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->rows, q.rows);
+    EXPECT_EQ(back->cols, q.cols);
+    EXPECT_EQ(back->scheme, q.scheme);
+    EXPECT_EQ(back->data, q.data);
+    EXPECT_EQ(back->scales, q.scales);
+    EXPECT_EQ(back->zero_points, q.zero_points);
+  }
+}
+
+TEST(QuantTest, DeserializeRejectsGarbageHeaders) {
+  // Truncated stream.
+  std::istringstream truncated(std::string("\x01\x02", 2), std::ios::binary);
+  EXPECT_FALSE(RowQuantizedMatrix::Deserialize(truncated).ok());
+  // Implausible dims must be rejected before allocation, not OOM.
+  std::ostringstream big(std::ios::binary);
+  const uint64_t rows = uint64_t{1} << 40, cols = 8;
+  const uint8_t scheme = 0;
+  big.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  big.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  big.write(reinterpret_cast<const char*>(&scheme), sizeof(scheme));
+  std::istringstream in(big.str(), std::ios::binary);
+  EXPECT_FALSE(RowQuantizedMatrix::Deserialize(in).ok());
+}
+
+// ---- IEEE binary16 storage conversions --------------------------------------
+
+TEST(HalfTest, KnownValuesConvertExactly) {
+  const struct {
+    float f;
+    uint16_t h;
+  } cases[] = {
+      {0.0f, 0x0000},     {-0.0f, 0x8000},   {1.0f, 0x3C00},
+      {-1.0f, 0xBC00},    {2.0f, 0x4000},    {0.5f, 0x3800},
+      {65504.0f, 0x7BFF},                     // largest finite half
+      {6.103515625e-5f, 0x0400},              // smallest normal half
+      {5.9604644775390625e-8f, 0x0001},       // smallest subnormal half
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(FloatToHalf(c.f), c.h) << c.f;
+    EXPECT_EQ(HalfToFloat(c.h), c.f) << c.h;
+  }
+}
+
+TEST(HalfTest, SpecialValuesSurvive) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(FloatToHalf(inf), 0x7C00);
+  EXPECT_EQ(FloatToHalf(-inf), 0xFC00);
+  EXPECT_EQ(HalfToFloat(0x7C00), inf);
+  EXPECT_EQ(HalfToFloat(0xFC00), -inf);
+  EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(std::nanf("")))));
+  // Overflow rounds to inf, underflow to (signed) zero.
+  EXPECT_EQ(FloatToHalf(1e9f), 0x7C00);
+  EXPECT_EQ(FloatToHalf(-1e9f), 0xFC00);
+  EXPECT_EQ(FloatToHalf(1e-10f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-1e-10f), 0x8000);
+}
+
+TEST(HalfTest, EveryHalfPatternRoundTripsThroughFloat) {
+  // binary16 -> binary32 is exact, so converting back must restore the
+  // original bits for every non-NaN pattern — all 63489 of them.
+  for (uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const uint32_t exp = (h >> 10) & 0x1Fu;
+    const uint32_t mant = h & 0x3FFu;
+    if (exp == 31u && mant != 0u) continue;  // NaN payloads may canonicalise
+    EXPECT_EQ(FloatToHalf(HalfToFloat(static_cast<uint16_t>(h))), h)
+        << "h=" << h;
+  }
+}
+
+TEST(HalfTest, RoundTripErrorWithinHalfUlp) {
+  // Relative error <= 2^-11 for normal-range magnitudes: the bound the
+  // fp16 MLP tail's docs promise.
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = dist(rng);
+    const float back = HalfToFloat(FloatToHalf(f));
+    EXPECT_LE(std::fabs(back - f), std::fabs(f) * 0x1p-11f + 1e-7f) << f;
+  }
+}
+
+TEST(HalfTest, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10):
+  // ties go to the even mantissa, i.e. down to 1.0.
+  EXPECT_EQ(FloatToHalf(1.0f + 0x1p-11f), 0x3C00);
+  // Just above the tie rounds up.
+  EXPECT_EQ(FloatToHalf(1.0f + 0x1p-11f + 0x1p-17f), 0x3C01);
+  // 1 + 3 * 2^-11 ties between odd 1+2^-10 and even 1+2^-9: goes up to even.
+  EXPECT_EQ(FloatToHalf(1.0f + 3 * 0x1p-11f), 0x3C02);
+}
+
+}  // namespace
+}  // namespace sttr

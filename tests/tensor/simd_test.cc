@@ -138,6 +138,78 @@ TEST(SimdTest, SgdRowIsAxpyWithNegatedLr) {
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(w[i], w_ref[i]);
 }
 
+// ---- Int8 inference kernels -------------------------------------------------
+
+std::vector<int8_t> RandomI8(size_t n, uint32_t seed) {
+  // Full maddubs-safe range, extremes included: the quantizer clamps to
+  // [-127, 127] and the vector==scalar guarantee must hold at the bound.
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-127, 127);
+  std::vector<int8_t> v(n);
+  for (auto& x : v) x = static_cast<int8_t>(dist(rng));
+  return v;
+}
+
+TEST(SimdTest, DotI8MatchesScalarExactlyAtTileEdges) {
+  // Sizes straddling the 32-lane int8 vector width: pure tail, one vector
+  // minus/plus one, multiples, and a large mixed case. Integer arithmetic,
+  // so vector and scalar must agree EXACTLY, not approximately.
+  for (size_t n : {size_t{1}, size_t{7}, size_t{31}, size_t{32}, size_t{33},
+                   size_t{64}, size_t{100}, size_t{127}, size_t{256},
+                   size_t{1000}}) {
+    const auto a = RandomI8(n, 20 + static_cast<uint32_t>(n));
+    const auto b = RandomI8(n, 40 + static_cast<uint32_t>(n));
+    EXPECT_EQ(simd::DotI8(a.data(), b.data(), n),
+              simd::DotI8Scalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DotI8SaturationFreeAtExtremes) {
+  // All-(-127) x all-(-127) maximises every maddubs pair sum (2 * 127^2 =
+  // 32258 < 32767): the one input that would saturate if -128 were allowed.
+  for (size_t n : {size_t{32}, size_t{33}, size_t{96}}) {
+    const std::vector<int8_t> lo(n, -127);
+    const std::vector<int8_t> hi(n, 127);
+    const int32_t expect = static_cast<int32_t>(n) * 127 * 127;
+    EXPECT_EQ(simd::DotI8(lo.data(), lo.data(), n), expect);
+    EXPECT_EQ(simd::DotI8(hi.data(), hi.data(), n), expect);
+    EXPECT_EQ(simd::DotI8(lo.data(), hi.data(), n), -expect);
+  }
+}
+
+TEST(SimdTest, DotI8HandlesZeroLength) {
+  const int8_t dummy = 5;
+  EXPECT_EQ(simd::DotI8(&dummy, &dummy, 0), 0);
+  EXPECT_EQ(simd::DotI8Scalar(&dummy, &dummy, 0), 0);
+}
+
+TEST(SimdTest, SumI8MatchesNaiveAccumulation) {
+  for (size_t n : {size_t{1}, size_t{31}, size_t{33}, size_t{200}}) {
+    const auto v = RandomI8(n, 60 + static_cast<uint32_t>(n));
+    int32_t expect = 0;
+    for (const int8_t x : v) expect += x;
+    EXPECT_EQ(simd::SumI8Scalar(v.data(), n), expect) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, GemmI8MatchesPerElementDots) {
+  // The layer-0 GEMM shape: n activations x m outputs over width k, with k
+  // off the 32-lane grid so every dot exercises the tail.
+  const size_t n = 5, m = 7, k = 43;
+  const auto a = RandomI8(n * k, 70);
+  const auto b = RandomI8(m * k, 71);
+  std::vector<int32_t> c(n * m, -1);
+  simd::GemmI8RowMajor(a.data(), b.data(), c.data(), n, m, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(c[i * m + j],
+                simd::DotI8Scalar(a.data() + i * k, b.data() + j * k, k))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
 TEST(SimdTest, ScalarHelpersAgree) {
   for (float x : {-5.0f, -0.5f, 0.0f, 0.5f, 5.0f}) {
     EXPECT_NEAR(simd::SigmoidOne(x), 1.0f / (1.0f + std::exp(-x)), 1e-6f);

@@ -1,0 +1,86 @@
+// Runtime CPU-feature detection and the scalar-fallback dispatch policy
+// behind the SIMD kernels (tensor/simd.h): the decision table is pure and
+// exhaustively checkable without faking cpuid; the host probes are checked
+// for internal coherence and cache stability.
+
+#include "util/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/simd.h"
+
+namespace sttr {
+namespace {
+
+CpuFeatures Features(bool avx2, bool fma, bool os_ymm) {
+  CpuFeatures f;
+  f.avx = avx2;  // AVX2 silicon always reports AVX; irrelevant to SimdOk
+  f.avx2 = avx2;
+  f.fma = fma;
+  f.os_ymm = os_ymm;
+  return f;
+}
+
+TEST(CpuFeaturesTest, SimdOkRequiresAllThreeCapabilities) {
+  for (const bool avx2 : {false, true}) {
+    for (const bool fma : {false, true}) {
+      for (const bool os_ymm : {false, true}) {
+        EXPECT_EQ(Features(avx2, fma, os_ymm).SimdOk(),
+                  avx2 && fma && os_ymm)
+            << "avx2=" << avx2 << " fma=" << fma << " os_ymm=" << os_ymm;
+      }
+    }
+  }
+}
+
+TEST(CpuFeaturesTest, ForceScalarOverridesAnyHardware) {
+  EXPECT_FALSE(SimdAllowed(Features(true, true, true), /*force_scalar=*/true));
+  EXPECT_TRUE(SimdAllowed(Features(true, true, true), /*force_scalar=*/false));
+}
+
+TEST(CpuFeaturesTest, IncapableHostNeverDispatchesVector) {
+  // An AVX2-built binary on a pre-Haswell core (or an OS not saving YMM
+  // state) must take the scalar path regardless of the escape hatch.
+  EXPECT_FALSE(SimdAllowed(Features(false, false, false), false));
+  EXPECT_FALSE(SimdAllowed(Features(true, true, false), false));
+  EXPECT_FALSE(SimdAllowed(Features(true, false, true), false));
+}
+
+TEST(CpuFeaturesTest, HostDetectionIsCoherent) {
+  const CpuFeatures fresh = DetectCpuFeatures();
+  // OS YMM saving is meaningless without AVX silicon underneath.
+  if (fresh.os_ymm) {
+    EXPECT_TRUE(fresh.avx);
+  }
+  // Real AVX2 silicon always also reports AVX.
+  if (fresh.avx2) {
+    EXPECT_TRUE(fresh.avx);
+  }
+}
+
+TEST(CpuFeaturesTest, CachedDetectionMatchesFreshProbe) {
+  const CpuFeatures& cached = HostCpuFeatures();
+  const CpuFeatures fresh = DetectCpuFeatures();
+  EXPECT_EQ(cached.avx, fresh.avx);
+  EXPECT_EQ(cached.avx2, fresh.avx2);
+  EXPECT_EQ(cached.fma, fresh.fma);
+  EXPECT_EQ(cached.os_ymm, fresh.os_ymm);
+  // The cache returns the same object every call.
+  EXPECT_EQ(&HostCpuFeatures(), &cached);
+}
+
+TEST(CpuFeaturesTest, RuntimeDispatchImpliesBothGates) {
+  // The two-stage dispatch contract: the vector path runs only when the
+  // kernels were compiled in AND the host passes the runtime probe.
+  if (simd::RuntimeEnabled()) {
+    EXPECT_TRUE(simd::Enabled());
+    EXPECT_TRUE(HostSimdAllowed());
+    EXPECT_TRUE(HostCpuFeatures().SimdOk());
+  }
+  if (!simd::Enabled()) {
+    EXPECT_FALSE(simd::RuntimeEnabled());
+  }
+}
+
+}  // namespace
+}  // namespace sttr

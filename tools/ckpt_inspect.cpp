@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/flags.h"
 
@@ -64,6 +65,40 @@ std::vector<Tensor> DecodeTensors(const std::string& payload) {
   return out;
 }
 
+bool IsQuantMatrixSection(const std::string& name) {
+  return name == "quant_user" || name == "quant_poi" || name == "quant_mlp0";
+}
+
+/// Prints the shape/scheme of a quantized-matrix section and how its bytes
+/// compare to the fp32 table it replaced.
+void PrintQuantSection(const std::string& name, const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  StatusOr<RowQuantizedMatrix> m = RowQuantizedMatrix::Deserialize(in);
+  if (!m.ok()) {
+    std::printf("%s: <undecodable: %s>\n", name.c_str(),
+                m.status().ToString().c_str());
+    return;
+  }
+  const size_t fp32_bytes = m->rows * m->cols * sizeof(float);
+  std::printf("%s: %zux%zu int8 (%s), %zu bytes resident vs %zu fp32 "
+              "(%.2fx smaller)\n",
+              name.c_str(), m->rows, m->cols, QuantSchemeName(m->scheme),
+              m->ByteSize(), fp32_bytes,
+              m->ByteSize() > 0
+                  ? static_cast<double>(fp32_bytes) /
+                        static_cast<double>(m->ByteSize())
+                  : 0.0);
+}
+
+/// Total section payload bytes of a parsed container.
+size_t PayloadBytes(const CheckpointReader& reader) {
+  size_t total = 0;
+  for (const CheckpointSection& s : reader.sections()) {
+    total += s.payload.size();
+  }
+  return total;
+}
+
 int List(const std::string& path) {
   auto reader = OpenOrExplain(path);
   if (!reader.ok()) return 1;
@@ -74,6 +109,8 @@ int List(const std::string& path) {
     std::printf("%-16s %12zu  %08x\n", s.name.c_str(), s.payload.size(),
                 s.crc);
   }
+  std::printf("%-16s %12zu  (%.2f MiB)\n", "total", PayloadBytes(*reader),
+              static_cast<double>(PayloadBytes(*reader)) / (1024.0 * 1024.0));
   for (const CheckpointSection& s : reader->sections()) {
     if (s.name == "meta") {
       std::string_view in(s.payload);
@@ -91,6 +128,8 @@ int List(const std::string& path) {
         std::printf(" %s", ShapeToString(t.shape()).c_str());
       }
       std::printf("\n");
+    } else if (IsQuantMatrixSection(s.name)) {
+      PrintQuantSection(s.name, s.payload);
     } else if (s.name == "loss_history") {
       std::string_view in(s.payload);
       uint64_t n = 0;
@@ -173,6 +212,15 @@ int Diff(const std::string& a_path, const std::string& b_path) {
                   pa.size(), pb.size());
     }
   }
+  // Footprint summary: with one fp32 checkpoint and one quantized artifact
+  // this line is the bytes-shrink headline across precisions.
+  const size_t bytes_a = PayloadBytes(*a);
+  const size_t bytes_b = PayloadBytes(*b);
+  std::printf("footprint: v%u %zu bytes vs v%u %zu bytes (%.2fx)\n",
+              a->version(), bytes_a, b->version(), bytes_b,
+              bytes_b > 0 ? static_cast<double>(bytes_a) /
+                                static_cast<double>(bytes_b)
+                          : 0.0);
   std::printf("%d section(s) differ\n", differences);
   return differences == 0 ? 0 : 1;
 }

@@ -19,10 +19,10 @@ cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_trainer_test sparse_allreduce_test \
            checkpoint_race_test batcher_test result_cache_test \
            model_bundle_test server_test shutdown_race_test \
-           event_loop_test server_equivalence_test
+           event_loop_test server_equivalence_test precision_reload_test
 
 # TSan findings abort the run; halt_on_error keeps the first report readable.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence)'
+  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence|PrecisionReload)'
 echo "TSan run clean."

@@ -71,6 +71,13 @@ void DefineFlags(FlagParser& flags) {
                "4096");
   flags.Define("cache_ttl_ms", "result cache TTL (0 = no expiry)", "5000");
   flags.Define("poll_ms", "checkpoint hot-reload poll period", "200");
+  flags.Define("precision",
+               "serving precision: fp32 | int8 | auto (auto serves the "
+               "newest epoch across fp32 and quantized artifacts)",
+               "fp32");
+  flags.Define("quant_dir",
+               "quantized-artifact directory for --precision=int8|auto "
+               "(default: <ckpt_dir>/quant)");
 }
 
 int Main(int argc, char** argv) {
@@ -119,6 +126,17 @@ int Main(int argc, char** argv) {
   bundle_cfg.model = model_cfg;
   bundle_cfg.poll_interval =
       std::chrono::milliseconds(flags.GetInt("poll_ms", 200));
+  const std::string precision = flags.GetString("precision", "fp32");
+  if (precision == "int8") {
+    bundle_cfg.precision = serve::PrecisionMode::kInt8;
+  } else if (precision == "auto") {
+    bundle_cfg.precision = serve::PrecisionMode::kAuto;
+  } else if (precision != "fp32") {
+    std::fprintf(stderr, "unknown --precision=%s (fp32 | int8 | auto)\n",
+                 precision.c_str());
+    return 2;
+  }
+  bundle_cfg.quant_checkpoint_dir = flags.GetString("quant_dir", "");
   serve::ModelBundle bundle(ws.world.dataset, ws.split, bundle_cfg);
 
   const Status loaded = bundle.LoadInitial();

@@ -20,10 +20,10 @@ def summarize_micro(path: str, data: dict) -> None:
     print(f"\n### {data.get('bench', path)} (threads={data.get('threads', '?')})")
     for row in data.get("results", []):
         # Shape columns vary per bench: GEMM uses n/k/m, the all-reduce bench
-        # rows/dim/touched, table2 workers.
+        # rows/dim/touched, table2 workers, micro_quant pairs.
         shape = "x".join(
             str(row[d])
-            for d in ("n", "k", "m", "rows", "dim", "touched", "workers")
+            for d in ("n", "k", "m", "rows", "dim", "touched", "workers", "pairs")
             if d in row
         )
         line = f"  {row['kernel']:<16} {shape:<20}"
@@ -34,6 +34,28 @@ def summarize_micro(path: str, data: dict) -> None:
             if key.startswith("speedup_vs_"):
                 line += f"  {value:6.2f}x vs {key[len('speedup_vs_'):]}"
         print(line)
+    # micro_quant extras: footprint shrink and quantization fidelity.
+    if "bytes" in data:
+        b = data["bytes"]
+        print(
+            f"  embeddings: {b['int8_embeddings']} bytes int8"
+            f" vs {b['fp32_embeddings']} fp32 ({b['shrink']:.2f}x smaller)"
+        )
+    if "fidelity" in data:
+        f = data["fidelity"]
+        ks = sorted(
+            int(k[len("overlap"):]) for k in f if k.startswith("overlap")
+        )
+        for k in ks:
+            print(
+                f"  @{k}: HR {f[f'hr{k}_ref']:.4f} -> {f[f'hr{k}_cand']:.4f}"
+                f"  NDCG {f[f'ndcg{k}_ref']:.4f} -> {f[f'ndcg{k}_cand']:.4f}"
+                f"  overlap {f[f'overlap{k}']:.4f}"
+            )
+        print(
+            f"  score delta: max {f['max_abs_score_delta']:.3e}"
+            f" mean {f['mean_abs_score_delta']:.3e}"
+        )
 
 
 def summarize_serve(path: str, data: dict) -> None:
