@@ -1,0 +1,233 @@
+// Sharded-gather microbenchmark: fan-out latency of the ShardedEmbeddingStore
+// against in-process ShardServers as the shard count grows, with every
+// gathered batch verified byte-for-byte against the InProcessEmbeddingStore
+// oracle; plus a kill-a-shard availability drill — the failure/fail-fast/
+// recovery timeline a production outage would trace through the circuit
+// breaker. With --out=<prefix>, emits <prefix>micro_shard_gather.json for
+// tools/summarize_bench.py — the source of the sharded-store rows in
+// EXPERIMENTS.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/st_transrec.h"
+#include "serve/embedding_store.h"
+#include "serve/shard_server.h"
+#include "serve/sharded_store.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace sttr::bench {
+namespace {
+
+using serve::EmbeddingTable;
+
+double PercentileUs(std::vector<double>& us, double p) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(us.size() - 1));
+  return us[i];
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<serve::ShardServer>> servers;
+  std::vector<int> ports;
+
+  Fleet(const StTransRec& model, size_t num_shards) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      servers.push_back(std::make_unique<serve::ShardServer>(
+          serve::ShardServerConfig{}, serve::BuildShardSlice(model, s,
+                                                             num_shards)));
+      STTR_CHECK_OK(servers.back()->Start());
+      ports.push_back(servers.back()->port());
+    }
+  }
+  ~Fleet() {
+    for (auto& s : servers) s->Shutdown();
+  }
+};
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  STTR_CHECK_OK(flags.Parse(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 200));
+
+  WorldAndSplit ws = MakeWorld("foursquare", opts);
+  StTransRecConfig cfg = opts.DeepConfig();
+  ApplyPaperArchitecture("foursquare", cfg);
+  // Gather latency depends on table shapes, not model quality: one epoch.
+  if (opts.epochs == 0) cfg.num_epochs = 1;
+  auto model = std::make_shared<StTransRec>(cfg);
+  STTR_CHECK_OK(model->Fit(ws.world.dataset, ws.split));
+
+  const size_t num_pois = ws.world.dataset.num_pois();
+  const size_t num_users = ws.world.dataset.num_users();
+  const size_t dim = model->PoiEmbeddingTable().cols();
+  serve::InProcessEmbeddingStore oracle(model);
+
+  Rng rng(opts.seed == 0 ? 42 : opts.seed);
+  std::cout << "[micro_shard_gather] users=" << num_users
+            << " pois=" << num_pois << " dim=" << dim << " reps=" << reps
+            << "\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_shard_gather\", \"dim\": " << dim
+       << ", \"pois\": " << num_pois << ",\n  \"latency\": [\n";
+  bool first = true;
+
+  // ---- Fan-out latency vs shard count, verified against the oracle. ------
+  std::cout << "\nbackend       shards    batch   p50_us    p99_us   Mrows/s"
+            << "  mismatches\n";
+  size_t total_mismatches = 0;
+  for (const size_t num_shards : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+    std::unique_ptr<Fleet> fleet;
+    std::unique_ptr<serve::ShardedEmbeddingStore> sharded;
+    serve::EmbeddingStore* store = &oracle;
+    if (num_shards > 0) {
+      fleet = std::make_unique<Fleet>(*model, num_shards);
+      serve::ShardedStoreOptions sopts;
+      sopts.shard_ports = fleet->ports;
+      sopts.default_deadline = std::chrono::milliseconds(1000);
+      sharded = std::make_unique<serve::ShardedEmbeddingStore>(
+          sopts, dim, num_users, num_pois);
+      store = sharded.get();
+    }
+    for (const size_t batch : {size_t{16}, size_t{128}, size_t{1024}}) {
+      std::vector<int64_t> ids(batch);
+      std::vector<float> rows(batch * dim);
+      std::vector<float> want(batch * dim);
+      std::vector<double> us;
+      us.reserve(reps);
+      size_t mismatches = 0;
+      for (size_t r = 0; r < reps + 10; ++r) {
+        for (auto& id : ids) {
+          id = static_cast<int64_t>(rng.UniformInt(num_pois));
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(1);
+        Timer t;
+        const Status st =
+            store->Gather(EmbeddingTable::kPoi, ids, rows.data(), deadline);
+        const double elapsed_us = t.ElapsedSeconds() * 1e6;
+        STTR_CHECK_OK(st);
+        if (r < 10) continue;  // warmup: connection pools fill
+        us.push_back(elapsed_us);
+        STTR_CHECK_OK(oracle.Gather(EmbeddingTable::kPoi, ids, want.data(),
+                                    deadline));
+        if (std::memcmp(rows.data(), want.data(),
+                        want.size() * sizeof(float)) != 0) {
+          ++mismatches;
+        }
+      }
+      total_mismatches += mismatches;
+      const double p50 = PercentileUs(us, 0.50);
+      const double p99 = PercentileUs(us, 0.99);
+      std::printf("%-12s %7zu %8zu %8.1f %9.1f %9.2f %11zu\n",
+                  num_shards == 0 ? "in-process" : "sharded", num_shards,
+                  batch, p50, p99,
+                  static_cast<double>(batch) / p50, mismatches);
+      if (!first) json << ",\n";
+      json << "    {\"backend\": \""
+           << (num_shards == 0 ? "in_process" : "sharded")
+           << "\", \"shards\": " << num_shards << ", \"batch\": " << batch
+           << ", \"p50_us\": " << p50 << ", \"p99_us\": " << p99
+           << ", \"mismatches\": " << mismatches << "}";
+      first = false;
+    }
+  }
+  STTR_CHECK_EQ(total_mismatches, 0u)
+      << "sharded gather diverged from the in-process oracle";
+  json << "\n  ],\n";
+
+  // ---- Kill-a-shard availability drill (4 shards). -----------------------
+  // Phase "up": all shards healthy. Phase "killed": shard 0 shut down —
+  // requests fail (every batch spans all residues), first paying the
+  // retry+reconnect path, then failing fast once the breaker trips. Phase
+  // "restarted": shard back up, breaker cooldown passed — the half-open
+  // probe heals the path and availability returns to 100%.
+  constexpr size_t kDrillShards = 4;
+  constexpr size_t kDrillBatch = 64;
+  auto fleet = std::make_unique<Fleet>(*model, kDrillShards);
+  serve::ShardedStoreOptions sopts;
+  sopts.shard_ports = fleet->ports;
+  sopts.default_deadline = std::chrono::milliseconds(50);
+  sopts.max_retries = 1;
+  sopts.backoff_base = std::chrono::milliseconds(1);
+  sopts.trip_threshold = 3;
+  sopts.open_duration = std::chrono::milliseconds(100);
+  serve::ShardedEmbeddingStore store(sopts, dim, num_users, num_pois);
+
+  std::cout << "\nkill-a-shard drill (shards=" << kDrillShards
+            << ", batch=" << kDrillBatch << ", deadline=50ms)\n";
+  std::cout << "phase       gathers      ok  failed   p50_us    p99_us"
+            << "  shards_down\n";
+  json << "  \"drill\": [\n";
+  first = true;
+  const auto run_phase = [&](const char* phase) {
+    std::vector<int64_t> ids(kDrillBatch);
+    std::vector<float> rows(kDrillBatch * dim);
+    std::vector<double> us;
+    size_t ok = 0;
+    size_t failed = 0;
+    for (size_t r = 0; r < reps; ++r) {
+      for (auto& id : ids) {
+        id = static_cast<int64_t>(rng.UniformInt(num_pois));
+      }
+      Timer t;
+      const Status st =
+          store.Gather(EmbeddingTable::kPoi, ids, rows.data(),
+                       std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(50));
+      us.push_back(t.ElapsedSeconds() * 1e6);
+      st.ok() ? ++ok : ++failed;
+    }
+    const double p50 = PercentileUs(us, 0.50);
+    const double p99 = PercentileUs(us, 0.99);
+    std::printf("%-10s %8zu %7zu %7zu %8.1f %9.1f %12zu\n", phase, reps, ok,
+                failed, p50, p99, store.shards_down());
+    if (!first) json << ",\n";
+    json << "    {\"phase\": \"" << phase << "\", \"gathers\": " << reps
+         << ", \"ok\": " << ok << ", \"failed\": " << failed
+         << ", \"p50_us\": " << p50 << ", \"p99_us\": " << p99
+         << ", \"shards_down\": " << store.shards_down() << "}";
+    first = false;
+  };
+
+  run_phase("up");
+  fleet->servers[0]->Shutdown();
+  run_phase("killed");
+  fleet->servers[0] = std::make_unique<serve::ShardServer>(
+      serve::ShardServerConfig{.port = fleet->ports[0]},
+      serve::BuildShardSlice(*model, 0, kDrillShards));
+  STTR_CHECK_OK(fleet->servers[0]->Start());
+  std::this_thread::sleep_for(sopts.open_duration +
+                              std::chrono::milliseconds(20));
+  run_phase("restarted");
+  json << "\n  ]\n}\n";
+
+  if (!opts.out_prefix.empty()) {
+    const std::string path = opts.out_prefix + "micro_shard_gather.json";
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sttr::bench
+
+int main(int argc, char** argv) { return sttr::bench::Main(argc, argv); }

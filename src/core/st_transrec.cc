@@ -519,6 +519,29 @@ std::vector<double> StTransRec::ScorePairs(std::span<const UserId> users,
   return out;
 }
 
+std::vector<double> StTransRec::ScoreGatheredPairs(const Tensor& h) const {
+  STTR_CHECK(fitted_) << "ScoreGatheredPairs() before Fit()";
+  const size_t d = user_emb_->table().value().cols();
+  STTR_CHECK_EQ(h.cols(), 2 * d);
+  if (h.rows() == 0) return {};
+  const Tensor logits = mlp_->InferenceForward(h);
+  std::vector<double> out(h.rows());
+  // Scalar sigmoid, same as ScorePairs: the exactness contract includes the
+  // store-backed path.
+  for (size_t i = 0; i < h.rows(); ++i) out[i] = SigmoidScalar(logits[i]);
+  return out;
+}
+
+const Tensor& StTransRec::UserEmbeddingTable() const {
+  STTR_CHECK(fitted_) << "UserEmbeddingTable() before Fit()";
+  return user_emb_->table().value();
+}
+
+const Tensor& StTransRec::PoiEmbeddingTable() const {
+  STTR_CHECK(fitted_) << "PoiEmbeddingTable() before Fit()";
+  return poi_emb_->table().value();
+}
+
 std::vector<float> StTransRec::PoiEmbedding(PoiId poi) const {
   STTR_CHECK(fitted_);
   const Tensor& table = poi_emb_->table().value();

@@ -182,6 +182,20 @@ class StTransRec : public Recommender {
   std::vector<double> ScorePairs(std::span<const UserId> users,
                                  std::span<const PoiId> pois) const override;
 
+  /// Scores pre-gathered (user, poi) embedding pairs: `h` is the (n, 2d)
+  /// block ScorePairs assembles internally — row i is [user_row | poi_row].
+  /// This is the tower half of the serving path when embedding lookup lives
+  /// behind an EmbeddingStore (possibly on remote shard servers): the store
+  /// gathers the rows, this scores them. Same kernels and scalar sigmoid as
+  /// ScorePairs, so for rows copied bit-exactly out of the tables the
+  /// results are bit-identical to ScorePairs on the same id pairs.
+  std::vector<double> ScoreGatheredPairs(const Tensor& h) const;
+
+  /// Row-major learned embedding tables (after Fit()/Load()): the in-process
+  /// EmbeddingStore serves views of these and the shard servers slice them.
+  const Tensor& UserEmbeddingTable() const;
+  const Tensor& PoiEmbeddingTable() const;
+
   std::string name() const override;
 
   const StTransRecConfig& config() const { return config_; }

@@ -1,0 +1,36 @@
+#include "serve/embedding_store.h"
+
+#include <cstring>
+
+namespace sttr::serve {
+
+InProcessEmbeddingStore::InProcessEmbeddingStore(
+    std::shared_ptr<const StTransRec> model)
+    : model_(std::move(model)),
+      user_table_(&model_->UserEmbeddingTable()),
+      poi_table_(&model_->PoiEmbeddingTable()),
+      dim_(user_table_->cols()) {}
+
+size_t InProcessEmbeddingStore::num_rows(EmbeddingTable table) const {
+  return table == EmbeddingTable::kUser ? user_table_->rows()
+                                        : poi_table_->rows();
+}
+
+Status InProcessEmbeddingStore::Gather(
+    EmbeddingTable table, std::span<const int64_t> ids, float* out,
+    std::chrono::steady_clock::time_point /*deadline*/) {
+  const Tensor* src =
+      table == EmbeddingTable::kUser ? user_table_ : poi_table_;
+  const size_t rows = src->rows();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    if (id < 0 || static_cast<size_t>(id) >= rows) {
+      return Status::OutOfRange("gather id out of range");
+    }
+    std::memcpy(out + i * dim_, src->row(static_cast<size_t>(id)),
+                dim_ * sizeof(float));
+  }
+  return Status::OK();
+}
+
+}  // namespace sttr::serve

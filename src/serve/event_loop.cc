@@ -15,6 +15,7 @@
 #include "serve/alloc_hook.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/socket_io.h"
 
 namespace sttr::serve {
 
@@ -267,7 +268,7 @@ void EventLoop::Register(int fd) {
     // Best effort: a fresh socket's send buffer takes this tiny reply.
     SetNonBlocking(fd);
     const std::string& reply = OverloadedResponse();
-    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    (void)net::Send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
     ::close(fd);
     return;
   }
@@ -325,7 +326,7 @@ void EventLoop::UpdateInterest(Conn& conn) {
 void EventLoop::OnReadable(Conn& conn) {
   char chunk[4096];
   for (;;) {
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = net::Recv(conn.fd, chunk, sizeof(chunk), 0);
     if (stats_ != nullptr) {
       stats_->sys_reads.fetch_add(1, std::memory_order_relaxed);
     }
@@ -407,8 +408,8 @@ void EventLoop::FinishResponse(Conn& conn) {
 void EventLoop::FlushOut(Conn& conn) {
   while (conn.out_off < conn.out.size()) {
     const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_off,
-               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+        net::Send(conn.fd, conn.out.data() + conn.out_off,
+                  conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (stats_ != nullptr) {
       stats_->sys_writes.fetch_add(1, std::memory_order_relaxed);
     }

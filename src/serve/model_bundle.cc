@@ -163,7 +163,14 @@ std::shared_ptr<const ModelSnapshot> ModelBundle::snapshot() const {
 
 StatusOr<bool> ModelBundle::ReloadIfNewer() {
   StatusOr<std::string> path = SelectCheckpoint();
-  if (!path.ok()) return path.status();
+  if (!path.ok()) {
+    // NotFound is the steady state before the trainer lands anything;
+    // everything else (ListDir IO error) is a real failure worth counting.
+    if (path.status().code() != StatusCode::kNotFound) {
+      RecordReloadFailure(path.status());
+    }
+    return path.status();
+  }
   {
     MutexLock lock(mu_);
     if (snapshot_ != nullptr && snapshot_->checkpoint_path == *path) {
@@ -173,9 +180,22 @@ StatusOr<bool> ModelBundle::ReloadIfNewer() {
   // Load outside the lock: Prepare() + parameter IO takes long enough that
   // requests must keep reading the current snapshot meanwhile.
   StatusOr<std::shared_ptr<ModelSnapshot>> snapshot = LoadSnapshot(*path);
-  if (!snapshot.ok()) return snapshot.status();
+  if (!snapshot.ok()) {
+    // A newer checkpoint exists but cannot be loaded (vanished mid-load,
+    // disk error): the old snapshot keeps serving, and the failure must be
+    // visible — a silent one looks exactly like "no new checkpoint yet".
+    RecordReloadFailure(snapshot.status());
+    return snapshot.status();
+  }
   Swap(std::move(*snapshot));
   return true;
+}
+
+void ModelBundle::RecordReloadFailure(const Status& error) const {
+  if (config_.stats == nullptr) return;
+  config_.stats->model_reload_failures.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  config_.stats->RecordReloadError(error.ToString());
 }
 
 void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
@@ -185,6 +205,9 @@ void ModelBundle::Swap(std::shared_ptr<ModelSnapshot> next) {
     next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
     snapshot_ = next;
     listeners = listeners_;
+  }
+  if (config_.stats != nullptr) {
+    config_.stats->RecordReloadError("");  // healthy again
   }
   // Listeners run on a copy with mu_ dropped, after the swap is visible: a
   // cache invalidated here can only be refilled from the new snapshot, and

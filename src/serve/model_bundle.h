@@ -14,6 +14,7 @@
 #include "core/st_transrec.h"
 #include "data/dataset.h"
 #include "data/split.h"
+#include "serve/stats.h"
 #include "util/fs.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -75,6 +76,11 @@ struct ModelBundleConfig {
   /// Directory quantized (v2) artifacts are picked up from; empty means
   /// "<checkpoint_dir>/quant" (where tools/sttr_quantize writes by default).
   std::string quant_checkpoint_dir;
+  /// Optional failure-visibility sink: reload attempts that found a newer
+  /// checkpoint but could not load it bump model_reload_failures and record
+  /// the error string (surfaced at /statz); a later successful reload
+  /// clears the error.
+  ServeStats* stats = nullptr;
 };
 
 /// Loads the newest valid checkpoint into an immutable, atomically swappable
@@ -136,6 +142,8 @@ class ModelBundle {
   StatusOr<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
       const std::string& path) const;
   void Swap(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);
+  /// Failure-visibility accounting (no-op without config_.stats).
+  void RecordReloadFailure(const Status& error) const;
   Env& env() const;
   void WatcherLoop() EXCLUDES(watcher_mu_);
 

@@ -18,6 +18,7 @@
 #include "serve/alloc_hook.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/socket_io.h"
 #include "util/string_util.h"
 
 namespace sttr::serve {
@@ -79,8 +80,8 @@ std::string ErrorJson(const std::string& message) {
 bool WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n =
+        net::Send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -183,20 +184,28 @@ bool ParseDoubleView(std::string_view s, double* out) {
 RecommendServer::RecommendServer(ServerConfig config, const Dataset& dataset,
                                  ModelBundle* bundle, CandidateIndex* index,
                                  ScoreBatcher* batcher, ResultCache* cache,
-                                 ServeStats* stats)
+                                 ServeStats* stats, EmbeddingStore* store)
     : config_(config),
       dataset_(dataset),
       bundle_(bundle),
       index_(index),
       batcher_(batcher),
       cache_(cache),
-      stats_(stats) {
+      stats_(stats),
+      store_(store) {
   STTR_CHECK(bundle_ != nullptr);
   STTR_CHECK(index_ != nullptr);
   STTR_CHECK(stats_ != nullptr);
   STTR_CHECK(!config_.enable_cache || cache_ != nullptr)
       << "enable_cache without a ResultCache";
   STTR_CHECK_GT(config_.num_workers, 0u);
+  if (store_ != nullptr) {
+    // Degraded-mode fallback ranking: global check-in counts per POI.
+    poi_popularity_.assign(dataset_.num_pois(), 0.0);
+    for (const CheckinRecord& rec : dataset_.checkins()) {
+      poi_popularity_[static_cast<size_t>(rec.poi)] += 1.0;
+    }
+  }
 }
 
 RecommendServer::~RecommendServer() { Shutdown(); }
@@ -240,6 +249,14 @@ Status RecommendServer::Start() {
   started_at_ = std::chrono::steady_clock::now();
   shutting_down_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+
+  if (store_ != nullptr) {
+    // Pin the store to the snapshot it was sliced from: a later hot reload
+    // changes the version, and requests then score in-process rather than
+    // mixing new MLP weights with the store's old rows.
+    const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
+    store_version_ = snapshot != nullptr ? snapshot->version : 0;
+  }
 
   if (config_.mode == ServeMode::kEventLoop) {
     const size_t n_loops = std::max<size_t>(1, config_.num_io_threads);
@@ -546,6 +563,7 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
     }
   }
   ResultCache::Value computed;  // cold path only: allocations expected
+  bool degraded = false;
   if (!cached) {
     index_->CandidatesInto(city_id, loc, 0, &scratch.cand,
                            &scratch.candidates);
@@ -557,7 +575,20 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
       return;
     }
     std::vector<double> scores;
-    if (batcher_ != nullptr) {
+    if (StoreUsable(*snapshot)) {
+      if (!ScoreViaStore(*snapshot->model, p.user,
+                         {scratch.candidates.data(),
+                          scratch.candidates.size()},
+                         &scores)) {
+        // Explicit degradation: the store missed its deadline or its shards
+        // are down. Rank candidates by global popularity and say so —
+        // never serve silently wrong scores.
+        degraded = true;
+        stats_->degraded_requests.fetch_add(1, std::memory_order_relaxed);
+        PopularityScores(
+            {scratch.candidates.data(), scratch.candidates.size()}, &scores);
+      }
+    } else if (batcher_ != nullptr) {
       scores =
           batcher_->Submit(snapshot->scorer, p.user, scratch.candidates).get();
     } else {
@@ -571,7 +602,9 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
     }
     computed = TopKByScore(scratch.candidates, scores,
                            static_cast<size_t>(p.k));
-    if (p.use_cache) cache_->Put(key, computed);
+    // A degraded ranking must never poison the cache: it would outlive the
+    // outage and keep serving after the store recovers.
+    if (p.use_cache && !degraded) cache_->Put(key, computed);
     top = &computed;
   }
 
@@ -588,6 +621,12 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
   b.AppendInt(p.k);
   b.Append(", \"cached\": ");
   b.Append(cached ? std::string_view("true") : std::string_view("false"));
+  if (store_ != nullptr) {
+    // Only store-backed servers carry the marker, so a store-less server's
+    // response bytes are unchanged.
+    b.Append(", \"degraded\": ");
+    b.Append(degraded ? std::string_view("true") : std::string_view("false"));
+  }
   b.Append(", \"model_epoch\": ");
   b.AppendUint(snapshot->epoch);
   b.Append(", \"model_version\": ");
@@ -617,21 +656,10 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
 }
 
 void RecommendServer::ProcessHealthz(Conn& conn) {
-  const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
-  ArenaBuf& b = conn.body;
-  b.Append("{\"status\": \"");
-  b.Append(snapshot != nullptr ? std::string_view("ok")
-                               : std::string_view("loading"));
-  b.Append('"');
-  if (snapshot != nullptr) {
-    b.Append(", \"checkpoint\": \"");
-    b.Append(snapshot->checkpoint_path);
-    b.Append("\", \"model_epoch\": ");
-    b.AppendUint(snapshot->epoch);
-    b.Append(", \"model_version\": ");
-    b.AppendUint(snapshot->version);
-  }
-  b.Append('}');
+  int http_status = 200;
+  const std::string body = HealthzBody(&http_status);
+  conn.http_status = http_status;
+  conn.body.Append(body);
 }
 
 void RecommendServer::ProcessStatz(Conn& conn) {
@@ -709,7 +737,7 @@ bool RecommendServer::HandleOneRequest(int fd, std::string& buffer) {
       return false;
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = net::Recv(fd, chunk, sizeof(chunk), 0);
     if (n == 0) return false;  // client closed
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -757,7 +785,7 @@ bool RecommendServer::HandleOneRequest(int fd, std::string& buffer) {
   } else if (path == "/recommend") {
     body = HandleRecommend(query, &http_status);
   } else if (path == "/healthz") {
-    body = HandleHealthz();
+    body = HealthzBody(&http_status);
   } else if (path == "/statz") {
     body = HandleStatz();
   } else {
@@ -841,6 +869,7 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
       stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  bool degraded = false;
   if (!cached) {
     const std::vector<PoiId> candidates = index_->Candidates(city_id, loc);
     if (candidates.empty()) {
@@ -848,7 +877,17 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
       return ErrorJson("no candidate POIs in city");
     }
     std::vector<double> scores;
-    if (batcher_ != nullptr) {
+    if (StoreUsable(*snapshot)) {
+      if (!ScoreViaStore(*snapshot->model, user,
+                         {candidates.data(), candidates.size()}, &scores)) {
+        // Explicit degradation: the store missed its deadline or its shards
+        // are down. Rank candidates by global popularity and say so —
+        // never serve silently wrong scores.
+        degraded = true;
+        stats_->degraded_requests.fetch_add(1, std::memory_order_relaxed);
+        PopularityScores({candidates.data(), candidates.size()}, &scores);
+      }
+    } else if (batcher_ != nullptr) {
       std::future<std::vector<double>> scores_future =
           batcher_->Submit(snapshot->scorer, user, candidates);
       scores = scores_future.get();
@@ -862,14 +901,21 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
           {candidates.data(), candidates.size()});
     }
     top = TopKByScore(candidates, scores, static_cast<size_t>(k));
-    if (use_cache) cache_->Put(key, top);
+    // A degraded ranking must never poison the cache: it would outlive the
+    // outage and keep serving after the store recovers.
+    if (use_cache && !degraded) cache_->Put(key, top);
   }
 
   std::ostringstream os;
   os << "{\"user\": " << user << ", \"city\": " << city
      << ", \"cell\": " << cell << ", \"k\": " << k
-     << ", \"cached\": " << (cached ? "true" : "false")
-     << ", \"model_epoch\": " << snapshot->epoch
+     << ", \"cached\": " << (cached ? "true" : "false");
+  if (store_ != nullptr) {
+    // Only store-backed servers carry the marker, so a store-less server's
+    // response bytes are unchanged.
+    os << ", \"degraded\": " << (degraded ? "true" : "false");
+  }
+  os << ", \"model_epoch\": " << snapshot->epoch
      << ", \"model_version\": " << snapshot->version << ", \"results\": [";
   for (size_t i = 0; i < top.size(); ++i) {
     if (i > 0) os << ", ";
@@ -880,18 +926,75 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   return os.str();
 }
 
-std::string RecommendServer::HandleHealthz() const {
+std::string RecommendServer::HealthzBody(int* http_status) const {
+  // A load balancer polling /healthz must see a non-200 when this replica
+  // cannot serve real scores: no loadable model, or embedding shards down
+  // (requests are degrading to the popularity fallback).
   const std::shared_ptr<const ModelSnapshot> snapshot = bundle_->snapshot();
   std::ostringstream os;
-  os << "{\"status\": \"" << (snapshot != nullptr ? "ok" : "loading")
-     << "\"";
-  if (snapshot != nullptr) {
-    os << ", \"checkpoint\": \"" << snapshot->checkpoint_path << "\""
-       << ", \"model_epoch\": " << snapshot->epoch
-       << ", \"model_version\": " << snapshot->version;
+  if (snapshot == nullptr || snapshot->scorer == nullptr) {
+    *http_status = 503;
+    os << "{\"status\": \"unavailable\", \"reason\": \"no model loaded\"}";
+    return os.str();
   }
-  os << "}";
+  const size_t down = store_ != nullptr ? store_->shards_down() : 0;
+  if (down > 0) {
+    *http_status = 503;
+    os << "{\"status\": \"degraded\", \"reason\": \"" << down << "/"
+       << store_->num_shards() << " embedding shards down\"";
+  } else {
+    *http_status = 200;
+    os << "{\"status\": \"ok\"";
+  }
+  os << ", \"checkpoint\": \"" << snapshot->checkpoint_path << "\""
+     << ", \"model_epoch\": " << snapshot->epoch
+     << ", \"model_version\": " << snapshot->version << "}";
   return os.str();
+}
+
+bool RecommendServer::StoreUsable(const ModelSnapshot& snapshot) const {
+  return store_ != nullptr && snapshot.model != nullptr &&
+         snapshot.version == store_version_;
+}
+
+bool RecommendServer::ScoreViaStore(const StTransRec& model, UserId user,
+                                    std::span<const PoiId> pois,
+                                    std::vector<double>* scores) const {
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() + config_.store_deadline;
+  const size_t d = store_->dim();
+  const size_t n = pois.size();
+  std::vector<float> user_row(d);
+  const int64_t uid = user;
+  Status st = store_->Gather(EmbeddingTable::kUser, {&uid, 1},
+                             user_row.data(), deadline);
+  std::vector<float> poi_rows(n * d);
+  if (st.ok()) {
+    st = store_->Gather(EmbeddingTable::kPoi, pois, poi_rows.data(),
+                        deadline);
+  }
+  if (!st.ok()) {
+    STTR_LOG(Debug) << "store gather failed, degrading: " << st.ToString();
+    return false;
+  }
+  // The MLP input assembled exactly as ScorePairs lays it out:
+  // row i = [user row | poi row], so the scores are bit-identical.
+  Tensor h({n, 2 * d});
+  for (size_t i = 0; i < n; ++i) {
+    float* dst = h.row(i);
+    std::memcpy(dst, user_row.data(), d * sizeof(float));
+    std::memcpy(dst + d, poi_rows.data() + i * d, d * sizeof(float));
+  }
+  *scores = model.ScoreGatheredPairs(h);
+  return true;
+}
+
+void RecommendServer::PopularityScores(std::span<const PoiId> pois,
+                                       std::vector<double>* scores) const {
+  scores->resize(pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    (*scores)[i] = poi_popularity_[static_cast<size_t>(pois[i])];
+  }
 }
 
 std::string RecommendServer::HandleStatz() const {

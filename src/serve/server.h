@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "serve/batcher.h"
 #include "serve/candidate_index.h"
 #include "serve/conn.h"
+#include "serve/embedding_store.h"
 #include "serve/event_loop.h"
 #include "serve/model_bundle.h"
 #include "serve/result_cache.h"
@@ -74,6 +76,10 @@ struct ServerConfig {
   /// Requests may bypass the cache with ?nocache=1 (the loadgen's cold
   /// mode); this disables the cache entirely.
   bool enable_cache = true;
+  /// Per-request embedding-store gather budget (only used when a store is
+  /// configured). A stalled shard can consume at most this much of a
+  /// request's time before the request degrades.
+  std::chrono::milliseconds store_deadline{50};
 };
 
 /// Minimal HTTP/1.1 JSON server over POSIX sockets gluing the serving
@@ -105,10 +111,22 @@ class RecommendServer {
   /// config.enable_cache is false. `batcher` may be null: requests then
   /// score inline on their worker thread (per-request mode, the loadgen's
   /// micro-batching baseline), bit-identical to the batched path.
+  ///
+  /// `store` (optional) routes embedding lookups through an EmbeddingStore
+  /// instead of the snapshot's own tables: rows are gathered under
+  /// config.store_deadline and scored with the snapshot's MLP tower,
+  /// bit-identical to direct scoring when the store is healthy. When a
+  /// gather fails (shards down/stalled), the request is served *degraded* —
+  /// cached results if valid, else a candidate-popularity ranking — with
+  /// "degraded": true in the response, never silently different scores.
+  /// Store-backed responses additionally carry "degraded": false, so a
+  /// store-less server's bytes are unchanged. The store only applies to
+  /// fp32 snapshots of the model version serving when Start() ran; after a
+  /// hot reload the server scores in-process again (correct, not degraded).
   RecommendServer(ServerConfig config, const Dataset& dataset,
                   ModelBundle* bundle, CandidateIndex* index,
                   ScoreBatcher* batcher, ResultCache* cache,
-                  ServeStats* stats);
+                  ServeStats* stats, EmbeddingStore* store = nullptr);
   ~RecommendServer();
 
   RecommendServer(const RecommendServer&) = delete;
@@ -191,12 +209,29 @@ class RecommendServer {
   /// Parses and answers a single request; false ends the connection.
   bool HandleOneRequest(int fd, std::string& buffer);
   std::string HandleRecommend(const std::string& query, int* http_status);
-  std::string HandleHealthz() const;
   std::string HandleStatz() const;
 
   // ---- Shared ---------------------------------------------------------
 
   void AcceptLoop() EXCLUDES(queue_mu_);
+
+  /// True when this request's snapshot can score through the configured
+  /// store: fp32 model present and still the version the store was built
+  /// against.
+  bool StoreUsable(const ModelSnapshot& snapshot) const;
+  /// Store-backed scoring: gathers the user and candidate rows under
+  /// config.store_deadline, assembles the MLP input exactly as ScorePairs
+  /// does, and scores with the snapshot's tower. False: the store could not
+  /// serve the rows in time — the caller degrades.
+  bool ScoreViaStore(const StTransRec& model, UserId user,
+                     std::span<const PoiId> pois,
+                     std::vector<double>* scores) const;
+  /// Degraded ranking: global check-in popularity of each candidate.
+  void PopularityScores(std::span<const PoiId> pois,
+                        std::vector<double>* scores) const;
+  /// /healthz body + status shared by both modes: 503 with a reason while
+  /// no model is loadable or the store has shards down, 200 otherwise.
+  std::string HealthzBody(int* http_status) const;
 
   ServerConfig config_;
   const Dataset& dataset_;
@@ -205,6 +240,12 @@ class RecommendServer {
   ScoreBatcher* batcher_;
   ResultCache* cache_;
   ServeStats* stats_;
+  EmbeddingStore* store_;
+  /// Model version the store's rows correspond to, captured at Start().
+  uint64_t store_version_ = 0;
+  /// Per-POI global check-in counts, built once when a store is configured
+  /// (the degraded fallback ranking).
+  std::vector<double> poi_popularity_;
 
   int listen_fd_ = -1;
   int port_ = 0;

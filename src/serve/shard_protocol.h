@@ -1,0 +1,93 @@
+#ifndef STTR_SERVE_SHARD_PROTOCOL_H_
+#define STTR_SERVE_SHARD_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/embedding_store.h"
+
+namespace sttr::serve {
+
+/// Length-prefixed binary gather protocol between the router
+/// (ShardedEmbeddingStore) and sttr_shard_server processes.
+///
+/// Every frame is:   u32 magic | u32 payload_len | payload
+/// Request payload:  u64 request_id | u8 table | u8[3] reserved |
+///                   u32 deadline_ms | u32 count | count * u64 ids
+/// Response payload: u64 request_id | u8 status | u8[3] reserved |
+///                   u32 dim | u32 count | count * dim * f32 rows
+///
+/// Integers and floats are host byte order — shards and router share a
+/// loopback/rack boundary, never a heterogeneous one. `deadline_ms` is the
+/// remaining client budget at send time so a shard can shed work it cannot
+/// answer in time. The parser is incremental: it distinguishes "frame not
+/// complete yet" (kNeedMore) from "stream is garbage" (kBad), which is what
+/// lets the router treat a torn frame from a killed shard as a transient
+/// connection error rather than undefined behaviour.
+
+inline constexpr uint32_t kGatherRequestMagic = 0x53544752;   // "STGR"
+inline constexpr uint32_t kGatherResponseMagic = 0x53544753;  // "STGS"
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Hard caps so a corrupt length prefix cannot drive a giant allocation.
+inline constexpr size_t kMaxGatherIds = 1u << 20;
+inline constexpr size_t kMaxFramePayloadBytes = 256u << 20;
+
+enum class GatherStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,    // malformed frame or unknown table
+  kOutOfRange = 2,    // id outside the table or not owned by this shard
+  kShuttingDown = 3,  // shard is draining; retry elsewhere/later
+};
+
+struct GatherRequest {
+  uint64_t request_id = 0;
+  EmbeddingTable table = EmbeddingTable::kUser;
+  uint32_t deadline_ms = 0;
+  std::vector<int64_t> ids;
+};
+
+struct GatherResponse {
+  uint64_t request_id = 0;
+  GatherStatus status = GatherStatus::kOk;
+  uint32_t dim = 0;
+  uint32_t count = 0;
+  std::vector<float> rows;  // count * dim floats, request order
+};
+
+void AppendGatherRequest(const GatherRequest& req, std::string* out);
+void AppendGatherResponse(uint64_t request_id, GatherStatus status,
+                          uint32_t dim, std::span<const float> rows,
+                          std::string* out);
+
+enum class FrameParse {
+  kNeedMore,  // prefix of a valid frame; read more bytes
+  kComplete,  // one frame decoded, *consumed bytes eaten from the front
+  kBad,       // not a valid frame — tear down the connection
+};
+
+FrameParse ParseGatherRequest(std::string_view buffer, GatherRequest* out,
+                              size_t* consumed);
+FrameParse ParseGatherResponse(std::string_view buffer, GatherResponse* out,
+                               size_t* consumed);
+
+/// Hash-shard placement for dense id spaces: shard by residue, index within
+/// the shard by quotient. Both directions are O(1) and the per-shard row
+/// block stays dense (no hash map on the shard's hot path).
+inline size_t ShardOfId(int64_t id, size_t num_shards) {
+  return static_cast<size_t>(id) % num_shards;
+}
+inline size_t ShardLocalIndex(int64_t id, size_t num_shards) {
+  return static_cast<size_t>(id) / num_shards;
+}
+/// Rows of a `total`-row table owned by `shard_index` under modulo placement.
+inline size_t ShardRowCount(size_t total, size_t shard_index,
+                            size_t num_shards) {
+  return (total + num_shards - 1 - shard_index) / num_shards;
+}
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_SHARD_PROTOCOL_H_

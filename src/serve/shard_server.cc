@@ -1,0 +1,250 @@
+#include "serve/shard_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/st_transrec.h"
+#include "util/logging.h"
+#include "util/socket_io.h"
+
+namespace sttr::serve {
+
+namespace {
+
+/// Writes all of `data` on a blocking socket. Returns false on error — or
+/// when an injected send fault fired, in which case the connection is torn
+/// down mid-frame exactly as a crashing shard would leave it.
+bool SendAll(int fd, std::string_view data, FaultInjectionSocket* fault) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const uint64_t before = fault ? fault->faults_triggered() : 0;
+    const ssize_t n =
+        net::Send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL, fault);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+    if (fault && fault->faults_triggered() != before) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardSlice BuildShardSlice(const StTransRec& model, size_t shard_index,
+                           size_t num_shards) {
+  STTR_CHECK_GT(num_shards, 0u);
+  STTR_CHECK_LT(shard_index, num_shards);
+  const Tensor& users = model.UserEmbeddingTable();
+  const Tensor& pois = model.PoiEmbeddingTable();
+  ShardSlice slice;
+  slice.shard_index = shard_index;
+  slice.num_shards = num_shards;
+  slice.dim = users.cols();
+  slice.total_users = users.rows();
+  slice.total_pois = pois.rows();
+  const auto extract = [&](const Tensor& table, std::vector<float>* out) {
+    const size_t local_rows =
+        ShardRowCount(table.rows(), shard_index, num_shards);
+    out->resize(local_rows * slice.dim);
+    for (size_t local = 0; local < local_rows; ++local) {
+      const size_t global = local * num_shards + shard_index;
+      std::memcpy(out->data() + local * slice.dim, table.row(global),
+                  slice.dim * sizeof(float));
+    }
+  };
+  extract(users, &slice.user_rows);
+  extract(pois, &slice.poi_rows);
+  return slice;
+}
+
+ShardServer::ShardServer(ShardServerConfig config, ShardSlice slice)
+    : config_(config), slice_(std::move(slice)) {}
+
+ShardServer::~ShardServer() { Shutdown(); }
+
+Status ShardServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, static_cast<int>(config_.backlog)) < 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  {
+    MutexLock lock(mu_);
+    started_ = true;
+  }
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  STTR_LOG(Debug) << "shard " << slice_.shard_index << "/" << slice_.num_shards
+                  << " serving on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void ShardServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    // A second caller still has to wait for the first teardown to finish.
+    if (acceptor_.joinable()) acceptor_.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;
+  {
+    MutexLock lock(mu_);
+    // Wake blocked workers fast: recv on a shutdown fd returns immediately.
+    // Workers own the close.
+    for (const int fd : in_flight_) ::shutdown(fd, SHUT_RDWR);
+    queue_cv_.NotifyAll();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  MutexLock lock(mu_);
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void ShardServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or fatal accept error
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{};
+    const auto tick = config_.recv_tick;
+    tv.tv_sec = static_cast<time_t>(tick.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((tick.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    MutexLock lock(mu_);
+    pending_.push_back(fd);
+    queue_cv_.NotifyOne();
+  }
+}
+
+void ShardServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      while (pending_.empty() && !stopping_.load(std::memory_order_relaxed)) {
+        queue_cv_.Wait(mu_);
+      }
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+      in_flight_.push_back(fd);
+    }
+    ServeConnection(fd);
+    MutexLock lock(mu_);
+    in_flight_.erase(std::find(in_flight_.begin(), in_flight_.end(), fd));
+    ::close(fd);
+  }
+}
+
+void ShardServer::ServeConnection(int fd) {
+  std::string buffer;
+  std::string response;
+  char chunk[16 * 1024];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n =
+        net::Recv(fd, chunk, sizeof(chunk), 0, config_.fault);
+    if (n == 0) return;  // client closed
+    if (n < 0) {
+      // SO_RCVTIMEO tick (or injected stall): re-check stopping_ and wait on.
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    // Drain every complete frame in the buffer before the next recv.
+    for (;;) {
+      GatherRequest req;
+      size_t consumed = 0;
+      const FrameParse parse = ParseGatherRequest(buffer, &req, &consumed);
+      if (parse == FrameParse::kNeedMore) break;
+      if (parse == FrameParse::kBad) return;  // garbage stream: drop it
+      buffer.erase(0, consumed);
+      response.clear();
+      if (stopping_.load(std::memory_order_relaxed)) {
+        AppendGatherResponse(req.request_id, GatherStatus::kShuttingDown, 0,
+                             {}, &response);
+      } else {
+        HandleGather(req, &response);
+      }
+      if (!SendAll(fd, response, config_.fault)) return;
+    }
+  }
+}
+
+void ShardServer::HandleGather(const GatherRequest& req,
+                               std::string* out) const {
+  const bool user = req.table == EmbeddingTable::kUser;
+  const std::vector<float>& src = user ? slice_.user_rows : slice_.poi_rows;
+  const size_t total = user ? slice_.total_users : slice_.total_pois;
+  const size_t dim = slice_.dim;
+  std::vector<float> rows(req.ids.size() * dim);
+  for (size_t i = 0; i < req.ids.size(); ++i) {
+    const int64_t id = req.ids[i];
+    if (id < 0 || static_cast<size_t>(id) >= total ||
+        ShardOfId(id, slice_.num_shards) != slice_.shard_index) {
+      out->clear();
+      AppendGatherResponse(req.request_id, GatherStatus::kOutOfRange, 0, {},
+                           out);
+      return;
+    }
+    const size_t local = ShardLocalIndex(id, slice_.num_shards);
+    std::memcpy(rows.data() + i * dim, src.data() + local * dim,
+                dim * sizeof(float));
+  }
+  AppendGatherResponse(req.request_id, GatherStatus::kOk,
+                       static_cast<uint32_t>(dim), rows, out);
+  gathers_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sttr::serve

@@ -1,0 +1,111 @@
+#ifndef STTR_SERVE_SHARD_SERVER_H_
+#define STTR_SERVE_SHARD_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/shard_protocol.h"
+#include "util/mutex.h"
+#include "util/socket_fault.h"
+#include "util/status.h"
+
+namespace sttr {
+class StTransRec;
+}  // namespace sttr
+
+namespace sttr::serve {
+
+/// The rows one shard owns under modulo placement, densely packed:
+/// global id `g` (with g % num_shards == shard_index) lives at local row
+/// `g / num_shards`. Quotient indexing keeps the slice a flat array — the
+/// shard's gather loop is a bounds check and a memcpy per row.
+struct ShardSlice {
+  size_t shard_index = 0;
+  size_t num_shards = 1;
+  size_t dim = 0;
+  size_t total_users = 0;  // full-table row counts, for bounds checks
+  size_t total_pois = 0;
+  std::vector<float> user_rows;  // ShardRowCount(total_users, ...) * dim
+  std::vector<float> poi_rows;
+};
+
+/// Extracts shard `shard_index` of `num_shards` from a fitted model's
+/// embedding tables. The concatenation of all slices is a permutation of the
+/// full tables, so sharded gathers reassemble bit-identical rows.
+ShardSlice BuildShardSlice(const StTransRec& model, size_t shard_index,
+                           size_t num_shards);
+
+struct ShardServerConfig {
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  size_t num_workers = 2;
+  size_t backlog = 64;
+  /// Per-recv idle tick: workers wake this often to observe shutdown.
+  std::chrono::milliseconds recv_tick{50};
+  /// Optional server-side fault injection (torn/stalled responses).
+  FaultInjectionSocket* fault = nullptr;
+};
+
+/// One embedding shard behind the gather protocol: blocking accept loop
+/// feeding a small worker pool, one connection per worker at a time (the
+/// router holds few long-lived connections per shard, so event-loop
+/// machinery would buy nothing here). Runs in-process for tests and chaos
+/// soaks (Start/Shutdown at will — "kill a shard" is one method call) and
+/// inside tools/sttr_shard_server.cpp as the real multi-process backend.
+class ShardServer {
+ public:
+  ShardServer(ShardServerConfig config, ShardSlice slice);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds, listens, and spawns acceptor + workers. Not restartable after
+  /// Shutdown() — chaos tests construct a fresh instance on the same port.
+  Status Start();
+
+  /// Stops accepting, closes every connection (mid-frame included — clients
+  /// see a torn stream, exactly like a killed process), joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+  int port() const { return port_; }
+  const ShardSlice& slice() const { return slice_; }
+  uint64_t gathers_served() const {
+    return gathers_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until EOF, error, or shutdown.
+  void ServeConnection(int fd);
+  /// Builds the response frame for one decoded request.
+  void HandleGather(const GatherRequest& req, std::string* out) const;
+
+  const ShardServerConfig config_;
+  const ShardSlice slice_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  mutable std::atomic<uint64_t> gathers_served_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_ GUARDED_BY(mu_);      // accepted, not yet served
+  std::vector<int> in_flight_ GUARDED_BY(mu_);   // being served by a worker
+  bool started_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace sttr::serve
+
+#endif  // STTR_SERVE_SHARD_SERVER_H_

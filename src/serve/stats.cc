@@ -119,6 +119,10 @@ std::string ServeStats::ToJson(double uptime_seconds) const {
                                     static_cast<double>(n_batches));
   os << ", \"model_reloads\": "
      << model_reloads.load(std::memory_order_relaxed);
+  os << ", \"model_reload_failures\": "
+     << model_reload_failures.load(std::memory_order_relaxed);
+  os << ", \"last_reload_error\": \"" << JsonEscaped(LastReloadError())
+     << "\"";
   {
     const uint64_t precision =
         snapshot_precision.load(std::memory_order_relaxed);
@@ -129,6 +133,15 @@ std::string ServeStats::ToJson(double uptime_seconds) const {
        << snapshot_bytes.load(std::memory_order_relaxed)
        << ", \"precision\": \"" << name << "\"}";
   }
+  os << ", \"store\": {\"gathers\": "
+     << shard_gathers.load(std::memory_order_relaxed)
+     << ", \"shard_errors\": " << shard_errors.load(std::memory_order_relaxed)
+     << ", \"shard_retries\": "
+     << shard_retries.load(std::memory_order_relaxed)
+     << ", \"degraded_requests\": "
+     << degraded_requests.load(std::memory_order_relaxed)
+     << ", \"shards_down\": " << shards_down.load(std::memory_order_relaxed)
+     << "}";
   os << ", \"rejected_connections\": "
      << rejected_connections.load(std::memory_order_relaxed);
   os << ", \"rejected_requests\": "

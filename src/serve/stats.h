@@ -5,6 +5,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "util/mutex.h"
 
 namespace sttr::serve {
 
@@ -67,6 +70,10 @@ struct ServeStats {
   std::atomic<uint64_t> batched_requests{0};  ///< requests inside flushes
   std::atomic<uint64_t> scored_pairs{0};      ///< (user, poi) pairs scored
   std::atomic<uint64_t> model_reloads{0};
+  /// Reload attempts that found a newer checkpoint but failed to load it
+  /// (the old snapshot keeps serving). The failure *reason* is kept in the
+  /// guarded last_reload_error below.
+  std::atomic<uint64_t> model_reload_failures{0};
   /// Gauges describing the current snapshot, refreshed by the /statz
   /// handlers: approximate resident parameter bytes and the serving
   /// precision (0 = no model, else serve::Precision — 1 fp32, 2 int8).
@@ -88,10 +95,33 @@ struct ServeStats {
   std::atomic<uint64_t> sys_epoll_waits{0};
   std::atomic<uint64_t> sys_accepts{0};
 
+  // Sharded embedding store (embedding_store.h / sharded_store.h).
+  std::atomic<uint64_t> shard_gathers{0};  ///< store Gather() calls
+  std::atomic<uint64_t> shard_errors{0};   ///< failed per-shard attempts
+  std::atomic<uint64_t> shard_retries{0};  ///< re-sent per-shard sub-gathers
+  std::atomic<uint64_t> degraded_requests{0};  ///< fallback-ranked responses
+  std::atomic<uint64_t> shards_down{0};        ///< gauge: tripped shards
+
   LatencyHistogram request_latency;  ///< full request handling, server side
+
+  /// Last reload failure message, "" when the most recent attempt succeeded.
+  /// A string cannot be a relaxed atomic, so this pair is Mutex-guarded —
+  /// reload and /statz are both off the request hot path.
+  void RecordReloadError(std::string_view msg) {
+    MutexLock lock(reload_error_mu_);
+    last_reload_error_.assign(msg);
+  }
+  std::string LastReloadError() const {
+    MutexLock lock(reload_error_mu_);
+    return last_reload_error_;
+  }
 
   /// /statz payload. `uptime_seconds` <= 0 omits the QPS estimate.
   std::string ToJson(double uptime_seconds) const;
+
+ private:
+  mutable Mutex reload_error_mu_;
+  std::string last_reload_error_ GUARDED_BY(reload_error_mu_);
 };
 
 }  // namespace sttr::serve

@@ -47,6 +47,10 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
 }
 
 StatusOr<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  // A read fault models a checkpoint that passed discovery but cannot be
+  // loaded (disk error, NFS hiccup, file rotated away mid-open) — the case
+  // the hot-reload failure-visibility soak drives.
+  if (ShouldFail(Op::kRead)) return Injected("read", path);
   return base_->ReadFile(path);
 }
 

@@ -19,8 +19,8 @@ namespace sttr {
 /// checkpoint writer runs on one thread even under ParallelTrainer).
 class FaultInjectionEnv : public Env {
  public:
-  enum class Op { kWrite = 0, kFsync, kRename, kRemove };
-  static constexpr size_t kNumOps = 4;
+  enum class Op { kWrite = 0, kFsync, kRename, kRemove, kRead };
+  static constexpr size_t kNumOps = 5;
 
   explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
 

@@ -1,0 +1,71 @@
+#include "util/socket_fault.h"
+
+namespace sttr {
+
+void FaultInjectionSocket::FailNth(Op op, size_t n, Mode mode) {
+  MutexLock lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  armed_[i] = true;
+  fail_at_[i] = counts_[i] + n;
+  nth_mode_[i] = mode;
+}
+
+void FaultInjectionSocket::FailAlways(Op op, Mode mode) {
+  MutexLock lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  always_[i] = true;
+  always_mode_[i] = mode;
+}
+
+void FaultInjectionSocket::Clear(Op op) {
+  MutexLock lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  armed_[i] = false;
+  always_[i] = false;
+}
+
+void FaultInjectionSocket::Reset() {
+  MutexLock lock(mu_);
+  counts_.fill(0);
+  armed_.fill(false);
+  fail_at_.fill(0);
+  always_.fill(false);
+  faults_triggered_ = 0;
+}
+
+void FaultInjectionSocket::set_stall(std::chrono::milliseconds stall) {
+  MutexLock lock(mu_);
+  stall_ = stall;
+}
+
+size_t FaultInjectionSocket::op_count(Op op) const {
+  MutexLock lock(mu_);
+  return counts_[static_cast<size_t>(op)];
+}
+
+size_t FaultInjectionSocket::faults_triggered() const {
+  MutexLock lock(mu_);
+  return faults_triggered_;
+}
+
+FaultInjectionSocket::Decision FaultInjectionSocket::Apply(Op op) {
+  MutexLock lock(mu_);
+  const size_t i = static_cast<size_t>(op);
+  const size_t index = counts_[i]++;
+  Decision decision;
+  if (armed_[i] && index == fail_at_[i]) {
+    armed_[i] = false;  // one-shot
+    decision.fire = true;
+    decision.mode = nth_mode_[i];
+  } else if (always_[i]) {
+    decision.fire = true;
+    decision.mode = always_mode_[i];
+  }
+  if (decision.fire) {
+    ++faults_triggered_;
+    decision.stall = stall_;
+  }
+  return decision;
+}
+
+}  // namespace sttr

@@ -1,0 +1,90 @@
+#include "util/socket_io.h"
+
+#include <cerrno>
+
+#include <algorithm>
+#include <thread>
+
+namespace sttr::net {
+
+namespace {
+
+using Decision = FaultInjectionSocket::Decision;
+using Mode = FaultInjectionSocket::Mode;
+using Op = FaultInjectionSocket::Op;
+
+/// Applies a stall decision: sleep, then present EAGAIN — the nonblocking
+/// caller's poll/deadline machinery takes it from there.
+void Stall(const Decision& d) {
+  std::this_thread::sleep_for(d.stall);
+  errno = EAGAIN;
+}
+
+}  // namespace
+
+ssize_t Send(int fd, const void* buf, size_t len, int flags,
+             FaultInjectionSocket* fault) {
+  if (fault != nullptr) {
+    const Decision d = fault->Apply(Op::kSend);
+    if (d.fire) {
+      switch (d.mode) {
+        case Mode::kFail:
+        case Mode::kEof:
+          errno = EPIPE;
+          return -1;
+        case Mode::kShort:
+          len = std::max<size_t>(1, len / 2);
+          break;
+        case Mode::kStall:
+          Stall(d);
+          return -1;
+      }
+    }
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t Recv(int fd, void* buf, size_t len, int flags,
+             FaultInjectionSocket* fault) {
+  if (fault != nullptr) {
+    const Decision d = fault->Apply(Op::kRecv);
+    if (d.fire) {
+      switch (d.mode) {
+        case Mode::kFail:
+          errno = ECONNRESET;
+          return -1;
+        case Mode::kEof:
+          return 0;
+        case Mode::kShort:
+          len = std::max<size_t>(1, len / 2);
+          break;
+        case Mode::kStall:
+          Stall(d);
+          return -1;
+      }
+    }
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+int Connect(int fd, const sockaddr* addr, socklen_t addr_len,
+            FaultInjectionSocket* fault) {
+  if (fault != nullptr) {
+    const Decision d = fault->Apply(Op::kConnect);
+    if (d.fire) {
+      switch (d.mode) {
+        case Mode::kFail:
+        case Mode::kShort:
+        case Mode::kEof:
+          errno = ECONNREFUSED;
+          return -1;
+        case Mode::kStall:
+          Stall(d);
+          return -1;
+      }
+    }
+  }
+  return ::connect(fd, addr, addr_len);
+}
+
+}  // namespace sttr::net

@@ -29,6 +29,10 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters become \", \\, \n/\t/... or \u00XX.
+std::string JsonEscaped(std::string_view s);
+
 }  // namespace sttr
 
 #endif  // STTR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,12 @@
+// lint-fixture-as: src/util/socket_io.cc
+//
+// The one place a bare socket syscall belongs: the wrapper itself. Linted
+// under the home path, the same calls that trip raw-socket everywhere else
+// must stay clean here (no expect-violation lines).
+#include <sys/socket.h>
+
+long WrapperBody(int fd, char* buf, unsigned long len) {
+  long n = ::recv(fd, buf, len, 0);
+  if (n > 0) n = ::send(fd, buf, static_cast<unsigned long>(n), 0);
+  return n;
+}

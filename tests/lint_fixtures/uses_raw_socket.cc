@@ -1,0 +1,26 @@
+// lint-fixture-as: src/serve/uses_raw_socket.cc
+// expect-violation: raw-socket
+//
+// Raw socket syscalls outside src/util/socket_io.* bypass the
+// FaultInjectionSocket seam, so the chaos suites can never exercise their
+// failure paths. The legal spellings below must NOT fire: the wrapper
+// calls, a member named send, and a commented-out ::recv.
+#include <sys/socket.h>
+
+#include "util/socket_io.h"
+
+struct Peer {
+  int fd = -1;
+  long send(const char* buf, unsigned long len);  // member, not a syscall
+};
+
+long Legal(Peer& peer, const char* buf, unsigned long len) {
+  // ::recv(peer.fd, nullptr, 0, 0);  (commented out: stripper blanks it)
+  long n = peer.send(buf, len);
+  n += sttr::net::Send(peer.fd, buf, len, 0, nullptr);
+  return n;
+}
+
+long Illegal(int fd, const char* buf, unsigned long len) {
+  return ::send(fd, buf, len, 0);
+}

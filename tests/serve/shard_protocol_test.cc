@@ -1,0 +1,194 @@
+// Gather wire protocol: append/parse roundtrips, incremental parsing (every
+// prefix of a valid frame is kNeedMore, never kBad), corruption detection
+// (bad magic, inconsistent lengths, oversized counts are kBad — the signal
+// the router uses to tear down a connection), and the modulo placement
+// helpers whose bijectivity is what makes sharded gathers a permutation of
+// the full tables.
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/shard_protocol.h"
+
+namespace sttr::serve {
+namespace {
+
+GatherRequest MakeRequest() {
+  GatherRequest req;
+  req.request_id = 0x0123456789abcdefULL;
+  req.table = EmbeddingTable::kPoi;
+  req.deadline_ms = 37;
+  req.ids = {5, 0, 12, 7, 12};
+  return req;
+}
+
+TEST(ShardProtocolTest, RequestRoundtrip) {
+  std::string wire;
+  AppendGatherRequest(MakeRequest(), &wire);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 20 + 5 * sizeof(int64_t));
+
+  GatherRequest decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseGatherRequest(wire, &decoded, &consumed),
+            FrameParse::kComplete);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(decoded.request_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(decoded.table, EmbeddingTable::kPoi);
+  EXPECT_EQ(decoded.deadline_ms, 37u);
+  EXPECT_EQ(decoded.ids, MakeRequest().ids);
+}
+
+TEST(ShardProtocolTest, ResponseRoundtrip) {
+  const std::vector<float> rows = {1.5f, -2.25f, 0.0f, 3.0f, -0.5f, 8.0f};
+  std::string wire;
+  AppendGatherResponse(42, GatherStatus::kOk, /*dim=*/3, rows, &wire);
+
+  GatherResponse decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseGatherResponse(wire, &decoded, &consumed),
+            FrameParse::kComplete);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.status, GatherStatus::kOk);
+  EXPECT_EQ(decoded.dim, 3u);
+  EXPECT_EQ(decoded.count, 2u);
+  ASSERT_EQ(decoded.rows.size(), rows.size());
+  // Bit-exact, not approximately-equal: the whole point of the protocol.
+  EXPECT_EQ(std::memcmp(decoded.rows.data(), rows.data(),
+                        rows.size() * sizeof(float)),
+            0);
+}
+
+TEST(ShardProtocolTest, ErrorResponseCarriesNoRows) {
+  std::string wire;
+  AppendGatherResponse(7, GatherStatus::kShuttingDown, 0, {}, &wire);
+  GatherResponse decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseGatherResponse(wire, &decoded, &consumed),
+            FrameParse::kComplete);
+  EXPECT_EQ(decoded.status, GatherStatus::kShuttingDown);
+  EXPECT_TRUE(decoded.rows.empty());
+}
+
+// A killed shard tears the stream at an arbitrary byte. Every proper prefix
+// must parse as "incomplete", never as "garbage" and never as a bogus
+// complete frame — this is what lets the router classify the tear as a
+// transient connection error.
+TEST(ShardProtocolTest, EveryPrefixIsNeedMore) {
+  std::string wire;
+  AppendGatherRequest(MakeRequest(), &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    GatherRequest decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherRequest(wire.substr(0, len), &decoded, &consumed),
+              FrameParse::kNeedMore)
+        << "prefix length " << len;
+  }
+  std::string resp;
+  const std::vector<float> resp_rows = {1.0f, 2.0f};
+  AppendGatherResponse(1, GatherStatus::kOk, 2, resp_rows, &resp);
+  for (size_t len = 0; len < resp.size(); ++len) {
+    GatherResponse decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherResponse(resp.substr(0, len), &decoded, &consumed),
+              FrameParse::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ShardProtocolTest, CorruptionIsBadNotNeedMore) {
+  std::string wire;
+  AppendGatherRequest(MakeRequest(), &wire);
+
+  {  // Wrong magic: not this protocol at all.
+    std::string bad = wire;
+    bad[0] = static_cast<char>(bad[0] ^ 0x01);
+    GatherRequest decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherRequest(bad, &decoded, &consumed), FrameParse::kBad);
+  }
+  {  // Response magic on the request parser: streams must not cross.
+    std::string resp;
+    const std::vector<float> one_row = {1.0f};
+    AppendGatherResponse(1, GatherStatus::kOk, 1, one_row, &resp);
+    GatherRequest decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherRequest(resp, &decoded, &consumed),
+              FrameParse::kBad);
+  }
+  {  // payload_len inconsistent with the id count: corrupt length prefix.
+    std::string bad = wire;
+    uint32_t count = 0;
+    std::memcpy(&count, bad.data() + kFrameHeaderBytes + 16, sizeof(count));
+    count += 1;
+    std::memcpy(bad.data() + kFrameHeaderBytes + 16, &count, sizeof(count));
+    GatherRequest decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherRequest(bad, &decoded, &consumed), FrameParse::kBad);
+  }
+  {  // A length prefix demanding a giant allocation is rejected up front.
+    std::string bad = wire.substr(0, kFrameHeaderBytes);
+    const uint32_t huge = static_cast<uint32_t>(kMaxFramePayloadBytes + 1);
+    std::memcpy(bad.data() + 4, &huge, sizeof(huge));
+    GatherRequest decoded;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseGatherRequest(bad, &decoded, &consumed), FrameParse::kBad);
+  }
+}
+
+TEST(ShardProtocolTest, BackToBackFramesConsumeOneAtATime) {
+  GatherRequest first = MakeRequest();
+  GatherRequest second;
+  second.request_id = 99;
+  second.table = EmbeddingTable::kUser;
+  second.ids = {1};
+  std::string wire;
+  AppendGatherRequest(first, &wire);
+  const size_t first_size = wire.size();
+  AppendGatherRequest(second, &wire);
+
+  GatherRequest decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseGatherRequest(wire, &decoded, &consumed),
+            FrameParse::kComplete);
+  EXPECT_EQ(consumed, first_size);
+  EXPECT_EQ(decoded.request_id, first.request_id);
+
+  std::string_view rest(wire);
+  rest.remove_prefix(consumed);
+  ASSERT_EQ(ParseGatherRequest(rest, &decoded, &consumed),
+            FrameParse::kComplete);
+  EXPECT_EQ(decoded.request_id, 99u);
+  EXPECT_EQ(consumed, rest.size());
+}
+
+// Modulo placement must tile every table exactly: each global id owned by
+// one shard, local indices dense in [0, ShardRowCount), row counts summing
+// to the table size — the invariants BuildShardSlice and the shard server's
+// bounds checks both lean on.
+TEST(ShardProtocolTest, ModuloPlacementIsABijection) {
+  for (size_t num_shards : {1u, 2u, 3u, 7u}) {
+    for (size_t total : {0u, 1u, 5u, 64u, 65u}) {
+      size_t covered = 0;
+      for (size_t shard = 0; shard < num_shards; ++shard) {
+        const size_t rows = ShardRowCount(total, shard, num_shards);
+        covered += rows;
+        for (size_t local = 0; local < rows; ++local) {
+          const int64_t global =
+              static_cast<int64_t>(local * num_shards + shard);
+          ASSERT_LT(static_cast<size_t>(global), total);
+          EXPECT_EQ(ShardOfId(global, num_shards), shard);
+          EXPECT_EQ(ShardLocalIndex(global, num_shards), local);
+        }
+      }
+      EXPECT_EQ(covered, total) << total << " rows over " << num_shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sttr::serve

@@ -4,9 +4,12 @@
 # and runs the concurrency-heavy tier-1 tests (thread pool, parallel trainer,
 # sparse all-reduce, and the serving subsystem: score batcher, result cache,
 # checkpoint hot-reload under concurrent scoring, HTTP server, epoll event
-# loop, and the blocking/epoll equivalence suite). zero_alloc_test is
-# deliberately absent: TSan's interceptors allocate on the hot path, so its
-# zero-allocation assertions only hold in uninstrumented builds.
+# loop, the blocking/epoll equivalence suite, and the sharded embedding
+# store: router fan-out with retries and circuit breakers, shard servers
+# being killed and restarted under concurrent load, and reloads racing
+# injected checkpoint-read faults). zero_alloc_test is deliberately absent:
+# TSan's interceptors allocate on the hot path, so its zero-allocation
+# assertions only hold in uninstrumented builds.
 # Usage: tools/run_tsan.sh [build-dir] (default: build-tsan).
 set -euo pipefail
 
@@ -19,10 +22,11 @@ cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_trainer_test sparse_allreduce_test \
            checkpoint_race_test batcher_test result_cache_test \
            model_bundle_test server_test shutdown_race_test \
-           event_loop_test server_equivalence_test precision_reload_test
+           event_loop_test server_equivalence_test precision_reload_test \
+           sharded_store_test store_server_test reload_fault_test
 
 # TSan findings abort the run; halt_on_error keeps the first report readable.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence|PrecisionReload)'
+  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence|PrecisionReload|ShardedStore|ShardChaos|StoreServer|ReloadFault)'
 echo "TSan run clean."

@@ -21,6 +21,11 @@ Four invariants, each load-bearing for the reproduction's contract
   no-analysis-escape  NO_THREAD_SAFETY_ANALYSIS is forbidden in src/serve/
                       and requires a one-line justification comment
                       everywhere else in src/.
+  raw-socket          ::connect / ::send / ::recv may appear only inside
+                      src/util/socket_io.* (sttr::net::{Connect,Send,Recv}).
+                      A raw call anywhere else bypasses the fault-injection
+                      seam the chaos suites rely on, so the fault paths it
+                      takes are exactly the ones that never get tested.
 
 Runs as a tier-1 ctest (sttr_lint) plus a fixture-driven self-test
 (sttr_lint_selftest); see tools/README.md.
@@ -37,6 +42,8 @@ RULES = {
     "tier1-label": "test file not registered with the tier1 ctest label",
     "no-analysis-escape":
         "NO_THREAD_SAFETY_ANALYSIS in src/serve/ or without justification",
+    "raw-socket":
+        "raw ::connect/::send/::recv outside src/util/socket_io.*",
 }
 
 # Randomness sources that bypass sttr::Rng. \b guards keep identifiers like
@@ -58,12 +65,19 @@ RAW_MUTEX = re.compile(
 # quoted path); the ^ anchor keeps commented-out includes from firing.
 TEST_INCLUDE = re.compile(r'^\s*#\s*include\s*[<"](?:\.\./)*tests/')
 
+# Globally-qualified socket syscalls that would bypass sttr::net's
+# fault-injection seam. Requiring the leading :: is deliberate: net::Send /
+# any_object.send(...) stay legal, and the wrappers themselves are the only
+# place a bare ::send belongs.
+RAW_SOCKET = re.compile(r"(?<![\w:])::(?:connect|send|recv)\s*\(")
+
 ESCAPE_MACRO = "NO_THREAD_SAFETY_ANALYSIS"
 
 # Files whose existence defines the allowed homes of the banned constructs.
 RNG_HOME = ("src/util/rng.h", "src/util/rng.cc")
 MUTEX_HOME = ("src/util/mutex.h",)
 ANNOTATIONS_HOME = ("src/util/thread_annotations.h",)
+SOCKET_HOME = ("src/util/socket_io.h", "src/util/socket_io.cc")
 
 FIXTURE_DIR = "tests/lint_fixtures"
 
@@ -204,6 +218,9 @@ def lint_source_file(rel_path, source):
         if TEST_INCLUDE.search(raw[lineno - 1]):
             violations.append(
                 Violation("test-include", rel_path, lineno, raw[lineno - 1]))
+        if rel_path not in SOCKET_HOME and RAW_SOCKET.search(line):
+            violations.append(
+                Violation("raw-socket", rel_path, lineno, raw[lineno - 1]))
 
     if rel_path not in ANNOTATIONS_HOME:
         for lineno, line in enumerate(stripped, start=1):

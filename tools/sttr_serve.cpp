@@ -29,9 +29,12 @@
 #include "serve/model_bundle.h"
 #include "serve/result_cache.h"
 #include "serve/server.h"
+#include "serve/shard_server.h"
+#include "serve/sharded_store.h"
 #include "serve/stats.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace sttr {
 namespace {
@@ -78,6 +81,15 @@ void DefineFlags(FlagParser& flags) {
   flags.Define("quant_dir",
                "quantized-artifact directory for --precision=int8|auto "
                "(default: <ckpt_dir>/quant)");
+  flags.Define("shards",
+               "serve embeddings from N hash shards spawned in-process "
+               "(0 = direct in-process tables; fp32 only)", "0");
+  flags.Define("shard_ports",
+               "comma-separated loopback ports of external sttr_shard_server "
+               "processes (alternative to --shards; fp32 only)");
+  flags.Define("store_deadline_ms",
+               "per-request embedding gather budget before the request "
+               "degrades to the popularity fallback", "50");
 }
 
 int Main(int argc, char** argv) {
@@ -137,6 +149,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   bundle_cfg.quant_checkpoint_dir = flags.GetString("quant_dir", "");
+  bundle_cfg.stats = &stats;
   serve::ModelBundle bundle(ws.world.dataset, ws.split, bundle_cfg);
 
   const Status loaded = bundle.LoadInitial();
@@ -145,6 +158,62 @@ int Main(int argc, char** argv) {
                  "(generate one with --train)\n",
                  ckpt_dir.c_str(), loaded.ToString().c_str());
     return 1;
+  }
+
+  // Optional sharded embedding store: either N shard servers spawned
+  // in-process (--shards, the one-command demo) or external
+  // sttr_shard_server processes (--shard_ports). Either way /recommend
+  // gathers rows over the gather protocol with deadline/retry/degradation
+  // semantics — the production topology, runnable on one machine.
+  std::vector<std::unique_ptr<serve::ShardServer>> shard_servers;
+  std::unique_ptr<serve::ShardedEmbeddingStore> store;
+  {
+    const size_t n_shards =
+        static_cast<size_t>(flags.GetInt("shards", 0));
+    const std::string shard_ports_flag = flags.GetString("shard_ports", "");
+    std::vector<int> shard_ports;
+    if (n_shards > 0 && !shard_ports_flag.empty()) {
+      std::fprintf(stderr,
+                   "--shards and --shard_ports are mutually exclusive\n");
+      return 2;
+    }
+    if (n_shards > 0 || !shard_ports_flag.empty()) {
+      const std::shared_ptr<const serve::ModelSnapshot> snapshot =
+          bundle.snapshot();
+      if (snapshot->model == nullptr) {
+        std::fprintf(stderr,
+                     "sharded embedding store requires an fp32 snapshot "
+                     "(--precision=fp32)\n");
+        return 2;
+      }
+      if (n_shards > 0) {
+        for (size_t i = 0; i < n_shards; ++i) {
+          auto server = std::make_unique<serve::ShardServer>(
+              serve::ShardServerConfig{},
+              serve::BuildShardSlice(*snapshot->model, i, n_shards));
+          STTR_CHECK_OK(server->Start());
+          shard_ports.push_back(server->port());
+          shard_servers.push_back(std::move(server));
+        }
+      } else {
+        for (const std::string& part : Split(shard_ports_flag, ',')) {
+          shard_ports.push_back(std::atoi(part.c_str()));
+        }
+      }
+      serve::ShardedStoreOptions store_opts;
+      store_opts.shard_ports = shard_ports;
+      store_opts.default_deadline =
+          std::chrono::milliseconds(flags.GetInt("store_deadline_ms", 50));
+      store_opts.stats = &stats;
+      const Tensor& users = snapshot->model->UserEmbeddingTable();
+      const Tensor& pois = snapshot->model->PoiEmbeddingTable();
+      store = std::make_unique<serve::ShardedEmbeddingStore>(
+          store_opts, users.cols(), users.rows(), pois.rows());
+      STTR_LOG(Info) << "embedding store: " << shard_ports.size()
+                     << " hash shards"
+                     << (shard_servers.empty() ? " (external)"
+                                               : " (in-process)");
+    }
   }
 
   serve::CandidateIndexConfig index_cfg;
@@ -204,8 +273,11 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("io_threads", 1));
   server_cfg.default_city = ws.split.target_city;
   server_cfg.enable_cache = cache != nullptr;
+  server_cfg.store_deadline =
+      std::chrono::milliseconds(flags.GetInt("store_deadline_ms", 50));
   serve::RecommendServer server(server_cfg, ws.world.dataset, &bundle,
-                                &index, batcher.get(), cache.get(), &stats);
+                                &index, batcher.get(), cache.get(), &stats,
+                                store.get());
   STTR_CHECK_OK(server.Start());
   bundle.StartWatcher();
 
@@ -220,6 +292,7 @@ int Main(int argc, char** argv) {
   STTR_LOG(Info) << "shutting down";
   bundle.StopWatcher();
   server.Shutdown();
+  for (const auto& shard : shard_servers) shard->Shutdown();
   if (batcher != nullptr) batcher->Stop();
   return 0;
 }
