@@ -36,9 +36,14 @@ bool ReadBytes(std::string_view& in, size_t n, std::string_view* v);
 //     optimizer/RNG state). Bumped so a pre-quantization reader rejects
 //     them cleanly ("unsupported format version 2") instead of
 //     misinterpreting sections it has never heard of.
+// v3: delta checkpoints (core/delta.h): row-level embedding updates against
+//     a named v1 base, published by the streaming ingest trainer. Same
+//     bump rationale — a pre-streaming reader refuses them instead of
+//     mistaking the row sections for a full model.
 inline constexpr uint32_t kCheckpointFormatVersion = 1;
 inline constexpr uint32_t kQuantCheckpointFormatVersion = 2;
-inline constexpr uint32_t kMaxSupportedCheckpointVersion = 2;
+inline constexpr uint32_t kDeltaCheckpointFormatVersion = 3;
+inline constexpr uint32_t kMaxSupportedCheckpointVersion = 3;
 
 /// One named blob inside a checkpoint file.
 struct CheckpointSection {

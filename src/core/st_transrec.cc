@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "autograd/ops.h"
 #include "core/checkpoint.h"
+#include "core/delta.h"
 #include "core/parallel_trainer.h"
 #include "geo/grid.h"
 #include "geo/region_segmentation.h"
@@ -542,6 +544,11 @@ const Tensor& StTransRec::PoiEmbeddingTable() const {
   return poi_emb_->table().value();
 }
 
+const Tensor& StTransRec::WordEmbeddingTable() const {
+  STTR_CHECK(fitted_) << "WordEmbeddingTable() before Fit()";
+  return word_emb_->table().value();
+}
+
 std::vector<float> StTransRec::PoiEmbedding(PoiId poi) const {
   STTR_CHECK(fitted_);
   const Tensor& table = poi_emb_->table().value();
@@ -568,6 +575,61 @@ Status StTransRec::Load(std::istream& in) {
   // All-or-nothing: a truncated stream or shape mismatch partway through
   // must not leave earlier parameters already replaced.
   STTR_RETURN_IF_ERROR(nn::LoadParametersAtomic(in, Parameters()));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status StTransRec::ApplyDelta(const DeltaCheckpoint& delta) {
+  if (user_emb_ == nullptr) {
+    return Status::FailedPrecondition("ApplyDelta() before Prepare()");
+  }
+  if (delta.config_fingerprint != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "ApplyDelta: delta was produced under a different config/dataset "
+        "(delta '" +
+        delta.config_fingerprint + "' vs model '" + ConfigFingerprint() +
+        "')");
+  }
+  std::vector<ag::Variable> params = Parameters();
+  const EmbeddingRowDelta* tables[3] = {&delta.user, &delta.poi, &delta.word};
+  const char* names[3] = {"user", "poi", "word"};
+  // Validate every table up front: a bad delta must not leave the model
+  // half-patched.
+  for (size_t t = 0; t < 3; ++t) {
+    const EmbeddingRowDelta& d = *tables[t];
+    if (d.num_rows() == 0) continue;
+    const Tensor& table = params[t].value();
+    if (d.dim != table.cols()) {
+      return Status::InvalidArgument(
+          "ApplyDelta: " + std::string(names[t]) + " row dim " +
+          std::to_string(d.dim) + " does not match table dim " +
+          std::to_string(table.cols()));
+    }
+    for (int64_t row : d.rows) {
+      if (row < 0 || static_cast<size_t>(row) >= table.rows()) {
+        return Status::InvalidArgument(
+            "ApplyDelta: " + std::string(names[t]) + " row " +
+            std::to_string(row) + " out of range [0, " +
+            std::to_string(table.rows()) + ")");
+      }
+    }
+  }
+  if (!delta.dense_params.empty()) {
+    // Dense refresh first — LoadParametersAtomic already guarantees
+    // all-or-nothing, so a truncated dense blob fails before any embedding
+    // row has been touched.
+    std::istringstream in(delta.dense_params);
+    STTR_RETURN_IF_ERROR(nn::LoadParametersAtomic(in, mlp_->Parameters()));
+  }
+  for (size_t t = 0; t < 3; ++t) {
+    const EmbeddingRowDelta& d = *tables[t];
+    if (d.num_rows() == 0) continue;
+    Tensor& table = params[t].mutable_value();
+    for (size_t i = 0; i < d.num_rows(); ++i) {
+      std::memcpy(table.row(static_cast<size_t>(d.rows[i])), d.row_values(i),
+                  d.dim * sizeof(float));
+    }
+  }
   fitted_ = true;
   return Status::OK();
 }

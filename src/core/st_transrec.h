@@ -17,6 +17,8 @@
 
 namespace sttr {
 
+struct DeltaCheckpoint;
+
 /// STTR_TRAIN_WORKERS when set to a positive integer, else 1. The default
 /// number of data-parallel training workers (StTransRecConfig below).
 size_t DefaultTrainWorkers();
@@ -195,6 +197,9 @@ class StTransRec : public Recommender {
   /// EmbeddingStore serves views of these and the shard servers slice them.
   const Tensor& UserEmbeddingTable() const;
   const Tensor& PoiEmbeddingTable() const;
+  /// The word table is the transfer bridge (Eq. 4); cold-start serving
+  /// scores unseen (user, city) pairs through it.
+  const Tensor& WordEmbeddingTable() const;
 
   std::string name() const override;
 
@@ -253,6 +258,15 @@ class StTransRec : public Recommender {
   /// Restores parameters written by Save() into a model that has been
   /// Prepare()d with the same config and dataset; marks the model fitted.
   Status Load(std::istream& in);
+
+  /// Patches embedding rows in place from a streaming delta checkpoint
+  /// (core/delta.h). Requires Prepare() with the same config and dataset as
+  /// the delta's producer (verified via the stored config fingerprint); row
+  /// indices are bounds-checked against the table shapes. Because deltas
+  /// are cumulative against their base, applying a newer delta on top of an
+  /// older one yields exactly base + newer. A delta carrying a dense-param
+  /// refresh also restores the MLP tower from it. Marks the model fitted.
+  Status ApplyDelta(const DeltaCheckpoint& delta);
 
   /// Canonical string of every config field that affects training plus the
   /// id-space sizes of the prepared dataset. Stored in each checkpoint and

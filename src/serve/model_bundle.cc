@@ -1,9 +1,14 @@
 #include "serve/model_bundle.h"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "core/delta.h"
+#include "serve/result_cache.h"
 #include "util/logging.h"
 
 namespace sttr::serve {
@@ -38,6 +43,30 @@ const char* PrecisionName(Precision p) {
       return "int8";
   }
   return "unknown";
+}
+
+void InvalidateForDelta(const Dataset& dataset, const DeltaCheckpoint& delta,
+                        ResultCache& cache) {
+  if (!delta.dense_params.empty()) {
+    // A dense-layer refresh changes every score; row-level targeting is
+    // unsound here, so fall back to the wholesale flush.
+    cache.InvalidateAll();
+    return;
+  }
+  // User rows kill that user's entries in every city; POI rows kill every
+  // user's entries in the POI's city (any cached ranking there may contain
+  // it). Word rows need nothing: cached /recommend scores never read the
+  // word table — it feeds training and the uncached cold-start path only.
+  std::vector<CityId> cities;
+  cities.reserve(delta.poi.rows.size());
+  for (int64_t row : delta.poi.rows) {
+    if (row >= 0 && row < static_cast<int64_t>(dataset.num_pois())) {
+      cities.push_back(dataset.poi(static_cast<PoiId>(row)).city);
+    }
+  }
+  std::sort(cities.begin(), cities.end());
+  cities.erase(std::unique(cities.begin(), cities.end()), cities.end());
+  cache.InvalidateRows(delta.user.rows, cities);
 }
 
 ModelBundle::ModelBundle(const Dataset& dataset, const CrossCitySplit& split,
@@ -136,6 +165,11 @@ StatusOr<std::shared_ptr<ModelSnapshot>> ModelBundle::LoadSnapshot(
     snapshot->model = model;
     snapshot->scorer = std::move(model);
     snapshot->precision = Precision::kFp32;
+    // The delta path refuses to patch any base whose model bytes don't
+    // carry this exact checksum.
+    for (const CheckpointSection& s : reader->sections()) {
+      if (s.name == "model") snapshot->model_crc = s.crc;
+    }
   }
   snapshot->checkpoint_path = path;
   StatusOr<std::string> meta = reader->Section("meta");
@@ -189,6 +223,177 @@ StatusOr<bool> ModelBundle::ReloadIfNewer() {
   }
   Swap(std::move(*snapshot));
   return true;
+}
+
+StatusOr<std::shared_ptr<StTransRec>> ModelBundle::LoadFp32Base(
+    const std::string& path, uint32_t* model_crc) const {
+  auto model = std::make_shared<StTransRec>(
+      ServingConfig(config_.model, config_.env));
+  STTR_RETURN_IF_ERROR(model->Prepare(dataset_, split_));
+
+  StatusOr<CheckpointReader> reader = CheckpointReader::Open(env(), path);
+  if (!reader.ok()) return reader.status();
+  if (reader->version() != kCheckpointFormatVersion) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " is not an fp32 training checkpoint; only "
+        "those can host streaming deltas");
+  }
+  StatusOr<std::string> fingerprint = reader->Section("config");
+  if (!fingerprint.ok()) return fingerprint.status();
+  if (*fingerprint != model->ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " was written under a different config or "
+        "dataset than this bundle serves");
+  }
+  StatusOr<std::string> params = reader->Section("model");
+  if (!params.ok()) return params.status();
+  {
+    std::istringstream in(*params, std::ios::binary);
+    STTR_RETURN_IF_ERROR(model->Load(in));
+  }
+  if (model_crc != nullptr) {
+    for (const CheckpointSection& s : reader->sections()) {
+      if (s.name == "model") *model_crc = s.crc;
+    }
+  }
+  return model;
+}
+
+StatusOr<bool> ModelBundle::ApplyDeltaIfNewer() {
+  if (config_.delta_dir.empty()) return false;
+  std::shared_ptr<const ModelSnapshot> cur = snapshot();
+  if (cur == nullptr) {
+    return Status::FailedPrecondition("ApplyDeltaIfNewer() before LoadInitial()");
+  }
+  // Deltas patch fp32 parameters in place; a quantized snapshot waits for
+  // the offline pipeline to republish a full artifact instead.
+  if (cur->precision != Precision::kFp32) return false;
+
+  StatusOr<std::string> path = FindLatestValidDelta(env(), config_.delta_dir);
+  if (!path.ok()) return path.status();  // NotFound = trainer idle so far
+
+  MutexLock lock(delta_mu_);
+  if (*path == applied_delta_path_ && delta_base_path_ == cur->checkpoint_path) {
+    return false;  // fast path: nothing new since the last poll
+  }
+
+  StatusOr<DeltaCheckpoint> delta = ReadDeltaCheckpoint(env(), *path);
+  if (!delta.ok()) return delta.status();
+  if (delta->base_epoch != cur->epoch || delta->base_model_crc != cur->model_crc) {
+    // The trainer is publishing against a different base than the one being
+    // served — typical right after a full reload, before the trainer
+    // re-anchors. Not an error; ignored until provenance lines up.
+    STTR_LOG(Debug) << "model bundle: delta " << *path << " targets base epoch "
+                    << delta->base_epoch << " crc " << delta->base_model_crc
+                    << ", serving epoch " << cur->epoch << " crc "
+                    << cur->model_crc << "; skipping";
+    return false;
+  }
+
+  if (delta_base_path_ != cur->checkpoint_path) {
+    // New base since the buffers were last stocked (or first delta ever):
+    // load two fresh fp32 instances from it. The active one is published
+    // below; its twin becomes the standby the next delta patches.
+    for (size_t i = 0; i < 2; ++i) {
+      StatusOr<std::shared_ptr<StTransRec>> inst =
+          LoadFp32Base(cur->checkpoint_path, nullptr);
+      if (!inst.ok()) return inst.status();
+      delta_instances_[i] = *std::move(inst);
+    }
+    delta_standby_ = 0;
+    delta_base_path_ = cur->checkpoint_path;
+    applied_delta_seq_ = 0;
+    applied_delta_path_.clear();
+  } else if (delta->seq <= applied_delta_seq_) {
+    return false;  // rotation republished an already-applied sequence
+  }
+
+  // The standby is safe to mutate only once no in-flight request still
+  // scores against it: our array slot must hold the last reference. Bounded
+  // wait; on timeout the patch is simply retried next poll.
+  std::shared_ptr<StTransRec>& standby = delta_instances_[delta_standby_];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (standby.use_count() > 1) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      STTR_LOG(Debug) << "model bundle: standby model still referenced; "
+                         "deferring delta " << *path;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Status applied = standby->ApplyDelta(*delta);
+  if (!applied.ok()) {
+    if (config_.stats != nullptr) {
+      config_.stats->delta_apply_failures.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+    STTR_LOG(Warning) << "model bundle: delta " << *path
+                      << " failed to apply: " << applied.ToString();
+    return applied;
+  }
+
+  auto next = std::make_shared<ModelSnapshot>();
+  next->scorer = standby;
+  next->model = standby;
+  next->precision = Precision::kFp32;
+  next->resident_bytes = cur->resident_bytes;
+  // Base provenance is inherited unchanged: the snapshot still serves the
+  // same checkpoint (so the full-reload watcher stays quiet), merely
+  // patched up to delta_seq.
+  next->checkpoint_path = cur->checkpoint_path;
+  next->epoch = cur->epoch;
+  next->model_crc = cur->model_crc;
+  next->delta_seq = delta->seq;
+  next->delta_path = *path;
+  SwapDelta(std::move(next), *delta);
+
+  // The previously active instance becomes the standby; because deltas are
+  // cumulative against the base, the next one overwrites every row this one
+  // (and all before it) touched.
+  delta_standby_ = 1 - delta_standby_;
+  applied_delta_seq_ = delta->seq;
+  applied_delta_path_ = *path;
+
+  if (config_.stats != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    config_.stats->deltas_applied.fetch_add(1, std::memory_order_relaxed);
+    config_.stats->rows_patched.fetch_add(delta->total_rows(),
+                                          std::memory_order_relaxed);
+    config_.stats->delta_apply_latency.Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  return true;
+}
+
+void ModelBundle::SwapDelta(std::shared_ptr<ModelSnapshot> next,
+                            const DeltaCheckpoint& delta) {
+  std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
+      listeners;
+  {
+    MutexLock lock(mu_);
+    next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    snapshot_ = next;
+    listeners = delta_listeners_;
+  }
+  // Same ordering contract as Swap(): listeners (row-level cache
+  // invalidation) run after the new snapshot is visible, so a refill can
+  // only come from patched parameters.
+  for (const auto& listener : listeners) listener(*next, delta);
+  STTR_LOG(Info) << "model bundle: applied delta seq " << delta.seq << " ("
+                 << delta.total_rows() << " rows, "
+                 << delta.events_applied << " events) onto "
+                 << next->checkpoint_path << " (version " << next->version
+                 << ")";
+}
+
+void ModelBundle::AddDeltaListener(
+    std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>
+        listener) {
+  MutexLock lock(mu_);
+  delta_listeners_.push_back(std::move(listener));
 }
 
 void ModelBundle::RecordReloadFailure(const Status& error) const {
@@ -292,6 +497,15 @@ void ModelBundle::WatcherLoop() {
       // retried next poll.
       STTR_LOG(Debug) << "model bundle: reload attempt: "
                       << swapped.status().ToString();
+    }
+    if (!config_.delta_dir.empty()) {
+      StatusOr<bool> patched = ApplyDeltaIfNewer();
+      if (!patched.ok()) {
+        // Same steady-state tolerance as full reloads: NotFound before the
+        // first publish, torn files mid-write — all retried next poll.
+        STTR_LOG(Debug) << "model bundle: delta apply attempt: "
+                        << patched.status().ToString();
+      }
     }
     watcher_mu_.Lock();
   }

@@ -20,7 +20,13 @@
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
+namespace sttr {
+struct DeltaCheckpoint;
+}
+
 namespace sttr::serve {
+
+class ResultCache;
 
 /// Numeric precision a snapshot serves at.
 enum class Precision : uint8_t {
@@ -59,6 +65,14 @@ struct ModelSnapshot {
   std::string checkpoint_path;
   size_t epoch = 0;      ///< completed training epochs in the checkpoint
   uint64_t version = 0;  ///< reload counter, 1 for the initial load
+  /// CRC32 of the base checkpoint's "model" section (fp32 snapshots only).
+  /// A streaming delta names this value and is refused against any other
+  /// base, even one with the same epoch number.
+  uint32_t model_crc = 0;
+  /// Streaming-delta provenance: the highest delta sequence patched into
+  /// this snapshot (0 = pristine base) and the file it came from.
+  uint64_t delta_seq = 0;
+  std::string delta_path;
 };
 
 struct ModelBundleConfig {
@@ -81,7 +95,20 @@ struct ModelBundleConfig {
   /// the error string (surfaced at /statz); a later successful reload
   /// clears the error.
   ServeStats* stats = nullptr;
+  /// Directory streaming delta checkpoints (core/delta.h) are consumed
+  /// from; empty disables delta hot-patching. Deltas only patch fp32
+  /// snapshots (the int8 path republishes full quantized artifacts).
+  std::string delta_dir;
 };
+
+/// Translates a delta into the minimal result-cache invalidation: user rows
+/// invalidate those users' entries, POI rows invalidate their cities'
+/// entries, word rows invalidate nothing (cached /recommend scores never
+/// read the word table; it only feeds training and the uncached cold-start
+/// path), and a dense-param refresh falls back to a wholesale flush. This
+/// is the row-level hook delta listeners hang the cache on.
+void InvalidateForDelta(const Dataset& dataset, const DeltaCheckpoint& delta,
+                        ResultCache& cache);
 
 /// Loads the newest valid checkpoint into an immutable, atomically swappable
 /// model snapshot, and (optionally) watches the checkpoint directory in the
@@ -121,6 +148,27 @@ class ModelBundle {
   void AddReloadListener(std::function<void(const ModelSnapshot&)> listener)
       EXCLUDES(mu_);
 
+  /// Checks delta_dir for a delta newer than the one already live and
+  /// hot-patches it: the delta's rows are applied IN PLACE to the standby
+  /// model instance (cost proportional to changed rows, not table size) and
+  /// the patched instance is published as a new snapshot. Returns true on a
+  /// swap; false when there is nothing new, the delta targets a different
+  /// base (epoch/CRC mismatch — the trainer hasn't caught up with a full
+  /// reload yet), or the standby is still referenced by in-flight requests
+  /// (retried next poll). Two model instances alternate as active/standby,
+  /// and because deltas are cumulative against their base, patching the
+  /// standby — whatever delta it last carried — with only the newest delta
+  /// reproduces the trainer's exact state.
+  StatusOr<bool> ApplyDeltaIfNewer() EXCLUDES(mu_, delta_mu_);
+
+  /// Like reload listeners, but for delta swaps only: run after every
+  /// ApplyDeltaIfNewer() swap with the new snapshot and the delta that
+  /// produced it. Row-level cache invalidation (InvalidateForDelta) hangs
+  /// off this instead of the wholesale-flush reload hook.
+  void AddDeltaListener(
+      std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>
+          listener) EXCLUDES(mu_);
+
   /// Background polling via ReloadIfNewer() every poll_interval. Start and
   /// Stop are safe to call concurrently: exactly one stopper ever joins the
   /// watcher, a Start racing an in-progress Stop is a no-op (never a second
@@ -141,7 +189,17 @@ class ModelBundle {
   std::string QuantDir() const;
   StatusOr<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
       const std::string& path) const;
+  /// Fp32 half of LoadSnapshot, reused to stock the delta standby
+  /// instances: Prepare + fingerprint check + parameter load from a v1
+  /// checkpoint. `model_crc` (optional) receives the "model" section CRC.
+  StatusOr<std::shared_ptr<StTransRec>> LoadFp32Base(const std::string& path,
+                                                     uint32_t* model_crc) const;
   void Swap(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);
+  /// Swap for delta patches: publishes `next` and runs the delta listeners
+  /// (not the reload listeners — a delta must not trigger the wholesale
+  /// cache flush those perform).
+  void SwapDelta(std::shared_ptr<ModelSnapshot> next,
+                 const DeltaCheckpoint& delta) EXCLUDES(mu_);
   /// Failure-visibility accounting (no-op without config_.stats).
   void RecordReloadFailure(const Status& error) const;
   Env& env() const;
@@ -155,7 +213,20 @@ class ModelBundle {
   std::shared_ptr<const ModelSnapshot> snapshot_ GUARDED_BY(mu_);
   std::vector<std::function<void(const ModelSnapshot&)>> listeners_
       GUARDED_BY(mu_);
+  std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
+      delta_listeners_ GUARDED_BY(mu_);
   std::atomic<uint64_t> reloads_{0};
+
+  /// Delta double-buffer state: two fp32 instances loaded from the current
+  /// base; the one inside snapshot_ is active, the other is the standby the
+  /// next delta patches in place. Serialized by delta_mu_ (lock order:
+  /// delta_mu_ before mu_; nothing takes them in reverse).
+  Mutex delta_mu_;
+  std::shared_ptr<StTransRec> delta_instances_[2] GUARDED_BY(delta_mu_);
+  size_t delta_standby_ GUARDED_BY(delta_mu_) = 0;
+  std::string delta_base_path_ GUARDED_BY(delta_mu_);
+  uint64_t applied_delta_seq_ GUARDED_BY(delta_mu_) = 0;
+  std::string applied_delta_path_ GUARDED_BY(delta_mu_);
 
   Mutex watcher_mu_;
   CondVar watcher_cv_;       ///< wakes the watcher's poll sleep for shutdown

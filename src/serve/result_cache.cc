@@ -16,6 +16,11 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Cap on each row-invalidation floor map. Far above any realistic delta
+/// stream (deltas touch tens to thousands of rows); past it InvalidateRows
+/// degrades to a wholesale flush rather than growing without bound.
+constexpr size_t kMaxFloorEntries = 1u << 20;
+
 }  // namespace
 
 size_t ResultCache::KeyHash::operator()(const ResultCacheKey& k) const {
@@ -63,7 +68,7 @@ bool ResultCache::GetInto(const ResultCacheKey& key, Value* out) {
   }
   const Entry& entry = *it->second;
   const bool expired = config_.ttl.count() > 0 && Now() >= entry.expires_at;
-  if (entry.generation != gen || expired) {
+  if (entry.generation != gen || expired || RowStale(entry)) {
     // Stale generation or past TTL: evict lazily, count as a miss.
     shard.lru.erase(it->second);
     shard.index.erase(it);
@@ -92,6 +97,7 @@ void ResultCache::Put(const ResultCacheKey& key, Value value) {
   entry.key = key;
   entry.value = std::move(value);
   entry.generation = gen;
+  entry.seq = put_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (config_.ttl.count() > 0) entry.expires_at = Now() + config_.ttl;
   shard.lru.push_front(std::move(entry));
   shard.index[key] = shard.lru.begin();
@@ -107,9 +113,54 @@ void ResultCache::InvalidateAll() {
   invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ResultCache::InvalidateRows(std::span<const UserId> users,
+                                 std::span<const CityId> cities) {
+  if (users.empty() && cities.empty()) return;
+  // Every entry stamped at or below this floor predates the patch; entries
+  // Put() afterwards were scored against the patched rows and survive.
+  const uint64_t floor = put_seq_.load(std::memory_order_acquire);
+  {
+    MutexLock lock(floor_mu_);
+    if (user_floor_.size() + users.size() > kMaxFloorEntries ||
+        city_floor_.size() + cities.size() > kMaxFloorEntries) {
+      // The wholesale flush kills every resident entry, so the floors have
+      // nothing left to outdate and the maps can restart empty.
+      user_floor_.clear();
+      city_floor_.clear();
+      InvalidateAll();
+    } else {
+      for (UserId u : users) {
+        uint64_t& f = user_floor_[u];
+        f = std::max(f, floor);
+      }
+      for (CityId c : cities) {
+        uint64_t& f = city_floor_[c];
+        f = std::max(f, floor);
+      }
+    }
+  }
+  uint64_t cur = max_floor_.load(std::memory_order_relaxed);
+  while (cur < floor && !max_floor_.compare_exchange_weak(
+                            cur, floor, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+  }
+  row_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ResultCache::RowStale(const Entry& entry) {
+  // Fast path: newer than every row invalidation so far → cannot be stale.
+  if (entry.seq > max_floor_.load(std::memory_order_acquire)) return false;
+  MutexLock lock(floor_mu_);
+  auto uit = user_floor_.find(entry.key.user);
+  if (uit != user_floor_.end() && entry.seq <= uit->second) return true;
+  auto cit = city_floor_.find(entry.key.city);
+  return cit != city_floor_.end() && entry.seq <= cit->second;
+}
+
 ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.row_invalidations = row_invalidations_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
     stats.hits += shard->hits;

@@ -8,6 +8,7 @@
 #include <list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -81,12 +82,24 @@ class ResultCache {
   /// Drops every current entry in O(1) by advancing the generation.
   void InvalidateAll();
 
+  /// Row-level invalidation for delta hot-patches: lazily drops every entry
+  /// whose user is in `users` OR whose city is in `cities`; all other
+  /// entries survive (no wholesale flush). Cost is O(|users| + |cities|)
+  /// map updates, plus — on lookups — a staleness check that is a single
+  /// atomic load for entries written after the newest row invalidation.
+  /// The side index of invalidation floors is bounded; if a pathological
+  /// stream of distinct rows would overflow it, the call degrades to
+  /// InvalidateAll() (correct, just coarser) and the index restarts empty.
+  void InvalidateRows(std::span<const UserId> users,
+                      std::span<const CityId> cities);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    uint64_t invalidations = 0;  ///< InvalidateAll() calls
-    size_t entries = 0;          ///< resident entries, any generation
+    uint64_t invalidations = 0;      ///< InvalidateAll() calls
+    uint64_t row_invalidations = 0;  ///< InvalidateRows() calls
+    size_t entries = 0;              ///< resident entries, any generation
   };
   Stats GetStats() const;
 
@@ -95,6 +108,9 @@ class ResultCache {
     ResultCacheKey key;
     Value value;
     uint64_t generation = 0;
+    /// Put() order stamp (1-based); compared against the row-invalidation
+    /// floors to decide whether a patched row outdates this entry.
+    uint64_t seq = 0;
     std::chrono::steady_clock::time_point expires_at;
   };
 
@@ -116,10 +132,25 @@ class ResultCache {
   Shard& ShardOf(const ResultCacheKey& key);
   std::chrono::steady_clock::time_point Now() const;
 
+  /// True when a row invalidation newer than `entry` covers its user or
+  /// city. Single atomic load unless the entry predates the newest row
+  /// invalidation. Called with the entry's shard lock held; lock order is
+  /// shard.mu → floor_mu_ (InvalidateRows takes floor_mu_ alone).
+  bool RowStale(const Entry& entry) EXCLUDES(floor_mu_);
+
   ResultCacheConfig config_;
   size_t per_shard_capacity_;
   std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> row_invalidations_{0};
+  /// Put() order stamps; entry.seq <= a row floor means "written before
+  /// that row was patched".
+  std::atomic<uint64_t> put_seq_{0};
+  /// Highest floor ever set — the fast-path screen in RowStale().
+  std::atomic<uint64_t> max_floor_{0};
+  Mutex floor_mu_;
+  std::unordered_map<UserId, uint64_t> user_floor_ GUARDED_BY(floor_mu_);
+  std::unordered_map<CityId, uint64_t> city_floor_ GUARDED_BY(floor_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

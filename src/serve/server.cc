@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -121,6 +122,12 @@ constexpr std::string_view kErrMethod =
     "{\"error\": \"unsupported method\"}";
 constexpr std::string_view kErrOverloaded =
     "{\"error\": \"server overloaded\"}";
+constexpr std::string_view kErrPoi =
+    "{\"error\": \"missing or invalid 'poi'\"}";
+constexpr std::string_view kErrT = "{\"error\": \"invalid 't'\"}";
+constexpr std::string_view kErrHour = "{\"error\": \"invalid 'hour'\"}";
+constexpr std::string_view kErrNoIngest =
+    "{\"error\": \"ingest not enabled\"}";
 
 /// First value of `name` in the query string, scanning '&' parts in order —
 /// the same first-match-wins rule as ParseQuery + FindParam, without
@@ -184,7 +191,9 @@ bool ParseDoubleView(std::string_view s, double* out) {
 RecommendServer::RecommendServer(ServerConfig config, const Dataset& dataset,
                                  ModelBundle* bundle, CandidateIndex* index,
                                  ScoreBatcher* batcher, ResultCache* cache,
-                                 ServeStats* stats, EmbeddingStore* store)
+                                 ServeStats* stats, EmbeddingStore* store,
+                                 stream::IngestService* ingest,
+                                 const stream::ColdStartScorer* cold_start)
     : config_(config),
       dataset_(dataset),
       bundle_(bundle),
@@ -192,7 +201,9 @@ RecommendServer::RecommendServer(ServerConfig config, const Dataset& dataset,
       batcher_(batcher),
       cache_(cache),
       stats_(stats),
-      store_(store) {
+      store_(store),
+      ingest_(ingest),
+      cold_start_(cold_start) {
   STTR_CHECK(bundle_ != nullptr);
   STTR_CHECK(index_ != nullptr);
   STTR_CHECK(stats_ != nullptr);
@@ -411,6 +422,26 @@ EventLoop::Dispatch RecommendServer::OnRequest(EventLoop* loop, Conn& conn,
       }
       return EventLoop::Dispatch::kAsync;
     }
+  } else if (req.path == "/checkin") {
+    int status = 400;
+    std::string_view error;
+    if (ingest_ == nullptr) {
+      conn.http_status = 404;
+      conn.body.Append(kErrNoIngest);
+    } else if (!ParseCheckinParams(req.query, &task.params, &status, &error)) {
+      conn.http_status = status;
+      conn.body.Append(error);
+    } else {
+      task.kind = Task::Kind::kCheckin;
+      if (!EnqueueTask(task)) {
+        stats_->rejected_requests.fetch_add(1, std::memory_order_relaxed);
+        conn.http_status = 503;
+        conn.body.Append(kErrOverloaded);
+        conn.close_after_write = true;
+        return EventLoop::Dispatch::kRespond;
+      }
+      return EventLoop::Dispatch::kAsync;
+    }
   } else if (req.path == "/healthz" || req.path == "/statz") {
     task.kind = req.path == "/healthz" ? Task::Kind::kHealthz
                                        : Task::Kind::kStatz;
@@ -484,6 +515,55 @@ bool RecommendServer::ParseRecommendParams(std::string_view query,
           FindQueryParam(query, "nocache")) {
     if (*p != "0") out->use_cache = false;
   }
+  out->t = -1.0;
+  if (const std::optional<std::string_view> p =
+          FindQueryParam(query, "hour")) {
+    if (!ParseDoubleView(*p, &out->t) || out->t < 0.0) {
+      *status = 400;
+      *error = kErrHour;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RecommendServer::ParseCheckinParams(std::string_view query,
+                                         RequestParams* out, int* status,
+                                         std::string_view* error) const {
+  // Only well-formedness is checked here; id range validation (and the
+  // poi/city consistency rule) is IngestService::Submit's job, so both HTTP
+  // modes and direct Submit callers share one semantic gate.
+  const std::optional<std::string_view> user_param =
+      FindQueryParam(query, "user");
+  if (!user_param.has_value() || !ParseInt64View(*user_param, &out->user)) {
+    *status = 400;
+    *error = kErrUser;
+    return false;
+  }
+  const std::optional<std::string_view> poi_param =
+      FindQueryParam(query, "poi");
+  if (!poi_param.has_value() || !ParseInt64View(*poi_param, &out->poi)) {
+    *status = 400;
+    *error = kErrPoi;
+    return false;
+  }
+  out->city = -1;  // negative = derive from the POI
+  if (const std::optional<std::string_view> p =
+          FindQueryParam(query, "city")) {
+    if (!ParseInt64View(*p, &out->city)) {
+      *status = 400;
+      *error = kErrCity;
+      return false;
+    }
+  }
+  out->t = -1.0;
+  if (const std::optional<std::string_view> p = FindQueryParam(query, "t")) {
+    if (!ParseDoubleView(*p, &out->t) || out->t < 0.0) {
+      *status = 400;
+      *error = kErrT;
+      return false;
+    }
+  }
   return true;
 }
 
@@ -521,6 +601,9 @@ void RecommendServer::ScoringWorkerLoop() {
       case Task::Kind::kStatz:
         ProcessStatz(conn);
         break;
+      case Task::Kind::kCheckin:
+        ProcessCheckin(task.params, conn);
+        break;
     }
     if (conn.http_status >= 400) {
       stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
@@ -551,9 +634,15 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
   const ResultCacheKey key{p.user, city_id, cell, static_cast<uint32_t>(p.k),
                            static_cast<uint8_t>(snapshot->precision)};
 
+  // Cold-start detection: a user with no history in the request city scores
+  // through the word bridge, bypassing the cache entirely — those scores
+  // track the live word table, which row-level invalidation does not cover.
+  const bool cold = cold_start_ != nullptr && snapshot->model != nullptr &&
+                    cold_start_->IsColdIn(p.user, city_id);
+
   bool cached = false;
   const ResultCache::Value* top = nullptr;
-  if (p.use_cache) {
+  if (p.use_cache && !cold) {
     if (cache_->GetInto(key, &scratch.cached)) {
       cached = true;
       top = &scratch.cached;
@@ -575,7 +664,14 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
       return;
     }
     std::vector<double> scores;
-    if (StoreUsable(*snapshot)) {
+    if (cold) {
+      stats_->cold_start_requests.fetch_add(1, std::memory_order_relaxed);
+      cold_start_->Score(snapshot->model->WordEmbeddingTable(), p.user,
+                         cold_start_->BucketOf(p.t),
+                         {scratch.candidates.data(),
+                          scratch.candidates.size()},
+                         &scores);
+    } else if (StoreUsable(*snapshot)) {
       if (!ScoreViaStore(*snapshot->model, p.user,
                          {scratch.candidates.data(),
                           scratch.candidates.size()},
@@ -603,8 +699,9 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
     computed = TopKByScore(scratch.candidates, scores,
                            static_cast<size_t>(p.k));
     // A degraded ranking must never poison the cache: it would outlive the
-    // outage and keep serving after the store recovers.
-    if (p.use_cache && !degraded) cache_->Put(key, computed);
+    // outage and keep serving after the store recovers. Cold-start results
+    // stay uncached too (see above).
+    if (p.use_cache && !degraded && !cold) cache_->Put(key, computed);
     top = &computed;
   }
 
@@ -626,6 +723,12 @@ void RecommendServer::ProcessRecommend(const RequestParams& p,
     // response bytes are unchanged.
     b.Append(", \"degraded\": ");
     b.Append(degraded ? std::string_view("true") : std::string_view("false"));
+  }
+  if (cold_start_ != nullptr) {
+    // Same opt-in rule as "degraded": only cold-start-enabled servers
+    // carry the marker.
+    b.Append(", \"cold_start\": ");
+    b.Append(cold ? std::string_view("true") : std::string_view("false"));
   }
   b.Append(", \"model_epoch\": ");
   b.AppendUint(snapshot->epoch);
@@ -669,6 +772,49 @@ void RecommendServer::ProcessStatz(Conn& conn) {
           .count();
   RefreshSnapshotGauges();
   conn.body.Append(stats_->ToJson(uptime));
+}
+
+void RecommendServer::ProcessCheckin(const RequestParams& p, Conn& conn) {
+  int http_status = 200;
+  const std::string body = CheckinBody(p, &http_status);
+  conn.http_status = http_status;
+  conn.body.Append(body);
+}
+
+std::string RecommendServer::CheckinBody(const RequestParams& p,
+                                         int* http_status) {
+  stats_->checkins_http.fetch_add(1, std::memory_order_relaxed);
+  stream::CheckinEvent event;
+  event.user = p.user;
+  event.poi = p.poi;
+  // A city beyond CityId's range can never belong to any POI; reject it
+  // here instead of letting the narrowing cast alias a real city.
+  if (p.city > std::numeric_limits<CityId>::max()) {
+    *http_status = 400;
+    return ErrorJson("invalid check-in");
+  }
+  event.city = static_cast<CityId>(p.city);
+  event.time = p.t;
+  StatusOr<uint64_t> seq = ingest_->Submit(event);
+  if (!seq.ok()) {
+    switch (seq.status().code()) {
+      case StatusCode::kResourceExhausted:
+        // Ingest backpressure: the event log is full because the trainer is
+        // behind. Shed load; the client retries.
+        *http_status = 503;
+        return ErrorJson("ingest queue full");
+      case StatusCode::kFailedPrecondition:
+        *http_status = 503;
+        return ErrorJson("ingest stopped");
+      default:
+        *http_status = 400;
+        return ErrorJson("invalid check-in");
+    }
+  }
+  *http_status = 200;
+  std::ostringstream os;
+  os << "{\"accepted\": true, \"seq\": " << *seq << "}";
+  return os.str();
 }
 
 void RecommendServer::RefreshSnapshotGauges() const {
@@ -784,6 +930,8 @@ bool RecommendServer::HandleOneRequest(int fd, std::string& buffer) {
     body = ErrorJson("unsupported method");
   } else if (path == "/recommend") {
     body = HandleRecommend(query, &http_status);
+  } else if (path == "/checkin") {
+    body = HandleCheckin(query, &http_status);
   } else if (path == "/healthz") {
     body = HealthzBody(&http_status);
   } else if (path == "/statz") {
@@ -843,6 +991,13 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   if (const std::string* p = FindParam(params, "nocache")) {
     if (*p != "0") use_cache = false;
   }
+  double hour = -1.0;
+  if (const std::string* p = FindParam(params, "hour")) {
+    if (!ParseDoubleParam(*p, &hour) || hour < 0.0) {
+      *http_status = 400;
+      return ErrorJson("invalid 'hour'");
+    }
+  }
 
   // Capture the snapshot once: this request scores (and reports provenance)
   // against exactly one model even if a hot reload lands mid-flight.
@@ -858,9 +1013,15 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   const ResultCacheKey key{user, city_id, cell, static_cast<uint32_t>(k),
                            static_cast<uint8_t>(snapshot->precision)};
 
+  // Cold-start detection: a user with no history in the request city scores
+  // through the word bridge, bypassing the cache entirely — those scores
+  // track the live word table, which row-level invalidation does not cover.
+  const bool cold = cold_start_ != nullptr && snapshot->model != nullptr &&
+                    cold_start_->IsColdIn(user, city_id);
+
   std::vector<std::pair<PoiId, double>> top;
   bool cached = false;
-  if (use_cache) {
+  if (use_cache && !cold) {
     if (std::optional<ResultCache::Value> hit = cache_->Get(key)) {
       top = std::move(*hit);
       cached = true;
@@ -877,7 +1038,12 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
       return ErrorJson("no candidate POIs in city");
     }
     std::vector<double> scores;
-    if (StoreUsable(*snapshot)) {
+    if (cold) {
+      stats_->cold_start_requests.fetch_add(1, std::memory_order_relaxed);
+      cold_start_->Score(snapshot->model->WordEmbeddingTable(), user,
+                         cold_start_->BucketOf(hour),
+                         {candidates.data(), candidates.size()}, &scores);
+    } else if (StoreUsable(*snapshot)) {
       if (!ScoreViaStore(*snapshot->model, user,
                          {candidates.data(), candidates.size()}, &scores)) {
         // Explicit degradation: the store missed its deadline or its shards
@@ -902,8 +1068,9 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
     }
     top = TopKByScore(candidates, scores, static_cast<size_t>(k));
     // A degraded ranking must never poison the cache: it would outlive the
-    // outage and keep serving after the store recovers.
-    if (use_cache && !degraded) cache_->Put(key, top);
+    // outage and keep serving after the store recovers. Cold-start results
+    // stay uncached too (see above).
+    if (use_cache && !degraded && !cold) cache_->Put(key, top);
   }
 
   std::ostringstream os;
@@ -915,6 +1082,11 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
     // response bytes are unchanged.
     os << ", \"degraded\": " << (degraded ? "true" : "false");
   }
+  if (cold_start_ != nullptr) {
+    // Same opt-in rule as "degraded": only cold-start-enabled servers
+    // carry the marker.
+    os << ", \"cold_start\": " << (cold ? "true" : "false");
+  }
   os << ", \"model_epoch\": " << snapshot->epoch
      << ", \"model_version\": " << snapshot->version << ", \"results\": [";
   for (size_t i = 0; i < top.size(); ++i) {
@@ -924,6 +1096,43 @@ std::string RecommendServer::HandleRecommend(const std::string& query,
   }
   os << "]}";
   return os.str();
+}
+
+std::string RecommendServer::HandleCheckin(const std::string& query,
+                                           int* http_status) {
+  // Parse precedence and error bodies mirror ParseCheckinParams exactly —
+  // the equivalence suite compares the two modes byte-for-byte.
+  if (ingest_ == nullptr) {
+    *http_status = 404;
+    return ErrorJson("ingest not enabled");
+  }
+  const auto params = ParseQuery(query);
+  RequestParams p;
+  const std::string* user_param = FindParam(params, "user");
+  if (user_param == nullptr || !ParseInt64(*user_param, &p.user)) {
+    *http_status = 400;
+    return ErrorJson("missing or invalid 'user'");
+  }
+  const std::string* poi_param = FindParam(params, "poi");
+  if (poi_param == nullptr || !ParseInt64(*poi_param, &p.poi)) {
+    *http_status = 400;
+    return ErrorJson("missing or invalid 'poi'");
+  }
+  p.city = -1;  // negative = derive from the POI
+  if (const std::string* c = FindParam(params, "city")) {
+    if (!ParseInt64(*c, &p.city)) {
+      *http_status = 400;
+      return ErrorJson("invalid 'city'");
+    }
+  }
+  p.t = -1.0;
+  if (const std::string* t = FindParam(params, "t")) {
+    if (!ParseDoubleParam(*t, &p.t) || p.t < 0.0) {
+      *http_status = 400;
+      return ErrorJson("invalid 't'");
+    }
+  }
+  return CheckinBody(p, http_status);
 }
 
 std::string RecommendServer::HealthzBody(int* http_status) const {

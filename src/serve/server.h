@@ -21,6 +21,8 @@
 #include "serve/model_bundle.h"
 #include "serve/result_cache.h"
 #include "serve/stats.h"
+#include "stream/cold_start.h"
+#include "stream/ingest_service.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -91,6 +93,16 @@ struct ServerConfig {
 ///           "results":[{"poi":id, "score":s}, ...]}
 ///   GET /healthz -> serving readiness + current snapshot provenance
 ///   GET /statz   -> ServeStats::ToJson()
+///   POST /checkin?user=U&poi=P[&city=C][&t=T]  (GET accepted too)
+///       -> {"accepted": true, "seq": N} | 400 | 503 when the ingest log is
+///       full; 404 when no ingest service is configured. Feeds the
+///       streaming trainer (stream/ingest_service.h).
+///
+/// With a ColdStartScorer configured, /recommend detects a user with no
+/// history in the request city and scores through the word bridge instead
+/// of the interaction tower (see stream/cold_start.h); such responses carry
+/// "cold_start": true, bypass the result cache, and honour an optional
+/// &hour=H time-of-day parameter.
 ///
 /// One request's path: snapshot capture -> cache probe (keyed by the query
 /// location's grid cell) -> candidate generation -> micro-batched scoring ->
@@ -123,10 +135,16 @@ class RecommendServer {
   /// store-less server's bytes are unchanged. The store only applies to
   /// fp32 snapshots of the model version serving when Start() ran; after a
   /// hot reload the server scores in-process again (correct, not degraded).
+  ///
+  /// `ingest` (optional) enables POST /checkin, feeding the streaming
+  /// trainer; without it the route answers 404. `cold_start` (optional)
+  /// enables word-bridge scoring for target-city-cold users on /recommend.
   RecommendServer(ServerConfig config, const Dataset& dataset,
                   ModelBundle* bundle, CandidateIndex* index,
                   ScoreBatcher* batcher, ResultCache* cache,
-                  ServeStats* stats, EmbeddingStore* store = nullptr);
+                  ServeStats* stats, EmbeddingStore* store = nullptr,
+                  stream::IngestService* ingest = nullptr,
+                  const stream::ColdStartScorer* cold_start = nullptr);
   ~RecommendServer();
 
   RecommendServer(const RecommendServer&) = delete;
@@ -156,13 +174,18 @@ class RecommendServer {
     int64_t city = 0;
     int64_t k = 0;
     bool use_cache = false;
+    /// /checkin: target POI. Unused by /recommend.
+    int64_t poi = -1;
+    /// Hour-of-day clock value: /checkin's &t= (event time) and
+    /// /recommend's &hour= (cold-start bucket). Negative = not given.
+    double t = -1.0;
   };
 
   /// One queued request, POD so the ring never allocates. `conn` stays
   /// valid for the task's whole life: the loop never recycles a
   /// kProcessing connection, and (fd, generation) guards the completion.
   struct Task {
-    enum class Kind : uint8_t { kRecommend, kHealthz, kStatz };
+    enum class Kind : uint8_t { kRecommend, kHealthz, kStatz, kCheckin };
     EventLoop* loop = nullptr;
     Conn* conn = nullptr;
     int fd = -1;
@@ -188,6 +211,10 @@ class RecommendServer {
   /// semantics and error precedence. False: *status/*error describe the 400.
   bool ParseRecommendParams(std::string_view query, RequestParams* out,
                             int* status, std::string_view* error) const;
+  /// /checkin analogue of ParseRecommendParams; id range checks live in
+  /// IngestService::Submit, so parsing only rejects malformed values.
+  bool ParseCheckinParams(std::string_view query, RequestParams* out,
+                          int* status, std::string_view* error) const;
   bool EnqueueTask(const Task& task) EXCLUDES(task_mu_);
   void ScoringWorkerLoop() EXCLUDES(task_mu_);
   /// Fill conn.body/http_status; called from a scoring worker (event-loop
@@ -196,6 +223,7 @@ class RecommendServer {
                         Conn& conn);
   void ProcessHealthz(Conn& conn);
   void ProcessStatz(Conn& conn);
+  void ProcessCheckin(const RequestParams& params, Conn& conn);
   /// Refreshes the /statz snapshot gauges (resident bytes, precision) from
   /// the bundle's current snapshot. Const: only touches atomics.
   void RefreshSnapshotGauges() const;
@@ -209,7 +237,12 @@ class RecommendServer {
   /// Parses and answers a single request; false ends the connection.
   bool HandleOneRequest(int fd, std::string& buffer);
   std::string HandleRecommend(const std::string& query, int* http_status);
+  std::string HandleCheckin(const std::string& query, int* http_status);
   std::string HandleStatz() const;
+
+  /// Submits a parsed check-in and builds the response body — the single
+  /// implementation both modes share, so their bytes cannot drift.
+  std::string CheckinBody(const RequestParams& params, int* http_status);
 
   // ---- Shared ---------------------------------------------------------
 
@@ -241,6 +274,8 @@ class RecommendServer {
   ResultCache* cache_;
   ServeStats* stats_;
   EmbeddingStore* store_;
+  stream::IngestService* ingest_;
+  const stream::ColdStartScorer* cold_start_;
   /// Model version the store's rows correspond to, captured at Start().
   uint64_t store_version_ = 0;
   /// Per-POI global check-in counts, built once when a store is configured

@@ -142,6 +142,33 @@ std::string ServeStats::ToJson(double uptime_seconds) const {
      << degraded_requests.load(std::memory_order_relaxed)
      << ", \"shards_down\": " << shards_down.load(std::memory_order_relaxed)
      << "}";
+  {
+    const LatencyHistogram::Summary apply = delta_apply_latency.Summarize();
+    os << ", \"ingest\": {\"checkins_http\": "
+       << checkins_http.load(std::memory_order_relaxed)
+       << ", \"checkins_accepted\": "
+       << ingest.checkins_accepted.load(std::memory_order_relaxed)
+       << ", \"checkins_rejected\": "
+       << ingest.checkins_rejected.load(std::memory_order_relaxed)
+       << ", \"events_trained\": "
+       << ingest.events_trained.load(std::memory_order_relaxed)
+       << ", \"deltas_published\": "
+       << ingest.deltas_published.load(std::memory_order_relaxed)
+       << ", \"delta_publish_failures\": "
+       << ingest.delta_publish_failures.load(std::memory_order_relaxed)
+       << ", \"deltas_applied\": "
+       << deltas_applied.load(std::memory_order_relaxed)
+       << ", \"delta_apply_failures\": "
+       << delta_apply_failures.load(std::memory_order_relaxed)
+       << ", \"rows_patched\": " << rows_patched.load(std::memory_order_relaxed)
+       << ", \"cold_start_requests\": "
+       << cold_start_requests.load(std::memory_order_relaxed)
+       << ", \"delta_apply_ms\": {\"count\": " << apply.count
+       << ", \"mean\": " << StrFormat("%.4f", apply.mean_ms)
+       << ", \"p50\": " << StrFormat("%.4f", apply.p50_ms)
+       << ", \"p99\": " << StrFormat("%.4f", apply.p99_ms)
+       << ", \"max\": " << StrFormat("%.4f", apply.max_ms) << "}}";
+  }
   os << ", \"rejected_connections\": "
      << rejected_connections.load(std::memory_order_relaxed);
   os << ", \"rejected_requests\": "

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "stream/ingest_stats.h"
 #include "util/mutex.h"
 
 namespace sttr::serve {
@@ -102,7 +103,18 @@ struct ServeStats {
   std::atomic<uint64_t> degraded_requests{0};  ///< fallback-ranked responses
   std::atomic<uint64_t> shards_down{0};        ///< gauge: tripped shards
 
+  // Streaming ingestion (src/stream/): producer-side counters live in the
+  // embedded IngestStats (bumped by the ingest service), consumer-side
+  // delta-apply counters below (bumped by the model bundle).
+  stream::IngestStats ingest;
+  std::atomic<uint64_t> deltas_applied{0};  ///< delta hot-patches gone live
+  std::atomic<uint64_t> delta_apply_failures{0};
+  std::atomic<uint64_t> rows_patched{0};  ///< embedding rows patched in place
+  std::atomic<uint64_t> cold_start_requests{0};  ///< word-bridge-scored
+  std::atomic<uint64_t> checkins_http{0};  ///< /checkin requests accepted
+
   LatencyHistogram request_latency;  ///< full request handling, server side
+  LatencyHistogram delta_apply_latency;  ///< delta load+patch+swap, bundle side
 
   /// Last reload failure message, "" when the most recent attempt succeeded.
   /// A string cannot be a relaxed atomic, so this pair is Mutex-guarded —

@@ -1,0 +1,148 @@
+#include "stream/cold_start.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sttr::stream {
+
+namespace {
+
+/// L2-normalises `v` in place; no-op on a zero vector.
+void Normalize(std::vector<float>* v) {
+  double norm = 0.0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  if (norm <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (float& x : *v) x *= inv;
+}
+
+}  // namespace
+
+ColdStartScorer::ColdStartScorer(const Dataset& dataset, ColdStartConfig config)
+    : config_(config), dataset_(&dataset) {
+  STTR_CHECK_GT(config_.time_buckets, 0u);
+  user_cities_.assign(dataset.num_users(), {});
+  user_words_.assign(dataset.num_users(), {});
+
+  // Raw (poi, bucket) counts, then per-(city, bucket) max for normalising.
+  std::unordered_map<uint64_t, double> counts;
+  std::unordered_map<uint64_t, double> city_bucket_max;
+  for (const CheckinRecord& rec : dataset.checkins()) {
+    const auto u = static_cast<size_t>(rec.user);
+    user_cities_[u].push_back(rec.city);
+    const Poi& poi = dataset.poi(rec.poi);
+    user_words_[u].insert(user_words_[u].end(), poi.words.begin(),
+                          poi.words.end());
+    const int bucket = BucketOf(rec.time);
+    if (bucket >= 0) {
+      const uint64_t key = static_cast<uint64_t>(rec.poi) * config_.time_buckets +
+                           static_cast<uint64_t>(bucket);
+      counts[key] += 1.0;
+    }
+  }
+  for (auto& cities : user_cities_) {
+    std::sort(cities.begin(), cities.end());
+    cities.erase(std::unique(cities.begin(), cities.end()), cities.end());
+  }
+  for (auto& words : user_words_) {
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+  }
+  for (const auto& [key, count] : counts) {
+    const PoiId poi = static_cast<PoiId>(key / config_.time_buckets);
+    const uint64_t bucket = key % config_.time_buckets;
+    const uint64_t ck =
+        static_cast<uint64_t>(dataset.poi(poi).city) * config_.time_buckets +
+        bucket;
+    double& max = city_bucket_max[ck];
+    max = std::max(max, count);
+  }
+  bucket_pop_.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    const PoiId poi = static_cast<PoiId>(key / config_.time_buckets);
+    const uint64_t bucket = key % config_.time_buckets;
+    const uint64_t ck =
+        static_cast<uint64_t>(dataset.poi(poi).city) * config_.time_buckets +
+        bucket;
+    bucket_pop_[key] = count / city_bucket_max[ck];
+  }
+}
+
+bool ColdStartScorer::IsColdIn(UserId user, CityId city) const {
+  if (user < 0 || static_cast<size_t>(user) >= user_cities_.size()) {
+    return false;
+  }
+  const auto& cities = user_cities_[static_cast<size_t>(user)];
+  return !std::binary_search(cities.begin(), cities.end(), city);
+}
+
+int ColdStartScorer::BucketOf(double time) const {
+  if (time < 0.0) return -1;
+  const double hour = std::fmod(time, 24.0);
+  const auto bucket = static_cast<size_t>(hour / 24.0 *
+                                          static_cast<double>(config_.time_buckets));
+  return static_cast<int>(std::min(bucket, config_.time_buckets - 1));
+}
+
+bool ColdStartScorer::AccumulateProfile(const Tensor& word_table,
+                                        std::span<const WordId> words,
+                                        std::vector<float>* profile) const {
+  size_t used = 0;
+  const size_t dim = word_table.cols();
+  for (WordId w : words) {
+    if (w < 0 || static_cast<size_t>(w) >= word_table.rows()) continue;
+    const float* row = word_table.row(static_cast<size_t>(w));
+    for (size_t d = 0; d < dim; ++d) (*profile)[d] += row[d];
+    ++used;
+  }
+  if (used == 0) return false;
+  const float inv = 1.0f / static_cast<float>(used);
+  for (float& x : *profile) x *= inv;
+  return true;
+}
+
+void ColdStartScorer::Score(const Tensor& word_table, UserId user, int bucket,
+                            std::span<const PoiId> candidates,
+                            std::vector<double>* out) const {
+  out->assign(candidates.size(), 0.0);
+  const size_t dim = word_table.cols();
+  std::vector<float> user_profile(dim, 0.0f);
+  bool has_profile = false;
+  if (user >= 0 && static_cast<size_t>(user) < user_words_.size()) {
+    has_profile =
+        AccumulateProfile(word_table, user_words_[static_cast<size_t>(user)],
+                          &user_profile);
+  }
+  // Cosine similarity: both profiles normalised, so the word term lands in
+  // [-1, 1] and the time_weight mix is scale-stable across models.
+  if (has_profile) Normalize(&user_profile);
+
+  std::vector<float> cand_profile(dim, 0.0f);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double score = 0.0;
+    if (has_profile) {
+      std::fill(cand_profile.begin(), cand_profile.end(), 0.0f);
+      if (AccumulateProfile(word_table, dataset_->poi(candidates[i]).words,
+                            &cand_profile)) {
+        Normalize(&cand_profile);
+        double dot = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          dot += static_cast<double>(user_profile[d]) * cand_profile[d];
+        }
+        score = dot;
+      }
+    }
+    if (bucket >= 0) {
+      const uint64_t key =
+          static_cast<uint64_t>(candidates[i]) * config_.time_buckets +
+          static_cast<uint64_t>(bucket);
+      auto it = bucket_pop_.find(key);
+      if (it != bucket_pop_.end()) score += config_.time_weight * it->second;
+    }
+    (*out)[i] = score;
+  }
+}
+
+}  // namespace sttr::stream

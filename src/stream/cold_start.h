@@ -1,0 +1,84 @@
+#ifndef STTR_STREAM_COLD_START_H_
+#define STTR_STREAM_COLD_START_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+#include "tensor/tensor.h"
+
+namespace sttr::stream {
+
+struct ColdStartConfig {
+  /// Time-of-day buckets the 24-hour clock is divided into for the
+  /// popularity feature (4 = night/morning/afternoon/evening).
+  size_t time_buckets = 4;
+  /// Weight of the time-of-day popularity term relative to the word-bridge
+  /// similarity (which is layer-normalised to comparable scale).
+  double time_weight = 0.25;
+};
+
+/// Serving-side scorer for users with no history in the request city (the
+/// paper's crossing-city cold start). The interaction tower has nothing to
+/// say about such a pair beyond the user embedding — which for a
+/// target-city-unseen user encodes only source-city behaviour — so this
+/// path scores through the transfer bridge directly: the user's word
+/// profile (words of POIs they visited anywhere, i.e. source-city history
+/// alone) is embedded with the model's word table and matched against each
+/// candidate's word profile, plus a time-of-day popularity prior per
+/// (POI, bucket) following the spatiotemporal-aware POI representation
+/// line. Deterministic, allocation-light, and entirely on learned
+/// parameters — a cold user gets real word-bridge recommendations, not a
+/// popularity fallback.
+class ColdStartScorer {
+ public:
+  /// Precomputes user word profiles, per-city seen sets, and the
+  /// (POI, bucket) popularity table from the dataset's check-ins. The
+  /// dataset must outlive the scorer.
+  ColdStartScorer(const Dataset& dataset, ColdStartConfig config);
+
+  /// True when `user` has no check-ins in `city` (the cold case).
+  bool IsColdIn(UserId user, CityId city) const;
+
+  /// Bucket of an hour-of-day clock value (time is hours; the wall-clock
+  /// day is time mod 24). Returns -1 for negative (unknown) times.
+  int BucketOf(double time) const;
+
+  /// Scores `candidates` for the cold user: word-bridge similarity through
+  /// `word_table` (the serving snapshot's word embeddings) plus the
+  /// time-of-day popularity prior when `bucket` >= 0. `out` is resized to
+  /// candidates.size(); deterministic for fixed inputs.
+  void Score(const Tensor& word_table, UserId user, int bucket,
+             std::span<const PoiId> candidates,
+             std::vector<double>* out) const;
+
+  const ColdStartConfig& config() const { return config_; }
+
+ private:
+  /// Mean word-table row of `words` accumulated into `profile`
+  /// (profile must be zeroed, word_table.cols() wide). Returns false when
+  /// no word id is in range.
+  bool AccumulateProfile(const Tensor& word_table,
+                         std::span<const WordId> words,
+                         std::vector<float>* profile) const;
+
+  ColdStartConfig config_;
+  const Dataset* dataset_;
+
+  /// Per user: sorted city ids with at least one check-in.
+  std::vector<std::vector<CityId>> user_cities_;
+  /// Per user: sorted unique word ids of every visited POI (the word-bridge
+  /// input; built from all of the user's history, which for a target-cold
+  /// user is source-city history alone).
+  std::vector<std::vector<WordId>> user_words_;
+  /// (poi * time_buckets + bucket) -> check-in count, normalised to [0, 1]
+  /// per (city, bucket) by the bucket's max count.
+  std::unordered_map<uint64_t, double> bucket_pop_;
+};
+
+}  // namespace sttr::stream
+
+#endif  // STTR_STREAM_COLD_START_H_

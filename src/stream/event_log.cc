@@ -1,0 +1,70 @@
+#include "stream/event_log.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sttr::stream {
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity) {
+  STTR_CHECK_GT(capacity, 0u);
+}
+
+StatusOr<uint64_t> EventLog::Append(CheckinEvent event) {
+  MutexLock lock(mu_);
+  if (closed_) {
+    return Status::FailedPrecondition("event log is closed");
+  }
+  if (events_.size() >= capacity_) {
+    return Status::ResourceExhausted("event log full (" +
+                                     std::to_string(capacity_) + " events)");
+  }
+  event.seq = ++next_seq_;
+  const uint64_t seq = event.seq;
+  events_.push_back(event);
+  ready_.NotifyOne();
+  return seq;
+}
+
+size_t EventLog::PopLocked(size_t max, std::vector<CheckinEvent>* out) {
+  const size_t n = std::min(max, events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(events_.front());
+    events_.pop_front();
+  }
+  return n;
+}
+
+size_t EventLog::WaitPop(size_t max, std::vector<CheckinEvent>* out) {
+  MutexLock lock(mu_);
+  while (events_.empty() && !closed_) ready_.Wait(mu_);
+  return PopLocked(max, out);
+}
+
+size_t EventLog::TryPop(size_t max, std::vector<CheckinEvent>* out) {
+  MutexLock lock(mu_);
+  return PopLocked(max, out);
+}
+
+void EventLog::Close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  ready_.NotifyAll();
+}
+
+size_t EventLog::size() const {
+  MutexLock lock(mu_);
+  return events_.size();
+}
+
+bool EventLog::closed() const {
+  MutexLock lock(mu_);
+  return closed_;
+}
+
+uint64_t EventLog::total_appended() const {
+  MutexLock lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace sttr::stream

@@ -1,0 +1,69 @@
+#ifndef STTR_STREAM_EVENT_LOG_H_
+#define STTR_STREAM_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "data/types.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace sttr::stream {
+
+/// One streamed check-in, as admitted by the ingest endpoint.
+struct CheckinEvent {
+  UserId user = -1;
+  PoiId poi = -1;
+  CityId city = -1;
+  /// Event time in hours (the synthetic worlds' global clock); < 0 when the
+  /// producer did not supply one. Only the time-of-day bucket is used.
+  double time = -1.0;
+  /// Admission order, 1-based, assigned by the log.
+  uint64_t seq = 0;
+};
+
+/// Bounded MPMC event queue between the ingest endpoint and the incremental
+/// trainer. Append never blocks — a full log rejects (the HTTP layer turns
+/// that into 503, the backpressure signal) — while consumers block in
+/// WaitPop until events or Close() arrive. Every admitted event gets a
+/// 1-based sequence number, which is what makes "the same event stream"
+/// well-defined for the offline-replay bit-identity check.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity);
+
+  /// Admits `event` and returns its sequence number, or ResourceExhausted
+  /// when the log is full / FailedPrecondition after Close().
+  StatusOr<uint64_t> Append(CheckinEvent event) EXCLUDES(mu_);
+
+  /// Blocks until at least one event is available (or the log is closed),
+  /// then moves up to `max` events into `*out` (appended; the caller clears)
+  /// and returns how many. Returns 0 only when closed and drained.
+  size_t WaitPop(size_t max, std::vector<CheckinEvent>* out) EXCLUDES(mu_);
+
+  /// Non-blocking WaitPop.
+  size_t TryPop(size_t max, std::vector<CheckinEvent>* out) EXCLUDES(mu_);
+
+  /// Marks the log closed: further Appends fail, WaitPop drains what is
+  /// left and then returns 0 instead of blocking.
+  void Close() EXCLUDES(mu_);
+
+  size_t size() const EXCLUDES(mu_);
+  bool closed() const EXCLUDES(mu_);
+  uint64_t total_appended() const EXCLUDES(mu_);
+
+ private:
+  size_t PopLocked(size_t max, std::vector<CheckinEvent>* out) REQUIRES(mu_);
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<CheckinEvent> events_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace sttr::stream
+
+#endif  // STTR_STREAM_EVENT_LOG_H_

@@ -1,0 +1,230 @@
+#include "stream/incremental_trainer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "util/check.h"
+
+namespace sttr::stream {
+
+namespace {
+
+bool SortedContains(const std::vector<int64_t>& v, int64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void SortedInsert(std::vector<int64_t>& v, int64_t x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+/// Sorted copy of a dirty-row set (deltas keep rows ordered so inspection
+/// diffs are stable).
+std::vector<int64_t> SortedRows(const std::unordered_set<int64_t>& dirty) {
+  std::vector<int64_t> rows(dirty.begin(), dirty.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Copies the named rows out of `table` into a row delta.
+EmbeddingRowDelta SnapshotRows(const Tensor& table,
+                               std::vector<int64_t> rows) {
+  EmbeddingRowDelta d;
+  d.dim = table.cols();
+  d.rows = std::move(rows);
+  d.values.resize(d.rows.size() * d.dim);
+  for (size_t i = 0; i < d.rows.size(); ++i) {
+    std::memcpy(d.values.data() + i * d.dim,
+                table.row(static_cast<size_t>(d.rows[i])),
+                d.dim * sizeof(float));
+  }
+  return d;
+}
+
+}  // namespace
+
+IncrementalTrainer::IncrementalTrainer(IncrementalTrainerConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+Env& IncrementalTrainer::env() const {
+  return config_.env != nullptr ? *config_.env : *Env::Default();
+}
+
+Status IncrementalTrainer::Init(StTransRec* model, const Dataset& dataset,
+                                const std::string& base_checkpoint_path) {
+  STTR_CHECK(model != nullptr);
+  if (!model->prepared()) {
+    return Status::FailedPrecondition(
+        "IncrementalTrainer::Init: model must be Prepare()d");
+  }
+  if (config_.delta_dir.empty()) {
+    return Status::InvalidArgument(
+        "IncrementalTrainer: config.delta_dir is empty");
+  }
+
+  StatusOr<CheckpointReader> reader =
+      CheckpointReader::Open(env(), base_checkpoint_path);
+  if (!reader.ok()) return reader.status();
+  if (reader->version() != kCheckpointFormatVersion) {
+    return Status::FailedPrecondition(
+        "IncrementalTrainer: base " + base_checkpoint_path +
+        " is not a v1 training checkpoint (version " +
+        std::to_string(reader->version()) + ")");
+  }
+  StatusOr<std::string> fingerprint = reader->Section("config");
+  if (!fingerprint.ok()) return fingerprint.status();
+  if (*fingerprint != model->ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "IncrementalTrainer: base checkpoint was written under a different "
+        "config or dataset (base '" +
+        *fingerprint + "' vs model '" + model->ConfigFingerprint() + "')");
+  }
+  // The section CRC binds every published delta to these exact bytes.
+  uint32_t model_crc = 0;
+  for (const CheckpointSection& s : reader->sections()) {
+    if (s.name == "model") model_crc = s.crc;
+  }
+  StatusOr<std::string> params = reader->Section("model");
+  if (!params.ok()) return params.status();
+  {
+    std::istringstream in(*params, std::ios::binary);
+    STTR_RETURN_IF_ERROR(model->Load(in));
+  }
+  uint64_t epoch = 0;
+  StatusOr<std::string> meta = reader->Section("meta");
+  if (meta.ok()) {
+    std::string_view in(*meta);
+    ReadU64(in, &epoch);
+  }
+
+  STTR_RETURN_IF_ERROR(env().CreateDir(config_.delta_dir));
+
+  model_ = model;
+  dataset_ = &dataset;
+  base_epoch_ = epoch;
+  base_model_crc_ = model_crc;
+  fingerprint_ = *std::move(fingerprint);
+
+  std::vector<ag::Variable> all = model_->Parameters();
+  std::vector<ag::Variable> embeddings(
+      all.begin(),
+      all.begin() + static_cast<long>(model_->NumEmbeddingParameters()));
+  optimizer_ = std::make_unique<nn::Adam>(std::move(embeddings),
+                                          model_->config().learning_rate);
+
+  user_visited_.assign(dataset.num_users(), {});
+  for (const CheckinRecord& rec : dataset.checkins()) {
+    user_visited_[static_cast<size_t>(rec.user)].push_back(rec.poi);
+  }
+  for (auto& v : user_visited_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  dirty_user_.clear();
+  dirty_poi_.clear();
+  dirty_word_.clear();
+  events_applied_ = 0;
+  published_seq_ = 0;
+  return Status::OK();
+}
+
+Status IncrementalTrainer::TrainWindow(std::span<const CheckinEvent> events) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("IncrementalTrainer: Init() not called");
+  }
+  if (events.empty()) return Status::OK();
+
+  const size_t negatives = model_->config().negatives_per_positive;
+  TrainingBatch batch;
+  const size_t rows = events.size() * (1 + negatives);
+  batch.users.reserve(rows);
+  batch.pois.reserve(rows);
+  std::vector<float> labels;
+  labels.reserve(rows);
+  for (const CheckinEvent& e : events) {
+    const auto& pool = dataset_->PoisInCity(e.city);
+    if (pool.empty()) {
+      return Status::InvalidArgument("TrainWindow: city " +
+                                     std::to_string(e.city) + " has no POIs");
+    }
+    batch.users.push_back(e.user);
+    batch.pois.push_back(e.poi);
+    labels.push_back(1.0f);
+    auto& visited = user_visited_[static_cast<size_t>(e.user)];
+    for (size_t k = 0; k < negatives; ++k) {
+      // Same rejection scheme as StTransRec::SampleBatch: up to 8 re-draws
+      // to dodge the user's visited set, then give up (tiny city pools).
+      int64_t neg = static_cast<int64_t>(pool[rng_.UniformInt(pool.size())]);
+      for (int tries = 0; tries < 8 && SortedContains(visited, neg);
+           ++tries) {
+        neg = static_cast<int64_t>(pool[rng_.UniformInt(pool.size())]);
+      }
+      batch.users.push_back(e.user);
+      batch.pois.push_back(neg);
+      labels.push_back(0.0f);
+    }
+    // The event is now history: later negative draws must not sample it.
+    SortedInsert(visited, e.poi);
+  }
+  const size_t n_labels = labels.size();
+  batch.labels = Tensor({n_labels}, std::move(labels));
+
+  // Interaction term only (sg_/mmd_/geo_ vectors stay empty, so
+  // ComputeGradients skips those losses — and the word table, which keeps
+  // serving the frozen word bridge).
+  model_->ComputeGradients(batch, rng_);
+
+  // Touched rows must be harvested before Step(): the optimizer consumes
+  // and clears them via ZeroGradSparse.
+  std::vector<ag::Variable> params = model_->Parameters();
+  std::unordered_set<int64_t>* dirty[3] = {&dirty_user_, &dirty_poi_,
+                                           &dirty_word_};
+  for (size_t t = 0; t < model_->NumEmbeddingParameters(); ++t) {
+    for (int64_t row : params[t].touched_rows()) dirty[t]->insert(row);
+  }
+  optimizer_->Step();
+  // The tower is frozen: its accumulated gradients are dropped, not
+  // applied, so no dense parameter ever drifts from the base (which is
+  // what makes row-level cache invalidation sound).
+  for (size_t i = model_->NumEmbeddingParameters(); i < params.size(); ++i) {
+    params[i].ZeroGrad();
+  }
+
+  events_applied_ += events.size();
+  return Status::OK();
+}
+
+DeltaCheckpoint IncrementalTrainer::BuildDelta() const {
+  STTR_CHECK(model_ != nullptr) << "Init() not called";
+  std::vector<ag::Variable> params = model_->Parameters();
+  DeltaCheckpoint delta;
+  delta.base_epoch = base_epoch_;
+  delta.base_model_crc = base_model_crc_;
+  delta.seq = published_seq_ + 1;
+  delta.events_applied = events_applied_;
+  delta.config_fingerprint = fingerprint_;
+  delta.user = SnapshotRows(params[0].value(), SortedRows(dirty_user_));
+  delta.poi = SnapshotRows(params[1].value(), SortedRows(dirty_poi_));
+  delta.word = SnapshotRows(params[2].value(), SortedRows(dirty_word_));
+  return delta;
+}
+
+Status IncrementalTrainer::PublishDelta() {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("IncrementalTrainer: Init() not called");
+  }
+  if (events_applied_ == 0) return Status::OK();
+  const DeltaCheckpoint delta = BuildDelta();
+  const std::string path =
+      config_.delta_dir + "/" + DeltaFileName(delta.seq);
+  STTR_RETURN_IF_ERROR(WriteDeltaCheckpoint(env(), path, delta));
+  published_seq_ = delta.seq;
+  return RotateDeltas(env(), config_.delta_dir,
+                      std::max<size_t>(1, config_.delta_keep_last));
+}
+
+}  // namespace sttr::stream

@@ -1,0 +1,117 @@
+#ifndef STTR_STREAM_INCREMENTAL_TRAINER_H_
+#define STTR_STREAM_INCREMENTAL_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/st_transrec.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "stream/event_log.h"
+#include "util/fs.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sttr::stream {
+
+struct IncrementalTrainerConfig {
+  /// Directory deltas are published into (conventionally
+  /// "<checkpoint_dir>/delta"); created on Init.
+  std::string delta_dir;
+  /// Keep-last-K rotation of published deltas. Because deltas are
+  /// cumulative, the newest one alone carries the full patch.
+  size_t delta_keep_last = 4;
+  /// Seed of the trainer's private RNG stream (negative sampling +
+  /// dropout). Part of what "the same event stream" means for the
+  /// offline-replay bit-identity guarantee.
+  uint64_t seed = 1u << 17;
+  /// Filesystem for delta publishing; null means Env::Default(). Tests
+  /// inject a FaultInjectionEnv here.
+  Env* env = nullptr;
+};
+
+/// Online trainer over streamed check-ins: consumes event windows, runs the
+/// model's interaction loss (positives = the events, negatives sampled from
+/// the event city's POI pool), and steps ONLY the embedding tables — its
+/// private Adam owns just the user/POI/word Variables, and the dense MLP
+/// gradients are discarded every window. Freezing the tower is what makes
+/// the published row-deltas a complete description of the update (and
+/// row-level cache invalidation sound): every parameter the stream moves is
+/// an embedding row the delta carries.
+///
+/// Everything is deterministic — single-threaded, one seeded RNG, event
+/// order fixed by the log's sequence numbers — so replaying the same events
+/// in the same windows through a fresh trainer over the same base checkpoint
+/// reproduces the parameters bit-identically. That replay IS the offline
+/// retrain of the end-to-end invariant, and the E2E test does exactly it.
+class IncrementalTrainer {
+ public:
+  explicit IncrementalTrainer(IncrementalTrainerConfig config);
+
+  /// Binds the trainer to a Prepare()d model and loads the base
+  /// checkpoint's parameters into it. Verifies the base's config
+  /// fingerprint against the model, records its epoch and model-section
+  /// CRC for delta provenance, and creates the delta directory. The model
+  /// and dataset must outlive the trainer.
+  Status Init(StTransRec* model, const Dataset& dataset,
+              const std::string& base_checkpoint_path);
+
+  /// Trains one window (one optimizer step) on `events`, in order.
+  /// Events must reference valid ids (the ingest service validates).
+  Status TrainWindow(std::span<const CheckinEvent> events);
+
+  /// Publishes the cumulative delta (every row touched since Init) as the
+  /// next delta file and rotates old ones. No-op Status::OK when nothing
+  /// was trained since Init.
+  Status PublishDelta();
+
+  /// Builds the cumulative delta in memory without writing it (what
+  /// PublishDelta would write, minus seq assignment side effects).
+  DeltaCheckpoint BuildDelta() const;
+
+  uint64_t events_applied() const { return events_applied_; }
+  uint64_t published_seq() const { return published_seq_; }
+  size_t dirty_user_rows() const { return dirty_user_.size(); }
+  size_t dirty_poi_rows() const { return dirty_poi_.size(); }
+  size_t dirty_word_rows() const { return dirty_word_.size(); }
+  const std::string& delta_dir() const { return config_.delta_dir; }
+
+ private:
+  Env& env() const;
+
+  IncrementalTrainerConfig config_;
+  Rng rng_;
+
+  StTransRec* model_ = nullptr;
+  const Dataset* dataset_ = nullptr;
+
+  // Base provenance, captured by Init.
+  uint64_t base_epoch_ = 0;
+  uint32_t base_model_crc_ = 0;
+  std::string fingerprint_;
+
+  /// Adam over ONLY the embedding tables (model params 0..2); the dense
+  /// tower is frozen. Fresh moments (the offline replay starts from the
+  /// same zeros).
+  std::unique_ptr<nn::Adam> optimizer_;
+
+  /// Per-user visited POIs (sorted), seeded from the dataset's check-ins
+  /// and extended with streamed events, for negative-sample rejection.
+  std::vector<std::vector<int64_t>> user_visited_;
+
+  std::unordered_set<int64_t> dirty_user_;
+  std::unordered_set<int64_t> dirty_poi_;
+  std::unordered_set<int64_t> dirty_word_;
+
+  uint64_t events_applied_ = 0;
+  uint64_t published_seq_ = 0;
+};
+
+}  // namespace sttr::stream
+
+#endif  // STTR_STREAM_INCREMENTAL_TRAINER_H_

@@ -1,0 +1,131 @@
+#include "stream/ingest_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sttr::stream {
+
+IngestService::IngestService(const Dataset& dataset,
+                             IncrementalTrainer* trainer, IngestStats* stats,
+                             IngestServiceConfig config)
+    : dataset_(dataset),
+      trainer_(trainer),
+      stats_(stats),
+      config_(config),
+      log_(config.queue_capacity) {
+  if (config_.window == 0) config_.window = 1;
+  if (config_.publish_every_windows == 0) config_.publish_every_windows = 1;
+}
+
+IngestService::~IngestService() { Stop(); }
+
+StatusOr<uint64_t> IngestService::Submit(CheckinEvent event) {
+  const auto reject = [this](Status status) -> StatusOr<uint64_t> {
+    if (stats_ != nullptr) {
+      stats_->checkins_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
+  };
+  if (event.user < 0 ||
+      static_cast<size_t>(event.user) >= dataset_.num_users()) {
+    return reject(Status::InvalidArgument("checkin: unknown user " +
+                                          std::to_string(event.user)));
+  }
+  if (event.poi < 0 || static_cast<size_t>(event.poi) >= dataset_.num_pois()) {
+    return reject(Status::InvalidArgument("checkin: unknown poi " +
+                                          std::to_string(event.poi)));
+  }
+  const CityId poi_city = dataset_.poi(event.poi).city;
+  if (event.city < 0) {
+    event.city = poi_city;
+  } else if (event.city != poi_city) {
+    return reject(Status::InvalidArgument(
+        "checkin: city " + std::to_string(event.city) + " does not match poi " +
+        std::to_string(event.poi) + "'s city " + std::to_string(poi_city)));
+  }
+  StatusOr<uint64_t> seq = log_.Append(event);
+  if (!seq.ok()) return reject(seq.status());
+  if (stats_ != nullptr) {
+    stats_->checkins_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return seq;
+}
+
+void IngestService::TrainAndMaybePublish(
+    const std::vector<CheckinEvent>& events, bool force_publish) {
+  if (!events.empty()) {
+    const Status trained = trainer_->TrainWindow(events);
+    if (!trained.ok()) {
+      STTR_LOG(Warning) << "ingest: window dropped: " << trained.ToString();
+      return;
+    }
+    ++windows_trained_;
+    if (stats_ != nullptr) {
+      stats_->events_trained.fetch_add(events.size(),
+                                       std::memory_order_relaxed);
+    }
+  }
+  const bool cadence =
+      windows_trained_ - windows_published_ >= config_.publish_every_windows;
+  if (!cadence && !(force_publish && windows_trained_ > windows_published_)) {
+    return;
+  }
+  const Status published = trainer_->PublishDelta();
+  if (published.ok()) {
+    windows_published_ = windows_trained_;
+    if (stats_ != nullptr) {
+      stats_->deltas_published.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Keep training: the next publish attempt carries the same rows again
+    // (deltas are cumulative), so a transient IO failure loses freshness,
+    // never updates.
+    if (stats_ != nullptr) {
+      stats_->delta_publish_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    STTR_LOG(Warning) << "ingest: delta publish failed: "
+                      << published.ToString();
+  }
+}
+
+void IngestService::TrainerLoop() {
+  std::vector<CheckinEvent> window;
+  window.reserve(config_.window);
+  for (;;) {
+    window.clear();
+    while (window.size() < config_.window) {
+      const size_t got =
+          log_.WaitPop(config_.window - window.size(), &window);
+      if (got == 0) {
+        // Closed and drained: the trailing partial window (the only one in
+        // the stream, see IngestServiceConfig::window) plus a final
+        // publish, then out.
+        TrainAndMaybePublish(window, /*force_publish=*/true);
+        return;
+      }
+    }
+    TrainAndMaybePublish(window, /*force_publish=*/false);
+  }
+}
+
+void IngestService::Start() {
+  MutexLock lock(lifecycle_mu_);
+  if (running_) return;
+  running_ = true;
+  loop_ = std::thread([this] { TrainerLoop(); });
+}
+
+void IngestService::Stop() {
+  log_.Close();
+  std::thread to_join;
+  {
+    MutexLock lock(lifecycle_mu_);
+    if (!running_) return;
+    running_ = false;
+    to_join = std::move(loop_);
+  }
+  to_join.join();
+}
+
+}  // namespace sttr::stream

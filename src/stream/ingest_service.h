@@ -1,0 +1,92 @@
+#ifndef STTR_STREAM_INGEST_SERVICE_H_
+#define STTR_STREAM_INGEST_SERVICE_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stream/event_log.h"
+#include "stream/incremental_trainer.h"
+#include "stream/ingest_stats.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace sttr::stream {
+
+struct IngestServiceConfig {
+  /// Event-log capacity; a full log rejects Submits (HTTP 503 upstream).
+  size_t queue_capacity = 4096;
+  /// Events per training window (one optimizer step). The background loop
+  /// trains only FULL windows — a trailing partial window is trained once,
+  /// at Stop() — so the window boundaries are a pure function of the event
+  /// count, which is what lets an offline replay chunk the same stream
+  /// identically (the bit-identity guarantee).
+  size_t window = 32;
+  /// Publish a delta after this many trained windows (and once more at
+  /// Stop() when anything is unpublished).
+  size_t publish_every_windows = 1;
+};
+
+/// Glue of the streaming path: validates and enqueues check-ins from the
+/// HTTP layer (Submit, any thread) and runs the incremental trainer over
+/// them on one background thread, publishing deltas on its cadence. The
+/// trainer itself is single-threaded and owned by the caller so tests can
+/// drive it synchronously instead of through Start().
+class IngestService {
+ public:
+  /// `trainer` must be Init()ed; dataset/trainer/stats must outlive the
+  /// service. `stats` may be null.
+  IngestService(const Dataset& dataset, IncrementalTrainer* trainer,
+                IngestStats* stats, IngestServiceConfig config);
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Validates the event against the dataset's id spaces (a negative city
+  /// is filled in from the POI; a stated city must match it) and enqueues.
+  /// Returns the admission sequence number; InvalidArgument for bad ids,
+  /// ResourceExhausted when the log is full — both counted.
+  StatusOr<uint64_t> Submit(CheckinEvent event);
+
+  /// Spawns the trainer loop. No-op if already running.
+  void Start() EXCLUDES(lifecycle_mu_);
+
+  /// Closes the log, waits for the loop to train the remainder (including
+  /// one final partial window) and publish a last delta, then joins.
+  /// Without Start(), just closes the log.
+  void Stop() EXCLUDES(lifecycle_mu_);
+
+  /// Queued (not yet trained) events.
+  size_t pending() const { return log_.size(); }
+
+  EventLog& log() { return log_; }
+  const IncrementalTrainer& trainer() const { return *trainer_; }
+
+ private:
+  void TrainerLoop();
+  /// Trains `events` and publishes on cadence; failures are counted and
+  /// logged, never fatal to the loop (serving continues from the last
+  /// good delta).
+  void TrainAndMaybePublish(const std::vector<CheckinEvent>& events,
+                            bool force_publish);
+
+  const Dataset& dataset_;
+  IncrementalTrainer* trainer_;
+  IngestStats* stats_;
+  IngestServiceConfig config_;
+  EventLog log_;
+
+  uint64_t windows_trained_ = 0;  ///< trainer-loop thread only
+  uint64_t windows_published_ = 0;
+
+  Mutex lifecycle_mu_;
+  bool running_ GUARDED_BY(lifecycle_mu_) = false;
+  std::thread loop_ GUARDED_BY(lifecycle_mu_);
+};
+
+}  // namespace sttr::stream
+
+#endif  // STTR_STREAM_INGEST_SERVICE_H_

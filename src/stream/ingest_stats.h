@@ -1,0 +1,23 @@
+#ifndef STTR_STREAM_INGEST_STATS_H_
+#define STTR_STREAM_INGEST_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sttr::stream {
+
+/// Counters of the streaming ingest pipeline (event log → incremental
+/// trainer → delta publisher). All relaxed atomics, same snapshot semantics
+/// as serve::ServeStats, which embeds one of these so /statz can surface
+/// them; stream code never depends on serve.
+struct IngestStats {
+  std::atomic<uint64_t> checkins_accepted{0};  ///< events admitted to the log
+  std::atomic<uint64_t> checkins_rejected{0};  ///< log full or invalid ids
+  std::atomic<uint64_t> events_trained{0};     ///< events consumed by windows
+  std::atomic<uint64_t> deltas_published{0};   ///< delta files written
+  std::atomic<uint64_t> delta_publish_failures{0};
+};
+
+}  // namespace sttr::stream
+
+#endif  // STTR_STREAM_INGEST_STATS_H_

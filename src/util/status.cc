@@ -12,6 +12,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotFound";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
     case StatusCode::kInternal:

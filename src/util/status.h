@@ -14,6 +14,7 @@ enum class StatusCode {
   kInvalidArgument,
   kNotFound,
   kOutOfRange,
+  kResourceExhausted,
   kFailedPrecondition,
   kInternal,
   kIOError,
@@ -41,6 +42,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));

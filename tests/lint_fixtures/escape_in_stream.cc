@@ -1,0 +1,12 @@
+// lint-fixture-as: src/stream/escape_in_stream.cc
+// expect-violation: no-analysis-escape
+//
+// The streaming ingestion layer shares the serving stack's lock discipline
+// (event log, trainer loop, delta publishing); like src/serve/, no code
+// there may opt out of the analysis, justified or not.
+#include "util/thread_annotations.h"
+
+struct Ingesty {
+  // A justification comment does not help inside src/stream/.
+  void Sneaky() NO_THREAD_SAFETY_ANALYSIS {}
+};

@@ -1,0 +1,14 @@
+// lint-fixture-as: src/stream/raw_socket_in_stream.cc
+// expect-violation: raw-socket
+// expect-violation: raw-mutex
+//
+// The streaming layer is covered by the generic src/-wide rules too: a raw
+// socket call would bypass the fault-injection seam the streaming chaos
+// suite drives, and a raw mutex would hide the ingest locks from
+// -Wthread-safety.
+#include <mutex>
+
+void StreamBad(int fd, const void* buf, unsigned long n) {
+  std::mutex mu;            // violation: raw-mutex
+  ::send(fd, buf, n, 0);    // violation: raw-socket
+}

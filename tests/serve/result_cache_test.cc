@@ -151,5 +151,109 @@ TEST(ResultCacheTest, ConcurrentMixedTrafficIsSafe) {
   EXPECT_LE(cache.GetStats().entries, 64u + 8u);  // capacity, give-or-take lazy eviction
 }
 
+TEST(ResultCacheTest, InvalidateRowsDropsMatchingUsersOnly) {
+  ResultCache cache(ResultCacheConfig{});
+  for (UserId u = 1; u <= 3; ++u) cache.Put(Key(u), Val(u, 1.0));
+  const std::vector<UserId> users = {2};
+  cache.InvalidateRows(users, {});
+  EXPECT_TRUE(cache.Get(Key(1)).has_value());
+  EXPECT_FALSE(cache.Get(Key(2)).has_value());
+  EXPECT_TRUE(cache.Get(Key(3)).has_value());
+  EXPECT_EQ(cache.GetStats().row_invalidations, 1u);
+}
+
+TEST(ResultCacheTest, InvalidateRowsDropsMatchingCities) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Put(Key(1, 0, 10, /*city=*/7), Val(1, 1.0));
+  cache.Put(Key(2, 0, 10, /*city=*/8), Val(2, 1.0));
+  const std::vector<CityId> cities = {7};
+  cache.InvalidateRows({}, cities);
+  // Every entry in city 7 is gone regardless of user; city 8 survives.
+  EXPECT_FALSE(cache.Get(Key(1, 0, 10, 7)).has_value());
+  EXPECT_TRUE(cache.Get(Key(2, 0, 10, 8)).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateRowsSparesEntriesPutAfterward) {
+  ResultCache cache(ResultCacheConfig{});
+  const std::vector<UserId> users = {1};
+  cache.Put(Key(1), Val(1, 1.0));
+  cache.InvalidateRows(users, {});
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());
+  // A result computed AFTER the patch saw the new rows and must be served.
+  cache.Put(Key(1), Val(1, 2.0));
+  const auto hit = cache.Get(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].second, 2.0);
+  // ...until the next patch of the same row outdates it again.
+  cache.InvalidateRows(users, {});
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());
+}
+
+TEST(ResultCacheTest, EmptyInvalidateRowsIsANoOp) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Put(Key(1), Val(1, 1.0));
+  cache.InvalidateRows({}, {});
+  EXPECT_TRUE(cache.Get(Key(1)).has_value());
+  EXPECT_EQ(cache.GetStats().row_invalidations, 0u);
+}
+
+TEST(ResultCacheTest, FloorOverflowDegradesToFullFlush) {
+  ResultCache cache(ResultCacheConfig{});
+  cache.Put(Key(1), Val(1, 1.0));
+  cache.Put(Key(999999), Val(2, 1.0));
+  // More distinct rows than the floor index may hold: the call must stay
+  // correct by degrading to a wholesale flush (coarser, never stale).
+  std::vector<UserId> flood((1u << 20) + 1);
+  for (size_t i = 0; i < flood.size(); ++i) {
+    flood[i] = static_cast<UserId>(i + 100);
+  }
+  cache.InvalidateRows(flood, {});
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());  // not even in `flood`
+  EXPECT_FALSE(cache.Get(Key(999999)).has_value());
+  EXPECT_GE(cache.GetStats().invalidations, 1u);
+  // The index restarted empty, so row-level precision is back.
+  cache.Put(Key(1), Val(1, 3.0));
+  cache.Put(Key(2), Val(2, 3.0));
+  const std::vector<UserId> one = {1};
+  cache.InvalidateRows(one, {});
+  EXPECT_FALSE(cache.Get(Key(1)).has_value());
+  EXPECT_TRUE(cache.Get(Key(2)).has_value());
+}
+
+// TSan shape: readers and writers race InvalidateRows. The safety property
+// is freedom from data races plus the staleness invariant spot-checked at
+// the end (a final row patch with no later Put must never be served).
+TEST(ResultCacheTest, ConcurrentRowInvalidationIsSafe) {
+  ResultCache cache(ResultCacheConfig{});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3000; ++i) {
+        const UserId u = (t * 41 + i) % 64;
+        if (i % 2 == 0) {
+          cache.Put(Key(u), Val(u, static_cast<double>(i)));
+        } else if (auto hit = cache.Get(Key(u))) {
+          EXPECT_EQ((*hit)[0].first, u);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    for (int i = 0; i < 1000; ++i) {
+      const std::vector<UserId> users = {static_cast<UserId>(i % 64)};
+      const std::vector<CityId> cities = {static_cast<CityId>(i % 4)};
+      cache.InvalidateRows(users, cities);
+    }
+  });
+  for (auto& th : threads) th.join();
+  invalidator.join();
+
+  for (UserId u = 0; u < 64; ++u) {
+    const std::vector<UserId> users = {u};
+    cache.InvalidateRows(users, {});
+    EXPECT_FALSE(cache.Get(Key(u)).has_value()) << "stale user " << u;
+  }
+}
+
 }  // namespace
 }  // namespace sttr::serve

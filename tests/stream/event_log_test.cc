@@ -1,0 +1,123 @@
+// Tests for the bounded in-memory check-in event log: FIFO order, sequence
+// assignment, backpressure when full, close semantics, and a
+// producer/consumer stress shape for TSan.
+
+#include "stream/event_log.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sttr::stream {
+namespace {
+
+CheckinEvent Ev(int64_t user, int64_t poi) {
+  CheckinEvent e;
+  e.user = user;
+  e.poi = poi;
+  e.city = 0;
+  e.time = 12.0;
+  return e;
+}
+
+TEST(EventLogTest, AppendAssignsMonotonicSeqAndPopsInOrder) {
+  EventLog log(/*capacity=*/8);
+  StatusOr<uint64_t> s1 = log.Append(Ev(1, 10));
+  StatusOr<uint64_t> s2 = log.Append(Ev(2, 20));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_LT(*s1, *s2);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_appended(), 2u);
+
+  std::vector<CheckinEvent> out;
+  EXPECT_EQ(log.WaitPop(4, &out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].user, 1);
+  EXPECT_EQ(out[0].seq, *s1);
+  EXPECT_EQ(out[1].user, 2);
+  EXPECT_EQ(out[1].seq, *s2);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLogTest, FullLogReturnsResourceExhausted) {
+  EventLog log(/*capacity=*/2);
+  ASSERT_TRUE(log.Append(Ev(1, 1)).ok());
+  ASSERT_TRUE(log.Append(Ev(2, 2)).ok());
+  StatusOr<uint64_t> overflow = log.Append(Ev(3, 3));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  // Draining makes room again.
+  std::vector<CheckinEvent> out;
+  ASSERT_EQ(log.TryPop(1, &out), 1u);
+  EXPECT_TRUE(log.Append(Ev(3, 3)).ok());
+}
+
+TEST(EventLogTest, ClosedLogRejectsAppendAndDrains) {
+  EventLog log(/*capacity=*/4);
+  ASSERT_TRUE(log.Append(Ev(1, 1)).ok());
+  log.Close();
+  StatusOr<uint64_t> after = log.Append(Ev(2, 2));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  // Buffered events are still handed out after Close...
+  std::vector<CheckinEvent> out;
+  EXPECT_EQ(log.WaitPop(4, &out), 1u);
+  // ...and once drained, WaitPop returns 0 instead of blocking forever.
+  out.clear();
+  EXPECT_EQ(log.WaitPop(4, &out), 0u);
+  EXPECT_TRUE(log.closed());
+}
+
+TEST(EventLogTest, TryPopDoesNotBlockOnEmpty) {
+  EventLog log(/*capacity=*/4);
+  std::vector<CheckinEvent> out;
+  EXPECT_EQ(log.TryPop(4, &out), 0u);
+}
+
+// Concurrency shape for TSan: several producers race Append against one
+// consumer looping WaitPop until the log is closed and drained. Every event
+// must come out exactly once, in globally seq-increasing order.
+TEST(EventLogTest, ConcurrentProducersSingleConsumer) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  EventLog log(/*capacity=*/32);
+
+  std::vector<CheckinEvent> consumed;
+  std::thread consumer([&] {
+    std::vector<CheckinEvent> batch;
+    while (true) {
+      batch.clear();
+      if (log.WaitPop(16, &batch) == 0) break;
+      consumed.insert(consumed.end(), batch.begin(), batch.end());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Retry on backpressure: the log is deliberately smaller than the
+        // workload.
+        while (!log.Append(Ev(p, i)).ok()) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  log.Close();
+  consumer.join();
+
+  ASSERT_EQ(consumed.size(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  for (size_t i = 1; i < consumed.size(); ++i) {
+    EXPECT_LT(consumed[i - 1].seq, consumed[i].seq);
+  }
+  EXPECT_EQ(log.total_appended(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+}
+
+}  // namespace
+}  // namespace sttr::stream

@@ -1,0 +1,358 @@
+// HTTP-level tests of the streaming ingest endpoint and cold-start serving:
+// /checkin semantics (validation, backpressure, lifecycle) pinned
+// byte-identical across both serving modes, ingest counters on /statz, and
+// the cold-start marker + word-bridge path on /recommend.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../serve/serve_test_util.h"
+#include "../serve/test_http_client.h"
+#include "core/checkpoint.h"
+#include "core/st_transrec.h"
+#include "serve/batcher.h"
+#include "serve/candidate_index.h"
+#include "serve/model_bundle.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "stream/cold_start.h"
+#include "stream/incremental_trainer.h"
+#include "stream/ingest_service.h"
+#include "util/string_util.h"
+
+namespace sttr::stream {
+namespace {
+
+using serve::MakeServeFixture;
+using serve::ModelBundle;
+using serve::ModelBundleConfig;
+using serve::RecommendServer;
+using serve::ResultCache;
+using serve::ResultCacheConfig;
+using serve::ScoreBatcher;
+using serve::ServeFixture;
+using serve::ServeMode;
+using serve::ServerConfig;
+using serve::ServeStats;
+using serve::ServeTestDir;
+using serve::SmallServeModelConfig;
+using serve::TestHttpClient;
+using serve::TrainSmallModel;
+
+std::string Request(const std::string& method, const std::string& target) {
+  return method + " " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+
+/// One serving stack with its own streaming pipeline (stream model, trainer,
+/// ingest service) so the two modes never share mutable state.
+struct Side {
+  ServeStats stats;
+  std::unique_ptr<ModelBundle> bundle;
+  std::unique_ptr<ResultCache> cache;
+  std::unique_ptr<ScoreBatcher> batcher;
+  std::unique_ptr<StTransRec> stream_model;
+  std::unique_ptr<IncrementalTrainer> trainer;
+  std::unique_ptr<IngestService> ingest;
+  std::unique_ptr<RecommendServer> server;
+
+  ~Side() {
+    if (server != nullptr) server->Shutdown();
+    if (ingest != nullptr) ingest->Stop();
+    if (batcher != nullptr) batcher->Stop();
+  }
+};
+
+struct SideOptions {
+  bool with_ingest = true;
+  bool with_cold_start = true;
+  bool start_ingest_loop = false;
+  size_t queue_capacity = 256;
+};
+
+class IngestServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new ServeFixture(MakeServeFixture());
+    ckpt_dir_ = new std::string(ServeTestDir());
+    TrainSmallModel(*fixture_, *ckpt_dir_);
+  }
+  static void TearDownTestSuite() {
+    delete ckpt_dir_;
+    delete fixture_;
+    ckpt_dir_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  void SetUp() override {
+    index_ = std::make_unique<serve::CandidateIndex>(
+        fixture_->world.dataset, &fixture_->split,
+        serve::CandidateIndexConfig{});
+    cold_scorer_ =
+        std::make_unique<ColdStartScorer>(fixture_->world.dataset,
+                                          ColdStartConfig{});
+  }
+
+  std::unique_ptr<Side> MakeSide(ServeMode mode, const SideOptions& opt,
+                                 const std::string& leaf) {
+    auto side = std::make_unique<Side>();
+    ModelBundleConfig bundle_config;
+    bundle_config.checkpoint_dir = *ckpt_dir_;
+    bundle_config.model = SmallServeModelConfig();
+    side->bundle = std::make_unique<ModelBundle>(
+        fixture_->world.dataset, fixture_->split, bundle_config);
+    STTR_CHECK_OK(side->bundle->LoadInitial());
+    side->cache = std::make_unique<ResultCache>(ResultCacheConfig{});
+    side->batcher =
+        std::make_unique<ScoreBatcher>(serve::BatcherConfig{}, &side->stats);
+    side->batcher->Start();
+
+    if (opt.with_ingest) {
+      side->stream_model =
+          std::make_unique<StTransRec>(SmallServeModelConfig());
+      STTR_CHECK_OK(
+          side->stream_model->Prepare(fixture_->world.dataset,
+                                      fixture_->split));
+      IncrementalTrainerConfig tcfg;
+      tcfg.delta_dir = ServeTestDir() + "/delta_" + leaf;
+      side->trainer = std::make_unique<IncrementalTrainer>(tcfg);
+      STTR_CHECK_OK(side->trainer->Init(
+          side->stream_model.get(), fixture_->world.dataset,
+          side->bundle->snapshot()->checkpoint_path));
+      IngestServiceConfig icfg;
+      icfg.queue_capacity = opt.queue_capacity;
+      icfg.window = 8;
+      side->ingest = std::make_unique<IngestService>(
+          fixture_->world.dataset, side->trainer.get(), &side->stats.ingest,
+          icfg);
+      if (opt.start_ingest_loop) side->ingest->Start();
+    }
+
+    ServerConfig config;
+    config.mode = mode;
+    config.num_workers = 2;
+    config.default_city = fixture_->split.target_city;
+    side->server = std::make_unique<RecommendServer>(
+        config, fixture_->world.dataset, side->bundle.get(), index_.get(),
+        side->batcher.get(), side->cache.get(), &side->stats,
+        /*store=*/nullptr, side->ingest.get(),
+        opt.with_cold_start ? cold_scorer_.get() : nullptr);
+    STTR_CHECK_OK(side->server->Start());
+    return side;
+  }
+
+  std::string CheckinTarget(size_t i, bool with_city = true,
+                            bool with_time = true) const {
+    const CheckinRecord& r = fixture_->world.dataset.checkins()[i];
+    std::string target = "/checkin?user=" + std::to_string(r.user) +
+                         "&poi=" + std::to_string(r.poi);
+    if (with_city) target += "&city=" + std::to_string(r.city);
+    if (with_time) target += "&t=" + StrFormat("%.4f", r.time);
+    return target;
+  }
+
+  /// A well-formed check-in whose stated city contradicts the POI's.
+  std::string MismatchedCityTarget() const {
+    const CheckinRecord& r = fixture_->world.dataset.checkins()[0];
+    const CityId wrong = r.city == 0 ? 1 : 0;
+    return "/checkin?user=" + std::to_string(r.user) +
+           "&poi=" + std::to_string(r.poi) +
+           "&city=" + std::to_string(wrong);
+  }
+
+  std::string RecommendTarget(UserId user, const std::string& extra = "") {
+    const auto& pois =
+        fixture_->world.dataset.PoisInCity(fixture_->split.target_city);
+    const GeoPoint loc = fixture_->world.dataset.poi(pois[0]).location;
+    return "/recommend?user=" + std::to_string(user) +
+           "&lat=" + StrFormat("%.8f", loc.lat) +
+           "&lon=" + StrFormat("%.8f", loc.lon) + "&k=5" + extra;
+  }
+
+  /// A user with check-ins but none in the target city, or -1.
+  UserId FindColdUser() const {
+    const Dataset& ds = fixture_->world.dataset;
+    const CityId target = fixture_->split.target_city;
+    for (UserId u = 0; u < static_cast<UserId>(ds.num_users()); ++u) {
+      const std::vector<size_t>& idx = ds.CheckinsOfUser(u);
+      if (idx.empty()) continue;
+      bool in_city = false;
+      for (size_t i : idx) in_city |= ds.checkins()[i].city == target;
+      if (!in_city) return u;
+    }
+    return -1;
+  }
+
+  UserId FindWarmUser() const {
+    const Dataset& ds = fixture_->world.dataset;
+    for (UserId u = 0; u < static_cast<UserId>(ds.num_users()); ++u) {
+      for (size_t i : ds.CheckinsOfUser(u)) {
+        if (ds.checkins()[i].city == fixture_->split.target_city) return u;
+      }
+    }
+    return -1;
+  }
+
+  static ServeFixture* fixture_;
+  static std::string* ckpt_dir_;
+
+  std::unique_ptr<serve::CandidateIndex> index_;
+  std::unique_ptr<ColdStartScorer> cold_scorer_;
+};
+
+ServeFixture* IngestServerTest::fixture_ = nullptr;
+std::string* IngestServerTest::ckpt_dir_ = nullptr;
+
+TEST_F(IngestServerTest, CheckinByteIdenticalAcrossModes) {
+  auto epoll = MakeSide(ServeMode::kEventLoop, {}, "eq_epoll");
+  auto blocking = MakeSide(ServeMode::kBlocking, {}, "eq_blocking");
+  TestHttpClient a(epoll->server->port());
+  TestHttpClient b(blocking->server->port());
+
+  const std::vector<std::string> requests = {
+      Request("POST", CheckinTarget(0)),
+      Request("GET", CheckinTarget(1)),
+      // Optional params omitted: city derived from the POI, unknown time.
+      Request("POST", CheckinTarget(2, false, false)),
+      // Parse-level errors, one per parameter.
+      Request("POST", "/checkin?poi=1"),
+      Request("POST", "/checkin?user=abc&poi=1"),
+      Request("POST", "/checkin?user=1"),
+      Request("POST", "/checkin?user=1&poi=zz"),
+      Request("POST", "/checkin?user=1&poi=1&city=xx"),
+      Request("POST", "/checkin?user=1&poi=1&t=-2"),
+      Request("POST", "/checkin?user=1&poi=1&t=nope"),
+      // Semantic errors (Submit's job): out-of-range ids, mismatched city,
+      // and a city that would overflow CityId's range.
+      Request("POST", "/checkin?user=999999&poi=1"),
+      Request("POST", "/checkin?user=1&poi=999999"),
+      Request("POST", MismatchedCityTarget()),
+      Request("POST", "/checkin?user=1&poi=1&city=4294967296"),
+  };
+  for (const std::string& raw : requests) {
+    const auto ra = a.Roundtrip(raw);
+    const auto rb = b.Roundtrip(raw);
+    EXPECT_EQ(ra.raw, rb.raw) << "request: " << raw;
+  }
+}
+
+TEST_F(IngestServerTest, CheckinWithoutIngestIs404BothModes) {
+  SideOptions opt;
+  opt.with_ingest = false;
+  auto epoll = MakeSide(ServeMode::kEventLoop, opt, "no_ingest_e");
+  auto blocking = MakeSide(ServeMode::kBlocking, opt, "no_ingest_b");
+  TestHttpClient a(epoll->server->port());
+  TestHttpClient b(blocking->server->port());
+  const std::string raw = Request("POST", CheckinTarget(0));
+  const auto ra = a.Roundtrip(raw);
+  const auto rb = b.Roundtrip(raw);
+  EXPECT_EQ(ra.status, 404);
+  EXPECT_NE(ra.body.find("ingest not enabled"), std::string::npos);
+  EXPECT_EQ(ra.raw, rb.raw);
+}
+
+TEST_F(IngestServerTest, CheckinBackpressureAndStopAre503) {
+  SideOptions opt;
+  opt.queue_capacity = 2;  // loop not started: nothing drains
+  auto side = MakeSide(ServeMode::kEventLoop, opt, "bp");
+  TestHttpClient client(side->server->port());
+  EXPECT_EQ(client.Roundtrip(Request("POST", CheckinTarget(0))).status, 200);
+  EXPECT_EQ(client.Roundtrip(Request("POST", CheckinTarget(1))).status, 200);
+  const auto full = client.Roundtrip(Request("POST", CheckinTarget(2)));
+  EXPECT_EQ(full.status, 503);
+  EXPECT_NE(full.body.find("ingest queue full"), std::string::npos);
+
+  side->ingest->Stop();
+  const auto stopped = client.Roundtrip(Request("POST", CheckinTarget(3)));
+  EXPECT_EQ(stopped.status, 503);
+  EXPECT_NE(stopped.body.find("ingest stopped"), std::string::npos);
+}
+
+TEST_F(IngestServerTest, AcceptedCheckinsReachTrainerAndStatz) {
+  SideOptions opt;
+  opt.start_ingest_loop = true;
+  auto side = MakeSide(ServeMode::kEventLoop, opt, "train");
+  TestHttpClient client(side->server->port());
+  for (size_t i = 0; i < 10; ++i) {
+    const auto r = client.Roundtrip(Request("POST", CheckinTarget(i)));
+    ASSERT_EQ(r.status, 200) << r.body;
+    EXPECT_NE(r.body.find("\"accepted\": true"), std::string::npos);
+    EXPECT_NE(r.body.find("\"seq\": " + std::to_string(i + 1)),
+              std::string::npos);
+  }
+  side->ingest->Stop();  // drains + trains the final partial window
+  EXPECT_EQ(side->trainer->events_applied(), 10u);
+  EXPECT_GT(side->trainer->published_seq(), 0u);
+
+  const auto statz = client.Roundtrip(Request("GET", "/statz"));
+  EXPECT_EQ(statz.status, 200);
+  EXPECT_NE(statz.body.find("\"checkins_http\": 10"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"checkins_accepted\": 10"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"events_trained\": 10"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"deltas_published\""), std::string::npos);
+  EXPECT_NE(statz.body.find("\"delta_apply_ms\""), std::string::npos);
+}
+
+TEST_F(IngestServerTest, ColdStartRecommendUsesWordBridge) {
+  auto side = MakeSide(ServeMode::kEventLoop, {}, "cold");
+  TestHttpClient client(side->server->port());
+  const UserId cold = FindColdUser();
+  const UserId warm = FindWarmUser();
+  ASSERT_GE(cold, 0) << "fixture has no source-only user";
+  ASSERT_GE(warm, 0);
+
+  const auto cold_resp =
+      client.Roundtrip(Request("GET", RecommendTarget(cold, "&hour=13.5")));
+  ASSERT_EQ(cold_resp.status, 200) << cold_resp.body;
+  EXPECT_NE(cold_resp.body.find("\"cold_start\": true"), std::string::npos);
+  // Non-degraded: real ranked results, not an empty or error payload.
+  EXPECT_NE(cold_resp.body.find("\"results\""), std::string::npos);
+  EXPECT_NE(cold_resp.body.find("\"poi\""), std::string::npos);
+
+  const auto warm_resp = client.Roundtrip(Request("GET",
+                                                  RecommendTarget(warm)));
+  ASSERT_EQ(warm_resp.status, 200);
+  EXPECT_NE(warm_resp.body.find("\"cold_start\": false"), std::string::npos);
+
+  const auto bad_hour =
+      client.Roundtrip(Request("GET", RecommendTarget(cold, "&hour=-3")));
+  EXPECT_EQ(bad_hour.status, 400);
+  EXPECT_NE(bad_hour.body.find("invalid 'hour'"), std::string::npos);
+
+  EXPECT_GE(side->stats.cold_start_requests.load(), 1u);
+}
+
+TEST_F(IngestServerTest, ColdStartMarkerAbsentWithoutScorer) {
+  SideOptions opt;
+  opt.with_cold_start = false;
+  auto side = MakeSide(ServeMode::kEventLoop, opt, "nocold");
+  TestHttpClient client(side->server->port());
+  const auto resp =
+      client.Roundtrip(Request("GET", RecommendTarget(FindColdUser())));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.find("cold_start"), std::string::npos);
+}
+
+TEST_F(IngestServerTest, ColdStartByteIdenticalAcrossModes) {
+  auto epoll = MakeSide(ServeMode::kEventLoop, {}, "cold_e");
+  auto blocking = MakeSide(ServeMode::kBlocking, {}, "cold_b");
+  TestHttpClient a(epoll->server->port());
+  TestHttpClient b(blocking->server->port());
+  const UserId cold = FindColdUser();
+  ASSERT_GE(cold, 0);
+  for (const std::string& target :
+       {RecommendTarget(cold), RecommendTarget(cold, "&hour=8"),
+        RecommendTarget(cold, "&hour=-1"),
+        RecommendTarget(FindWarmUser(), "&hour=20")}) {
+    const std::string raw = Request("GET", target);
+    const auto ra = a.Roundtrip(raw);
+    const auto rb = b.Roundtrip(raw);
+    EXPECT_EQ(ra.raw, rb.raw) << "request: " << raw;
+  }
+}
+
+}  // namespace
+}  // namespace sttr::stream

@@ -10,14 +10,18 @@
 //   ckpt_inspect diff <a> <b>      section-by-section comparison; tensor-level
 //                                  stats for the model section
 //   ckpt_inspect latest <dir>      print the newest checkpoint that verifies
+//   ckpt_inspect latest-delta <dir>  print the newest v3 delta that verifies
 //   ckpt_inspect --help            full usage
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/delta.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/flags.h"
@@ -35,8 +39,11 @@ std::string HelpText(const FlagParser& flags) {
       "  verify <file>  verify magic/lengths/checksums (exit 1 on "
       "corruption)\n"
       "  diff <a> <b>   section-by-section comparison; tensor-level stats\n"
-      "                 for the model section\n"
-      "  latest <dir>   print the newest checkpoint that verifies");
+      "                 for the model section. With one v3 delta and one v1\n"
+      "                 base, shows the rows the delta changes — refused\n"
+      "                 when the delta targets a different base\n"
+      "  latest <dir>   print the newest checkpoint that verifies\n"
+      "  latest-delta <dir>  print the newest v3 delta that verifies");
 }
 
 int Usage(const FlagParser& flags) {
@@ -130,6 +137,30 @@ int List(const std::string& path) {
       std::printf("\n");
     } else if (IsQuantMatrixSection(s.name)) {
       PrintQuantSection(s.name, s.payload);
+    } else if (s.name == "delta_meta") {
+      std::string_view in(s.payload);
+      uint64_t base_epoch = 0, seq = 0, events = 0;
+      uint32_t base_crc = 0;
+      if (ReadU64(in, &base_epoch) && ReadU32(in, &base_crc) &&
+          ReadU64(in, &seq) && ReadU64(in, &events)) {
+        std::printf(
+            "delta_meta: seq %llu, %llu events, targets base epoch %llu "
+            "(model crc %08x)\n",
+            static_cast<unsigned long long>(seq),
+            static_cast<unsigned long long>(events),
+            static_cast<unsigned long long>(base_epoch), base_crc);
+      }
+    } else if (s.name.rfind("delta_rows_", 0) == 0) {
+      std::string_view in(s.payload);
+      uint64_t dim = 0, count = 0;
+      if (ReadU64(in, &dim) && ReadU64(in, &count)) {
+        std::printf("%s: %llu changed rows x dim %llu\n", s.name.c_str(),
+                    static_cast<unsigned long long>(count),
+                    static_cast<unsigned long long>(dim));
+      }
+    } else if (s.name == "delta_dense") {
+      std::printf("delta_dense: full dense-parameter refresh (%zu bytes)\n",
+                  s.payload.size());
     } else if (s.name == "loss_history") {
       std::string_view in(s.payload);
       uint64_t n = 0;
@@ -156,10 +187,110 @@ int Verify(const std::string& path) {
   return 0;
 }
 
+/// Delta-vs-base diff: shows exactly which embedding rows the delta rewrites
+/// and by how much. Refuses (exit 2) when the delta's recorded provenance
+/// (base epoch + model-section CRC) does not match the given base — a diff
+/// against the wrong base would print deltas that were never trained from it.
+int DiffDeltaAgainstBase(const CheckpointReader& delta_reader,
+                         const std::string& delta_path,
+                         const CheckpointReader& base_reader,
+                         const std::string& base_path) {
+  StatusOr<DeltaCheckpoint> delta = ParseDeltaCheckpoint(delta_reader);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "%s: %s\n", delta_path.c_str(),
+                 delta.status().ToString().c_str());
+    return 1;
+  }
+  if (base_reader.version() != kCheckpointFormatVersion) {
+    std::fprintf(stderr,
+                 "%s: format v%u is not an fp32 training checkpoint; a "
+                 "delta can only be diffed against its v%u base\n",
+                 base_path.c_str(), base_reader.version(),
+                 kCheckpointFormatVersion);
+    return 2;
+  }
+  uint64_t base_epoch = 0;
+  if (StatusOr<std::string> meta = base_reader.Section("meta"); meta.ok()) {
+    std::string_view in(*meta);
+    ReadU64(in, &base_epoch);
+  }
+  uint32_t base_crc = 0;
+  for (const CheckpointSection& s : base_reader.sections()) {
+    if (s.name == "model") base_crc = s.crc;
+  }
+  if (delta->base_epoch != base_epoch || delta->base_model_crc != base_crc) {
+    std::fprintf(stderr,
+                 "refusing to diff: %s targets base epoch %llu / model crc "
+                 "%08x, but %s is epoch %llu / model crc %08x — this delta "
+                 "was not trained from that base\n",
+                 delta_path.c_str(),
+                 static_cast<unsigned long long>(delta->base_epoch),
+                 delta->base_model_crc, base_path.c_str(),
+                 static_cast<unsigned long long>(base_epoch), base_crc);
+    return 2;
+  }
+  std::printf("%s: delta seq %llu (%llu events) onto %s (epoch %llu)\n",
+              delta_path.c_str(),
+              static_cast<unsigned long long>(delta->seq),
+              static_cast<unsigned long long>(delta->events_applied),
+              base_path.c_str(),
+              static_cast<unsigned long long>(base_epoch));
+  StatusOr<std::string> model = base_reader.Section("model");
+  const std::vector<Tensor> tensors =
+      model.ok() ? DecodeTensors(*model) : std::vector<Tensor>{};
+  const struct {
+    const char* name;
+    const EmbeddingRowDelta* rows;
+    size_t tensor_index;
+  } tables[] = {{"user", &delta->user, 0},
+                {"poi", &delta->poi, 1},
+                {"word", &delta->word, 2}};
+  for (const auto& table : tables) {
+    std::printf("%-6s %zu changed rows", table.name,
+                table.rows->num_rows());
+    // Against the matching base the per-row drift is well-defined; show it.
+    if (table.tensor_index < tensors.size() && table.rows->num_rows() > 0) {
+      const Tensor& t = tensors[table.tensor_index];
+      double max_diff = 0.0;
+      size_t comparable = 0;
+      for (size_t i = 0; i < table.rows->num_rows(); ++i) {
+        const int64_t r = table.rows->rows[i];
+        if (r < 0 || static_cast<size_t>(r) >= t.rows() ||
+            table.rows->dim != t.cols()) {
+          continue;
+        }
+        ++comparable;
+        const float* base_row = t.row(static_cast<size_t>(r));
+        const float* new_row = table.rows->row_values(i);
+        for (size_t j = 0; j < table.rows->dim; ++j) {
+          max_diff = std::max(
+              max_diff, std::abs(static_cast<double>(new_row[j]) -
+                                 static_cast<double>(base_row[j])));
+        }
+      }
+      std::printf(" (%zu comparable, max |delta| %.3e)", comparable,
+                  max_diff);
+    }
+    std::printf("\n");
+  }
+  std::printf("dense  %s\n", delta->dense_params.empty()
+                                 ? "unchanged"
+                                 : "full refresh");
+  return 0;
+}
+
 int Diff(const std::string& a_path, const std::string& b_path) {
   auto a = OpenOrExplain(a_path);
   auto b = OpenOrExplain(b_path);
   if (!a.ok() || !b.ok()) return 1;
+  const bool a_delta = a->version() == kDeltaCheckpointFormatVersion;
+  const bool b_delta = b->version() == kDeltaCheckpointFormatVersion;
+  if (a_delta != b_delta) {
+    // Exactly one side is a streaming delta: diff it against the base it
+    // names (argument order doesn't matter).
+    return a_delta ? DiffDeltaAgainstBase(*a, a_path, *b, b_path)
+                   : DiffDeltaAgainstBase(*b, b_path, *a, a_path);
+  }
   int differences = 0;
   std::vector<std::string> names;
   for (const CheckpointSection& s : a->sections()) names.push_back(s.name);
@@ -235,6 +366,16 @@ int Latest(const std::string& dir) {
   return 0;
 }
 
+int LatestDelta(const std::string& dir) {
+  auto path = FindLatestValidDelta(*Env::Default(), dir);
+  if (!path.ok()) {
+    std::fprintf(stderr, "%s\n", path.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", path->c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,5 +392,6 @@ int main(int argc, char** argv) {
   if (cmd == "verify" && args.size() == 2) return Verify(args[1]);
   if (cmd == "diff" && args.size() == 3) return Diff(args[1], args[2]);
   if (cmd == "latest" && args.size() == 2) return Latest(args[1]);
+  if (cmd == "latest-delta" && args.size() == 2) return LatestDelta(args[1]);
   return Usage(flags);
 }

@@ -6,8 +6,11 @@
 # checkpoint hot-reload under concurrent scoring, HTTP server, epoll event
 # loop, the blocking/epoll equivalence suite, and the sharded embedding
 # store: router fan-out with retries and circuit breakers, shard servers
-# being killed and restarted under concurrent load, and reloads racing
-# injected checkpoint-read faults). zero_alloc_test is deliberately absent:
+# being killed and restarted under concurrent load, reloads racing
+# injected checkpoint-read faults, and the streaming ingestion subsystem:
+# the bounded event log under concurrent producers, row-level result-cache
+# invalidation racing lookups, and the /checkin ingest path on the live
+# server). zero_alloc_test is deliberately absent:
 # TSan's interceptors allocate on the hot path, so its zero-allocation
 # assertions only hold in uninstrumented builds.
 # Usage: tools/run_tsan.sh [build-dir] (default: build-tsan).
@@ -23,10 +26,12 @@ cmake --build "${build_dir}" -j \
            checkpoint_race_test batcher_test result_cache_test \
            model_bundle_test server_test shutdown_race_test \
            event_loop_test server_equivalence_test precision_reload_test \
-           sharded_store_test store_server_test reload_fault_test
+           sharded_store_test store_server_test reload_fault_test \
+           event_log_test ingest_service_test ingest_server_test \
+           stream_e2e_test
 
 # TSan findings abort the run; halt_on_error keeps the first report readable.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence|PrecisionReload|ShardedStore|ShardChaos|StoreServer|ReloadFault)'
+  -R '(ThreadPool|ParallelTrainer|SparseAllReduce|CheckpointRace|Batcher|ResultCache|ModelBundle|ServerTest|ShutdownRace|EventLoop|Equivalence|PrecisionReload|ShardedStore|ShardChaos|StoreServer|ReloadFault|EventLog|IngestService|IngestServer|StreamE2E)'
 echo "TSan run clean."

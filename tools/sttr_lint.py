@@ -19,8 +19,10 @@ Four invariants, each load-bearing for the reproduction's contract
                       tier1 ctest label CI gates on — an unregistered test
                       is a test that silently never runs.
   no-analysis-escape  NO_THREAD_SAFETY_ANALYSIS is forbidden in src/serve/
-                      and requires a one-line justification comment
-                      everywhere else in src/.
+                      and src/stream/ (the concurrent serving + ingestion
+                      layers must stay fully analyzed) and requires a
+                      one-line justification comment everywhere else in
+                      src/.
   raw-socket          ::connect / ::send / ::recv may appear only inside
                       src/util/socket_io.* (sttr::net::{Connect,Send,Recv}).
                       A raw call anywhere else bypasses the fault-injection
@@ -41,7 +43,8 @@ RULES = {
     "test-include": "src/ file #includes test scaffolding from tests/",
     "tier1-label": "test file not registered with the tier1 ctest label",
     "no-analysis-escape":
-        "NO_THREAD_SAFETY_ANALYSIS in src/serve/ or without justification",
+        "NO_THREAD_SAFETY_ANALYSIS in src/serve/ or src/stream/, or "
+        "without justification",
     "raw-socket":
         "raw ::connect/::send/::recv outside src/util/socket_io.*",
 }
@@ -226,10 +229,11 @@ def lint_source_file(rel_path, source):
         for lineno, line in enumerate(stripped, start=1):
             if ESCAPE_MACRO not in line:
                 continue
-            if rel_path.startswith("src/serve/"):
+            if rel_path.startswith(("src/serve/", "src/stream/")):
                 violations.append(
                     Violation("no-analysis-escape", rel_path, lineno,
-                              "escape hatch is forbidden in src/serve/"))
+                              "escape hatch is forbidden in src/serve/ and "
+                              "src/stream/"))
                 continue
             # Elsewhere: demand a justification comment on the same line or
             # the line above (the raw text still has the comments).

@@ -32,6 +32,9 @@
 #include "serve/shard_server.h"
 #include "serve/sharded_store.h"
 #include "serve/stats.h"
+#include "stream/cold_start.h"
+#include "stream/incremental_trainer.h"
+#include "stream/ingest_service.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -90,6 +93,27 @@ void DefineFlags(FlagParser& flags) {
   flags.Define("store_deadline_ms",
                "per-request embedding gather budget before the request "
                "degrades to the popularity fallback", "50");
+  flags.Define("stream",
+               "enable streaming ingestion: POST /checkin feeds an "
+               "incremental trainer that publishes delta checkpoints the "
+               "bundle hot-patches (fp32 only)");
+  flags.Define("delta_dir",
+               "delta checkpoint directory for --stream "
+               "(default: <ckpt_dir>/deltas)");
+  flags.Define("stream_window", "check-ins per incremental training window",
+               "32");
+  flags.Define("stream_queue", "ingest event-log capacity (full = 503)",
+               "4096");
+  flags.Define("publish_windows", "publish a delta every N trained windows",
+               "1");
+  flags.Define("delta_keep", "delta files kept by rotation", "4");
+  flags.Define("cold_start",
+               "serve target-city-cold users through the word bridge "
+               "(adds \"cold_start\" to /recommend responses)");
+  flags.Define("time_buckets", "cold-start time-of-day buckets", "4");
+  flags.Define("time_weight",
+               "cold-start weight of the time-of-day popularity prior",
+               "0.25");
 }
 
 int Main(int argc, char** argv) {
@@ -150,6 +174,18 @@ int Main(int argc, char** argv) {
   }
   bundle_cfg.quant_checkpoint_dir = flags.GetString("quant_dir", "");
   bundle_cfg.stats = &stats;
+  const bool streaming = flags.GetBool("stream", false);
+  const std::string delta_dir =
+      flags.GetString("delta_dir", ckpt_dir + "/deltas");
+  if (streaming) {
+    if (bundle_cfg.precision != serve::PrecisionMode::kFp32) {
+      std::fprintf(stderr,
+                   "--stream requires --precision=fp32 (deltas patch fp32 "
+                   "parameters in place)\n");
+      return 2;
+    }
+    bundle_cfg.delta_dir = delta_dir;
+  }
   serve::ModelBundle bundle(ws.world.dataset, ws.split, bundle_cfg);
 
   const Status loaded = bundle.LoadInitial();
@@ -258,6 +294,61 @@ int Main(int argc, char** argv) {
     });
   }
 
+  // Streaming ingestion: an incremental trainer anchored on the serving
+  // base checkpoint, fed by /checkin through an IngestService; published
+  // deltas are hot-patched by the bundle's watcher, with row-level cache
+  // invalidation instead of the wholesale reload flush.
+  std::unique_ptr<StTransRec> stream_model;
+  std::unique_ptr<stream::IncrementalTrainer> inc_trainer;
+  std::unique_ptr<stream::IngestService> ingest;
+  if (streaming) {
+    const std::shared_ptr<const serve::ModelSnapshot> snapshot =
+        bundle.snapshot();
+    STTR_CHECK(snapshot->model != nullptr);
+    StTransRecConfig stream_cfg = model_cfg;
+    stream_cfg.checkpoint_dir.clear();
+    stream_cfg.verbose = false;
+    stream_model = std::make_unique<StTransRec>(stream_cfg);
+    STTR_CHECK_OK(stream_model->Prepare(ws.world.dataset, ws.split));
+    stream::IncrementalTrainerConfig trainer_cfg;
+    trainer_cfg.delta_dir = delta_dir;
+    trainer_cfg.delta_keep_last =
+        static_cast<size_t>(flags.GetInt("delta_keep", 4));
+    inc_trainer = std::make_unique<stream::IncrementalTrainer>(trainer_cfg);
+    STTR_CHECK_OK(inc_trainer->Init(stream_model.get(), ws.world.dataset,
+                                    snapshot->checkpoint_path));
+    stream::IngestServiceConfig ingest_cfg;
+    ingest_cfg.queue_capacity =
+        static_cast<size_t>(flags.GetInt("stream_queue", 4096));
+    ingest_cfg.window =
+        static_cast<size_t>(flags.GetInt("stream_window", 32));
+    ingest_cfg.publish_every_windows =
+        static_cast<size_t>(flags.GetInt("publish_windows", 1));
+    ingest = std::make_unique<stream::IngestService>(
+        ws.world.dataset, inc_trainer.get(), &stats.ingest, ingest_cfg);
+    ingest->Start();
+    if (cache != nullptr) {
+      bundle.AddDeltaListener(
+          [&](const serve::ModelSnapshot&, const DeltaCheckpoint& delta) {
+            serve::InvalidateForDelta(ws.world.dataset, delta, *cache);
+          });
+    }
+    STTR_LOG(Info) << "streaming ingestion: window "
+                   << ingest_cfg.window << ", deltas -> " << delta_dir;
+  }
+
+  std::unique_ptr<stream::ColdStartScorer> cold_scorer;
+  if (flags.GetBool("cold_start", false)) {
+    stream::ColdStartConfig cold_cfg;
+    cold_cfg.time_buckets =
+        static_cast<size_t>(flags.GetInt("time_buckets", 4));
+    cold_cfg.time_weight = flags.GetDouble("time_weight", 0.25);
+    cold_scorer = std::make_unique<stream::ColdStartScorer>(ws.world.dataset,
+                                                            cold_cfg);
+    STTR_LOG(Info) << "cold-start word-bridge scoring enabled ("
+                   << cold_cfg.time_buckets << " time buckets)";
+  }
+
   serve::ServerConfig server_cfg;
   server_cfg.port = static_cast<int>(flags.GetInt("port", 0));
   const std::string mode = flags.GetString("mode", "epoll");
@@ -277,7 +368,8 @@ int Main(int argc, char** argv) {
       std::chrono::milliseconds(flags.GetInt("store_deadline_ms", 50));
   serve::RecommendServer server(server_cfg, ws.world.dataset, &bundle,
                                 &index, batcher.get(), cache.get(), &stats,
-                                store.get());
+                                store.get(), ingest.get(),
+                                cold_scorer.get());
   STTR_CHECK_OK(server.Start());
   bundle.StartWatcher();
 
@@ -292,6 +384,9 @@ int Main(int argc, char** argv) {
   STTR_LOG(Info) << "shutting down";
   bundle.StopWatcher();
   server.Shutdown();
+  // After the HTTP layer: Stop() trains the remaining partial window and
+  // publishes a final delta, so nothing ingested is lost.
+  if (ingest != nullptr) ingest->Stop();
   for (const auto& shard : shard_servers) shard->Shutdown();
   if (batcher != nullptr) batcher->Stop();
   return 0;
