@@ -272,9 +272,19 @@ StatusOr<bool> ModelBundle::ApplyDeltaIfNewer() {
   StatusOr<std::string> path = FindLatestValidDelta(env(), config_.delta_dir);
   if (!path.ok()) return path.status();  // NotFound = trainer idle so far
 
-  MutexLock lock(delta_mu_);
-  if (*path == applied_delta_path_ && delta_base_path_ == cur->checkpoint_path) {
-    return false;  // fast path: nothing new since the last poll
+  // delta_mu_ serializes appliers and guards the double-buffer bookkeeping,
+  // but never covers IO, sleeps, or listener callbacks: everything slow
+  // happens between short lock scopes, each of which re-validates that no
+  // concurrent applier moved the state while the lock was dropped (in which
+  // case this attempt just defers to the next poll).
+  bool need_fresh_base;
+  {
+    MutexLock lock(delta_mu_);
+    if (*path == applied_delta_path_ &&
+        delta_base_path_ == cur->checkpoint_path) {
+      return false;  // fast path: nothing new since the last poll
+    }
+    need_fresh_base = delta_base_path_ != cur->checkpoint_path;
   }
 
   StatusOr<DeltaCheckpoint> delta = ReadDeltaCheckpoint(env(), *path);
@@ -290,31 +300,45 @@ StatusOr<bool> ModelBundle::ApplyDeltaIfNewer() {
     return false;
   }
 
-  if (delta_base_path_ != cur->checkpoint_path) {
-    // New base since the buffers were last stocked (or first delta ever):
-    // load two fresh fp32 instances from it. The active one is published
-    // below; its twin becomes the standby the next delta patches.
+  // New base since the buffers were last stocked (or first delta ever):
+  // load two fresh fp32 instances from it. The active one is published
+  // below; its twin becomes the standby the next delta patches. Loading is
+  // a pure function of the (immutable) checkpoint path, so it needs no
+  // lock; if a racing applier stocks the buffers first, these are dropped.
+  std::shared_ptr<StTransRec> fresh[2];
+  if (need_fresh_base) {
     for (size_t i = 0; i < 2; ++i) {
       StatusOr<std::shared_ptr<StTransRec>> inst =
           LoadFp32Base(cur->checkpoint_path, nullptr);
       if (!inst.ok()) return inst.status();
-      delta_instances_[i] = *std::move(inst);
+      fresh[i] = *std::move(inst);
     }
-    delta_standby_ = 0;
-    delta_base_path_ = cur->checkpoint_path;
-    applied_delta_seq_ = 0;
-    applied_delta_path_.clear();
-  } else if (delta->seq <= applied_delta_seq_) {
-    return false;  // rotation republished an already-applied sequence
+  }
+
+  std::shared_ptr<StTransRec> standby;
+  {
+    MutexLock lock(delta_mu_);
+    if (delta_base_path_ != cur->checkpoint_path) {
+      if (!need_fresh_base) return false;  // base moved under us; next poll
+      delta_instances_[0] = std::move(fresh[0]);
+      delta_instances_[1] = std::move(fresh[1]);
+      delta_standby_ = 0;
+      delta_base_path_ = cur->checkpoint_path;
+      applied_delta_seq_ = 0;
+      applied_delta_path_.clear();
+    } else if (delta->seq <= applied_delta_seq_) {
+      return false;  // rotation republished an already-applied sequence
+    }
+    standby = delta_instances_[delta_standby_];
   }
 
   // The standby is safe to mutate only once no in-flight request still
-  // scores against it: our array slot must hold the last reference. Bounded
-  // wait; on timeout the patch is simply retried next poll.
-  std::shared_ptr<StTransRec>& standby = delta_instances_[delta_standby_];
+  // scores against it: its array slot plus the copy above must be the only
+  // references. Bounded wait with no lock held (other pollers and the full
+  // reloader stay free to run); on timeout the patch is retried next poll.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
-  while (standby.use_count() > 1) {
+  while (standby.use_count() > 2) {
     if (std::chrono::steady_clock::now() >= deadline) {
       STTR_LOG(Debug) << "model bundle: standby model still referenced; "
                          "deferring delta " << *path;
@@ -323,39 +347,61 @@ StatusOr<bool> ModelBundle::ApplyDeltaIfNewer() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
+  auto next = std::make_shared<ModelSnapshot>();
+  std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
+      listeners;
   const auto t0 = std::chrono::steady_clock::now();
-  Status applied = standby->ApplyDelta(*delta);
-  if (!applied.ok()) {
-    if (config_.stats != nullptr) {
-      config_.stats->delta_apply_failures.fetch_add(1,
-                                                    std::memory_order_relaxed);
+  {
+    MutexLock lock(delta_mu_);
+    if (delta_base_path_ != cur->checkpoint_path ||
+        delta->seq <= applied_delta_seq_ ||
+        delta_instances_[delta_standby_] != standby ||
+        standby.use_count() > 2) {
+      // A racing applier advanced the state (or a request grabbed the
+      // standby) while the wait above ran unlocked; retried next poll.
+      return false;
     }
-    STTR_LOG(Warning) << "model bundle: delta " << *path
-                      << " failed to apply: " << applied.ToString();
-    return applied;
+
+    Status applied = standby->ApplyDelta(*delta);
+    if (!applied.ok()) {
+      if (config_.stats != nullptr) {
+        config_.stats->delta_apply_failures.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      STTR_LOG(Warning) << "model bundle: delta " << *path
+                        << " failed to apply: " << applied.ToString();
+      return applied;
+    }
+
+    next->scorer = standby;
+    next->model = standby;
+    next->precision = Precision::kFp32;
+    next->resident_bytes = cur->resident_bytes;
+    // Base provenance is inherited unchanged: the snapshot still serves the
+    // same checkpoint (so the full-reload watcher stays quiet), merely
+    // patched up to delta_seq.
+    next->checkpoint_path = cur->checkpoint_path;
+    next->epoch = cur->epoch;
+    next->model_crc = cur->model_crc;
+    next->delta_seq = delta->seq;
+    next->delta_path = *path;
+    listeners = SwapDelta(next);
+
+    // The previously active instance becomes the standby; because deltas
+    // are cumulative against the base, the next one overwrites every row
+    // this one (and all before it) touched.
+    delta_standby_ = 1 - delta_standby_;
+    applied_delta_seq_ = delta->seq;
+    applied_delta_path_ = *path;
   }
 
-  auto next = std::make_shared<ModelSnapshot>();
-  next->scorer = standby;
-  next->model = standby;
-  next->precision = Precision::kFp32;
-  next->resident_bytes = cur->resident_bytes;
-  // Base provenance is inherited unchanged: the snapshot still serves the
-  // same checkpoint (so the full-reload watcher stays quiet), merely
-  // patched up to delta_seq.
-  next->checkpoint_path = cur->checkpoint_path;
-  next->epoch = cur->epoch;
-  next->model_crc = cur->model_crc;
-  next->delta_seq = delta->seq;
-  next->delta_path = *path;
-  SwapDelta(std::move(next), *delta);
-
-  // The previously active instance becomes the standby; because deltas are
-  // cumulative against the base, the next one overwrites every row this one
-  // (and all before it) touched.
-  delta_standby_ = 1 - delta_standby_;
-  applied_delta_seq_ = delta->seq;
-  applied_delta_path_ = *path;
+  // Same ordering contract as Swap(): listeners (row-level cache
+  // invalidation) run after the new snapshot is visible, so a refill can
+  // only come from patched parameters — and with delta_mu_ and mu_ both
+  // dropped, so a listener may take any lock of its own (the ResultCache
+  // invalidation path takes floor_mu_) without creating a cross-subsystem
+  // lock order.
+  for (const auto& listener : listeners) listener(*next, *delta);
 
   if (config_.stats != nullptr) {
     const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -365,28 +411,20 @@ StatusOr<bool> ModelBundle::ApplyDeltaIfNewer() {
     config_.stats->delta_apply_latency.Record(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
   }
+  STTR_LOG(Info) << "model bundle: applied delta seq " << delta->seq << " ("
+                 << delta->total_rows() << " rows, "
+                 << delta->events_applied << " events) onto "
+                 << next->checkpoint_path << " (version " << next->version
+                 << ")";
   return true;
 }
 
-void ModelBundle::SwapDelta(std::shared_ptr<ModelSnapshot> next,
-                            const DeltaCheckpoint& delta) {
-  std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
-      listeners;
-  {
-    MutexLock lock(mu_);
-    next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    snapshot_ = next;
-    listeners = delta_listeners_;
-  }
-  // Same ordering contract as Swap(): listeners (row-level cache
-  // invalidation) run after the new snapshot is visible, so a refill can
-  // only come from patched parameters.
-  for (const auto& listener : listeners) listener(*next, delta);
-  STTR_LOG(Info) << "model bundle: applied delta seq " << delta.seq << " ("
-                 << delta.total_rows() << " rows, "
-                 << delta.events_applied << " events) onto "
-                 << next->checkpoint_path << " (version " << next->version
-                 << ")";
+std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
+ModelBundle::SwapDelta(std::shared_ptr<ModelSnapshot> next) {
+  MutexLock lock(mu_);
+  next->version = reloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  snapshot_ = std::move(next);
+  return delta_listeners_;
 }
 
 void ModelBundle::AddDeltaListener(

@@ -195,11 +195,14 @@ class ModelBundle {
   StatusOr<std::shared_ptr<StTransRec>> LoadFp32Base(const std::string& path,
                                                      uint32_t* model_crc) const;
   void Swap(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);
-  /// Swap for delta patches: publishes `next` and runs the delta listeners
-  /// (not the reload listeners — a delta must not trigger the wholesale
-  /// cache flush those perform).
-  void SwapDelta(std::shared_ptr<ModelSnapshot> next,
-                 const DeltaCheckpoint& delta) EXCLUDES(mu_);
+  /// Swap for delta patches: publishes `next` under mu_ and hands back the
+  /// delta listeners (not the reload listeners — a delta must not trigger
+  /// the wholesale cache flush those perform). The caller invokes them only
+  /// after dropping every lock: a listener is foreign code (row-level cache
+  /// invalidation takes the cache's own locks) and must never run under
+  /// delta_mu_ or mu_.
+  std::vector<std::function<void(const ModelSnapshot&, const DeltaCheckpoint&)>>
+  SwapDelta(std::shared_ptr<ModelSnapshot> next) EXCLUDES(mu_);
   /// Failure-visibility accounting (no-op without config_.stats).
   void RecordReloadFailure(const Status& error) const;
   Env& env() const;

@@ -179,7 +179,7 @@ int ShardedEmbeddingStore::AcquireConnection(ShardState& shard,
       const int ms = static_cast<int>(std::max<long long>(
           1, std::chrono::duration_cast<std::chrono::milliseconds>(limit - now)
                  .count()));
-      const int pr = ::poll(&pfd, 1, ms);
+      const int pr = net::Poll(&pfd, 1, ms, options_.fault);
       if (pr < 0 && errno == EINTR) continue;
       if (pr <= 0) {
         ::close(fd);
@@ -312,7 +312,8 @@ void ShardedEmbeddingStore::RunRound(std::vector<Pending>& pending,
                                                                      now)
                    .count()),
         60 * 1000));
-    const int pr = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    const int pr = net::Poll(pfds.data(), pfds.size(), timeout_ms,
+                             options_.fault);
     if (pr < 0) {
       if (errno == EINTR) continue;
       for (Pending* p : pfd_owner) {

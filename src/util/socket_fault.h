@@ -24,8 +24,8 @@ namespace sttr {
 /// guarded by one mutex. Decisions are cheap (no IO under the lock).
 class FaultInjectionSocket {
  public:
-  enum class Op { kConnect = 0, kSend, kRecv };
-  static constexpr size_t kNumOps = 3;
+  enum class Op { kConnect = 0, kSend, kRecv, kPoll };
+  static constexpr size_t kNumOps = 4;
 
   /// What the wrapper does instead of (or around) the real syscall.
   enum class Mode {

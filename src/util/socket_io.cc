@@ -87,4 +87,25 @@ int Connect(int fd, const sockaddr* addr, socklen_t addr_len,
   return ::connect(fd, addr, addr_len);
 }
 
+int Poll(pollfd* fds, nfds_t nfds, int timeout_ms,
+         FaultInjectionSocket* fault) {
+  if (fault != nullptr) {
+    const Decision d = fault->Apply(Op::kPoll);
+    if (d.fire) {
+      switch (d.mode) {
+        case Mode::kFail:
+          errno = EINTR;
+          return -1;
+        case Mode::kShort:
+        case Mode::kEof:
+          return 0;  // spurious wakeup: nothing ready, revents untouched
+        case Mode::kStall:
+          std::this_thread::sleep_for(d.stall);
+          return 0;  // a timeout tick; the caller re-checks its deadline
+      }
+    }
+  }
+  return ::poll(fds, nfds, timeout_ms);
+}
+
 }  // namespace sttr::net

@@ -1,6 +1,7 @@
 #ifndef STTR_UTIL_SOCKET_IO_H_
 #define STTR_UTIL_SOCKET_IO_H_
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 
@@ -11,20 +12,24 @@
 namespace sttr::net {
 
 /// The project's socket syscall wrapper — the one place raw
-/// ::connect/::send/::recv may appear (linter rule raw-socket; see
-/// tools/sttr_lint.py). Every data-path socket operation in src/ flows
-/// through here so the socket fault injector can reach it: pass a
-/// FaultInjectionSocket to interpose failures, short reads/writes, stalls
-/// and peer-vanished behaviour; pass nullptr (the default) for a plain
-/// passthrough with zero overhead beyond one branch.
+/// ::connect/::send/::recv/::poll/::accept4 may appear (linter rule
+/// raw-socket; see tools/sttr_lint.py). Every data-path socket operation
+/// in src/ flows through here so the socket fault injector can reach it:
+/// pass a FaultInjectionSocket to interpose failures, short reads/writes,
+/// stalls and peer-vanished behaviour; pass nullptr (the default) for a
+/// plain passthrough with zero overhead beyond one branch.
 ///
 /// Fault semantics (mirroring what the real network does):
 ///   kFail   connect: ECONNREFUSED   send: EPIPE   recv: ECONNRESET
+///           poll: EINTR (a signal landed — exercises the retry path)
 ///   kShort  send/recv operate on max(1, len/2) bytes (a torn frame);
-///           connect treats kShort as kFail
+///           connect treats kShort as kFail; poll reports 0 ready fds (a
+///           spurious wakeup the caller must tolerate)
 ///   kStall  sleeps the injector's stall period, then fails with EAGAIN —
-///           what a wedged peer looks like to a nonblocking caller
-///   kEof    recv returns 0 (clean close); send EPIPE; connect ECONNREFUSED
+///           what a wedged peer looks like to a nonblocking caller; poll
+///           instead returns 0 after the sleep (a timeout tick)
+///   kEof    recv returns 0 (clean close); send EPIPE; connect
+///           ECONNREFUSED; poll reports 0 ready fds
 
 ssize_t Send(int fd, const void* buf, size_t len, int flags,
              FaultInjectionSocket* fault = nullptr);
@@ -34,6 +39,9 @@ ssize_t Recv(int fd, void* buf, size_t len, int flags,
 
 int Connect(int fd, const sockaddr* addr, socklen_t addr_len,
             FaultInjectionSocket* fault = nullptr);
+
+int Poll(pollfd* fds, nfds_t nfds, int timeout_ms,
+         FaultInjectionSocket* fault = nullptr);
 
 }  // namespace sttr::net
 

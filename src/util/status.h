@@ -28,7 +28,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Library code in this project does not throw; any operation that can fail
 /// for reasons other than programmer error returns Status (or StatusOr<T>).
-class Status {
+///
+/// [[nodiscard]] at class level: a discarded Status is an error path that
+/// silently never happens, so every by-value return must be consumed (or
+/// explicitly voided at the call site).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,7 +85,7 @@ class Status {
 /// Either a value of type T or an error Status. Callers must check ok()
 /// before dereferencing.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value and from error status, mirroring absl::StatusOr.
   StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,80 @@
+#ifndef STTR_TESTS_FUZZ_FUZZ_DRIVER_H_
+#define STTR_TESTS_FUZZ_FUZZ_DRIVER_H_
+
+// Dual-mode fuzz entry point. Each harness defines the libFuzzer signature
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and includes this header. Built with -DSTTR_FUZZ=ON (Clang only), the
+// harness links against libFuzzer and this header adds nothing. In every
+// other build the header supplies a main() that replays corpus files — the
+// same TU doubles as a tier-1 regression test under GCC, so the seed
+// corpus (and every crash input checked in after triage) is exercised on
+// each run of the ordinary suite, not only when someone remembers to fuzz.
+//
+// Replay semantics: every argument is a corpus file or a directory
+// (recursed); inputs run in sorted order for determinism, and the empty
+// input always runs last. A harness signals failure by aborting (the
+// FUZZ_CHECK below), exactly as under libFuzzer.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// Invariant check for harness bodies: fuzzing is only as strong as the
+// properties it asserts, and a plain assert() vanishes under NDEBUG.
+#define FUZZ_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FUZZ_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef STTR_FUZZ_BUILD
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::exists(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "fuzz driver: no such corpus input: " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  const uint8_t empty = 0;
+  LLVMFuzzerTestOneInput(&empty, 0);
+  std::cout << "fuzz driver: replayed " << files.size()
+            << " corpus input(s) + empty input\n";
+  return 0;
+}
+
+#endif  // !STTR_FUZZ_BUILD
+#endif  // STTR_TESTS_FUZZ_FUZZ_DRIVER_H_

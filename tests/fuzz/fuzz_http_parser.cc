@@ -1,0 +1,63 @@
+// Fuzz harness for the incremental HTTP/1.1 request-head parser
+// (serve/conn.h). The parser runs against every byte an untrusted client
+// sends the serving port, incrementally, under two different size caps —
+// the properties asserted here are the ones the event loop depends on:
+//
+//   * kComplete consumes a positive number of bytes, never more than are
+//     buffered, and every returned view points inside the buffer.
+//   * Parsing is deterministic and prefix-stable: re-parsing exactly the
+//     consumed bytes completes again with the same span (pipelining slices
+//     the buffer at `consumed`, so a disagreement would tear requests).
+//   * A strict prefix of a complete head never claims completion.
+
+#include <string_view>
+
+#include "fuzz_driver.h"
+#include "serve/conn.h"
+
+using sttr::serve::ParsedRequest;
+using sttr::serve::ParseRequest;
+using sttr::serve::ParseStatus;
+
+namespace {
+
+void CheckViewInside(std::string_view buffer, std::string_view view) {
+  if (view.empty()) return;
+  FUZZ_CHECK(view.data() >= buffer.data());
+  FUZZ_CHECK(view.data() + view.size() <= buffer.data() + buffer.size());
+}
+
+void RunOne(std::string_view buffer, size_t max_request_bytes) {
+  ParsedRequest out;
+  const ParseStatus st = ParseRequest(buffer, max_request_bytes, &out);
+  if (st != ParseStatus::kComplete) return;
+
+  FUZZ_CHECK(out.consumed > 0);
+  FUZZ_CHECK(out.consumed <= buffer.size());
+  CheckViewInside(buffer, out.method);
+  CheckViewInside(buffer, out.target);
+  CheckViewInside(buffer, out.path);
+  CheckViewInside(buffer, out.query);
+
+  ParsedRequest again;
+  const std::string_view head = buffer.substr(0, out.consumed);
+  FUZZ_CHECK(ParseRequest(head, max_request_bytes, &again) ==
+             ParseStatus::kComplete);
+  FUZZ_CHECK(again.consumed == out.consumed);
+  FUZZ_CHECK(again.method == out.method);
+  FUZZ_CHECK(again.target == out.target);
+  FUZZ_CHECK(again.keep_alive == out.keep_alive);
+
+  ParsedRequest partial;
+  FUZZ_CHECK(ParseRequest(head.substr(0, head.size() - 1), max_request_bytes,
+                          &partial) != ParseStatus::kComplete);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buffer(reinterpret_cast<const char*>(data), size);
+  RunOne(buffer, /*max_request_bytes=*/64);      // exercises kTooLarge
+  RunOne(buffer, /*max_request_bytes=*/1 << 14); // the server's real cap
+  return 0;
+}

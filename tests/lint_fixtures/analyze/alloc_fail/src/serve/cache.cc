@@ -1,0 +1,18 @@
+// Fixture: heap allocation inside a lock scope on a serving path.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Cache {
+ public:
+  void Fill() {
+    MutexLock lock(mu_);
+    entry_ = std::make_shared<int>(7);
+  }
+
+ private:
+  Mutex mu_;
+  std::shared_ptr<int> entry_;
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: the same allocation, justified and waived.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Cache {
+ public:
+  void Fill() {
+    MutexLock lock(mu_);
+    // sttr-analyze: allow-alloc: one-time warmup; never on the request path
+    entry_ = std::make_shared<int>(7);
+  }
+
+ private:
+  Mutex mu_;
+  std::shared_ptr<int> entry_;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: the blocking write is one call away from the lock scope — only
+// the propagated callee summary can connect them.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pump {
+ public:
+  void WriteOut() {
+    ::send(fd_, data_, len_, 0);
+  }
+  void Flush() {
+    MutexLock lock(mu_);
+    WriteOut();
+  }
+
+ private:
+  Mutex mu_;
+  int fd_ = -1;
+  const char* data_ = nullptr;
+  unsigned long len_ = 0;
+};
+
+}  // namespace fx

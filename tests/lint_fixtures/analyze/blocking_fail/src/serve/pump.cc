@@ -1,0 +1,21 @@
+// Fixture: a raw socket write inside a lock scope — every thread queued on
+// mu_ stalls behind the kernel.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pump {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    ::send(fd_, data_, len_, 0);
+  }
+
+ private:
+  Mutex mu_;
+  int fd_ = -1;
+  const char* data_ = nullptr;
+  unsigned long len_ = 0;
+};
+
+}  // namespace fx

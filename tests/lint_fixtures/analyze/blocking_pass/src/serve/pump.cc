@@ -1,0 +1,27 @@
+// Fixture: state flips under the lock, IO after the scope closes, and a
+// CondVar wait (which releases the mutex) under the lock — all clean.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pump {
+ public:
+  void Flush() {
+    {
+      MutexLock lock(mu_);
+      while (!ready_) cv_.Wait(mu_);
+      ready_ = false;
+    }
+    ::send(fd_, data_, len_, 0);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+  int fd_ = -1;
+  const char* data_ = nullptr;
+  unsigned long len_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Fixture: blocking under a lock, justified and waived.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pump {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    // sttr-analyze: allow-blocking: single-threaded fixture; no waiter can queue on mu_
+    ::send(fd_, data_, len_, 0);
+  }
+
+ private:
+  Mutex mu_;
+  int fd_ = -1;
+  const char* data_ = nullptr;
+  unsigned long len_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+#include "geo/grid.h"
+namespace fx {
+struct Cell { Grid* g; };
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Fixture: same-directory include cycle — legal by the DAG, still a bug.
+#pragma once
+#include "geo/cell.h"
+namespace fx {
+struct Grid { Cell* c; };
+}  // namespace fx

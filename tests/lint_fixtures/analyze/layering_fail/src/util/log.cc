@@ -1,0 +1,6 @@
+// Fixture: util reaching up into serve inverts the layering.
+#include "serve/handler.h"
+
+namespace fx {
+void Log(int level) { Handle(); }
+}  // namespace fx

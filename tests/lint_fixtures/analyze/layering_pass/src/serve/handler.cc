@@ -1,0 +1,6 @@
+// Fixture: serve depending on util follows the blessed order.
+#include "util/log.h"
+
+namespace fx {
+void Handle() { Log(1); }
+}  // namespace fx

@@ -1,0 +1,5 @@
+// Fixture: the bottom layer depends on nothing.
+#pragma once
+namespace fx {
+void Log(int level);
+}  // namespace fx

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+void Handle();
+}  // namespace fx

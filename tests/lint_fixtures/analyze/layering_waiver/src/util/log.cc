@@ -1,0 +1,7 @@
+// Fixture: the same inversion, justified and waived.
+// sttr-analyze: allow-layering: fixture-only; interface split tracked elsewhere
+#include "serve/handler.h"
+
+namespace fx {
+void Log(int level) { Handle(); }
+}  // namespace fx

@@ -1,0 +1,33 @@
+// Fixture: neither function takes both locks directly — the second hop of
+// each edge is inside a callee, so only cross-TU summary propagation can
+// see the cycle.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pair {
+ public:
+  void TakeB() {
+    MutexLock b(b_mu_);
+    ++n_;
+  }
+  void TakeA() {
+    MutexLock a(a_mu_);
+    --n_;
+  }
+  void AThenCallB() {
+    MutexLock a(a_mu_);
+    TakeB();
+  }
+  void BThenCallA() {
+    MutexLock b(b_mu_);
+    TakeA();
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: a_mu_ -> b_mu_ in one method and b_mu_ -> a_mu_ in another —
+// the classic two-lock deadlock cycle.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pair {
+ public:
+  void AThenB() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    ++n_;
+  }
+  void BThenA() {
+    MutexLock b(b_mu_);
+    MutexLock a(a_mu_);
+    --n_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Fixture: two mutexes always taken in the same order — no cycle.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pair {
+ public:
+  void First() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    ++n_;
+  }
+  void Second() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    --n_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: the cycle's first hop comes from a REQUIRES entry capability,
+// not a literal MutexLock — proves annotations seed the held set.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pair {
+ public:
+  void HoldingATakeB() REQUIRES(a_mu_) {
+    MutexLock b(b_mu_);
+    ++n_;
+  }
+  void HoldingBTakeA() REQUIRES(b_mu_) {
+    MutexLock a(a_mu_);
+    --n_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: the same two-lock cycle as lock_order_fail, with one edge
+// waived by the justification-comment syntax — breaking the cycle.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pair {
+ public:
+  void AThenB() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    ++n_;
+  }
+  void BThenA() {
+    MutexLock b(b_mu_);
+    // sttr-analyze: allow-lock-order(Pair::b_mu_ -> Pair::a_mu_): fixture edge; callers of BThenA never hold a_mu_
+    MutexLock a(a_mu_);
+    --n_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fx

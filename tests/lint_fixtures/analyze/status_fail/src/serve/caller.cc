@@ -1,0 +1,12 @@
+#include "util/status.h"
+
+namespace fx {
+
+Status DoThing();
+
+int Caller() {
+  DoThing();
+  return 0;
+}
+
+}  // namespace fx

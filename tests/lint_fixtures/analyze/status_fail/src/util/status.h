@@ -1,0 +1,12 @@
+// Fixture: result classes without [[nodiscard]] — discards compile silently.
+#pragma once
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return true; }
+};

@@ -1,0 +1,14 @@
+#include "util/status.h"
+
+namespace fx {
+
+Status DoThing();
+
+int Caller() {
+  Status s = DoThing();
+  if (!s.ok()) return 1;
+  (void)DoThing();
+  return 0;
+}
+
+}  // namespace fx

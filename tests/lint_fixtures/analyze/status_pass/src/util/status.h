@@ -1,0 +1,12 @@
+// Fixture: both result classes carry [[nodiscard]].
+#pragma once
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  bool ok() const { return true; }
+};

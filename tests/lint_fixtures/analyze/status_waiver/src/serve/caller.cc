@@ -1,0 +1,13 @@
+#include "util/status.h"
+
+namespace fx {
+
+Status DoThing();
+
+int Caller() {
+  // sttr-analyze: allow-discard: best-effort notification; failure is benign
+  DoThing();
+  return 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+#pragma once
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  bool ok() const { return true; }
+};

@@ -1,0 +1,20 @@
+// Fixture: a waiver with no justification waives nothing — both the empty
+// waiver and the underlying allocation must fire.
+#include "util/mutex.h"
+
+namespace fx {
+
+class Cache {
+ public:
+  void Fill() {
+    MutexLock lock(mu_);
+    // sttr-analyze: allow-alloc:
+    entry_ = std::make_shared<int>(7);
+  }
+
+ private:
+  Mutex mu_;
+  std::shared_ptr<int> entry_;
+};
+
+}  // namespace fx

@@ -11,6 +11,17 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
 
+# Gate on the sanitizer runtime rather than hard-failing mid-build: libasan
+# ships as a separate package on most distros, and a container without it
+# still runs the rest of the analysis stack. Same skip-with-notice contract
+# as run_tidy.sh / run_fuzz_smoke.sh; CI installs the runtime and gates.
+if ! echo 'int main(){}' | c++ -fsanitize=address,undefined -x c++ - \
+    -o /dev/null 2> /dev/null; then
+  echo "run_asan.sh: SKIPPED — the ASan/UBSan runtime does not link" >&2
+  echo "(install libasan/libubsan for your compiler to run this locally)." >&2
+  exit 0
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}" -DSTTR_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j

@@ -1,0 +1,1394 @@
+#!/usr/bin/env python3
+"""Whole-program concurrency and layering analyzer.
+
+`tools/sttr_lint.py` enforces single-file invariants; Clang's
+`-Wthread-safety` proves, per translation unit, that every GUARDED_BY field
+is touched under its mutex. Neither sees *cross-TU* properties: the order
+locks are taken across files, blocking work performed while a lock is held,
+or an include slipping upward through the layering. This analyzer builds a
+lightweight whole-program model of src/ (functions, lock scopes, call graph,
+include graph) and gates four properties at build time:
+
+  lock-order           Build the global acquired-while-held graph over every
+                       sttr::Mutex in the tree (MutexLock scopes, explicit
+                       Lock/Unlock pairs, REQUIRES entry capabilities,
+                       propagated through resolvable calls). Any cycle is a
+                       potential deadlock and fails the run. The blessed
+                       order is dumpable via --dump-graph.
+  blocking-under-lock  A blocking operation — sttr::net::* syscall wrappers,
+                       Env file IO, raw ::poll/::send/..., sleeps,
+                       future/thread waits — reached while holding a mutex
+                       in src/serve/ or src/stream/ stalls every thread
+                       queued on that mutex. Flagged transitively: a call
+                       chain from a lock scope to a blocking primitive is
+                       reported with the chain.
+  alloc-under-lock     Explicit heap allocation (new / make_unique /
+                       make_shared) inside a lock scope in src/serve/ or
+                       src/stream/ — the static complement of the runtime
+                       alloc_hook counters the zero-alloc tests assert on.
+                       (Container growth is deliberately out of scope; the
+                       runtime counters own that.)
+  layering             #include edges between src/ subdirectories must
+                       follow the blessed DAG (util at the bottom, serve at
+                       the top; see LAYERS below) and the file-level include
+                       graph must be acyclic everywhere in src/.
+  status-discipline    sttr::Status / StatusOr are declared [[nodiscard]]
+                       and no statement discards a Status-returning call's
+                       result — an ignored Status is an error path that
+                       silently never happens.
+
+Waivers mirror the NO_THREAD_SAFETY_ANALYSIS policy: a one-line
+justification comment, on the offending line or the line above:
+
+    // sttr-analyze: allow-blocking: bounded 1ms sleep; poller-only thread
+    // sttr-analyze: allow-alloc: cold path, runs once per reload
+    // sttr-analyze: allow-discard: best-effort cleanup, failure is benign
+    // sttr-analyze: allow-layering: <why this include is sound>
+
+Lock-order waivers name the edge (either endpoint class-qualified), and may
+sit at any acquisition site involved in the cycle:
+
+    // sttr-analyze: allow-lock-order(A::mu_ -> B::mu_): <why no deadlock>
+
+A waiver with an empty justification is itself a violation. Registered as
+the tier-1 ctests `sttr_analyze` (the real tree) and
+`sttr_analyze_selftest` (fixture trees under tests/lint_fixtures/analyze/,
+one per check x pass/fail/waiver). See tools/README.md.
+
+Honest limits (documented, not hidden): the model is built from stripped
+source text, not a compiler AST. Calls through std::function, virtual
+dispatch, and lambdas handed across threads are not traced; an edge the
+analyzer cannot see is an edge it cannot check. The codebase convention
+that makes this sound in practice: callbacks are invoked with locks
+dropped (see ModelBundle::Swap), which is itself what the blocking check
+pushes code toward.
+"""
+
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+
+# Reuse the comment/string stripper (raw strings, digit separators) so both
+# tools agree on what is code.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from sttr_lint import strip_comments_and_strings  # noqa: E402
+
+CHECKS = {
+    "lock-order": "cycle in the global acquired-while-held mutex graph",
+    "blocking-under-lock":
+        "blocking call reachable inside a lock scope in src/serve|src/stream",
+    "alloc-under-lock":
+        "explicit heap allocation inside a lock scope in src/serve|src/stream",
+    "layering": "include edge violating the blessed src/ layering DAG",
+    "status-discipline":
+        "Status not [[nodiscard]] or a call site discarding a Status result",
+    "waiver-syntax": "malformed or unjustified sttr-analyze waiver comment",
+}
+
+# -- Blessed layering DAG ---------------------------------------------------------
+# Direct dependencies each src/ subdirectory may include from; the allowed
+# set is the transitive closure (depending on a lower layer's foundation is
+# always fine). The README appendix renders this same table.
+LAYERS = {
+    "util": [],
+    "tensor": ["util"],
+    "text": ["util"],
+    "geo": ["util"],
+    "autograd": ["tensor"],
+    "nn": ["autograd"],
+    "transfer": ["autograd"],
+    "data": ["geo", "text"],
+    "eval": ["data"],
+    "core": ["nn", "eval", "transfer"],
+    "stream": ["core"],
+    "baselines": ["core"],
+    "serve": ["core", "stream"],
+}
+
+# Calls whose *name* alone marks them blocking. Env's file-IO method names
+# are distinctive enough to match bare; CondVar::Wait* is deliberately
+# absent (a condvar wait releases the lock — that is the fix this check
+# pushes sleep loops toward).
+BLOCKING_NAMES = {
+    # sttr::net syscall wrappers (and their raw forms, should one slip past
+    # sttr_lint's raw-socket rule).
+    "Send", "Recv", "Connect", "Poll",
+    "poll", "select", "accept", "accept4", "connect", "send", "recv",
+    "sendto", "recvfrom", "epoll_wait",
+    # Sleeps and condvar-free waits.
+    "sleep_for", "sleep_until", "usleep", "nanosleep",
+    # Env / fs.h file IO (util/fs.h).
+    "WriteFile", "ReadFile", "Fsync", "Rename", "Remove", "CreateDir",
+    "ListDir", "SyncDir", "AtomicWriteFile",
+}
+# These only block when the receiver is what they look like; gated on the
+# resolved receiver type mentioning the std vocabulary type.
+RECEIVER_BLOCKING = {
+    "get": "future",
+    "wait": "future",
+    "join": "thread",
+}
+# Names in BLOCKING_NAMES that are safe when *not* called on the blocking
+# vocabulary (e.g. a container's own Remove). Kept empty: the names above
+# were chosen to not collide in this tree; a collision should be waived
+# with a justification, not silently dropped.
+
+ALLOC_RE = re.compile(
+    r"(?<![\w:])new\b(?!\s*\()|"        # new T / new T[n] (not operator new())
+    r"(?<![\w:])new\s*\(|"              # new (std::nothrow) T
+    r"\bmake_shared\s*<|\bmake_unique\s*<")
+
+WAIVER_RE = re.compile(
+    r"sttr-analyze:\s*allow-([\w-]+)\s*(?:\(([^)]*)\))?\s*:?\s*(.*)")
+
+CALL_RE = re.compile(r"((?:[A-Za-z_]\w*(?:\.|->|::)|\(\)\.|\]\.)*)"
+                     r"([A-Za-z_]\w*)\s*\(")
+CALL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "new", "delete", "throw", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "defined", "assert", "decltype", "noexcept",
+    "static_assert", "alignas", "co_await", "co_return", "co_yield",
+}
+
+# ':' is a boundary too: access specifiers (`private:`) end without ';', so
+# the first declaration after one would otherwise hide inside the label.
+MUTEX_DECL_RE = re.compile(
+    r"(?:^|[;{}:])\s*(?:mutable\s+)?(?:sttr::)?Mutex\s+(\w+)"
+    r"\s*(?:\[\s*\d*\s*\])?\s*(?:GUARDED_BY\s*\([^)]*\))?\s*[;=]")
+
+ANNOT_RE = re.compile(r"\b(REQUIRES|ACQUIRE|RELEASE|EXCLUDES)\s*\(([^()]*)\)")
+
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]\s*([^(){}]+?)\s*[)}]")
+EXPLICIT_LOCK_RE = re.compile(
+    r"([A-Za-z_][\w\.\[\]>-]*?)\s*(?:\.|->)\s*(Lock|Unlock|TryLock)\s*\(\s*\)")
+
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}()])\s*(?:const\s+)?([A-Z]\w*(?:::\w+)*)\s*[&*]?\s+"
+    r"(\w+)\s*[=({;]")
+
+MEMBER_DECL_RE = re.compile(
+    r"(?:^|[;{}:])\s*(?:mutable\s+|static\s+|const\s+|constexpr\s+)*"
+    r"([A-Za-z_][\w:<>,\s*&]*?)\s+([a-z_]\w*)\s*"
+    r"(?:\[\s*\d*\s*\])?\s*(?:GUARDED_BY\s*\([^)]*\)\s*)?(?:=[^;]*|\{[^;{}]*\})?;")
+
+STATUS_RETURN_RE = re.compile(r"\b(?:sttr::)?(Status|StatusOr\s*<)")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+class Finding:
+    def __init__(self, check, path, line, text):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.text}"
+
+
+class Waiver:
+    """One `// sttr-analyze: allow-<check>...` comment and its anchor."""
+
+    def __init__(self, check, arg, why, path, line):
+        self.check = check
+        self.arg = arg        # edge spec for lock-order, else ""
+        self.why = why
+        self.path = path
+        self.line = line      # the waiver covers this line and the next
+        self.used = False
+
+
+class Function:
+    def __init__(self, qual, cls, name, path, sig, body, body_line):
+        self.qual = qual          # e.g. "ModelBundle::ApplyDeltaIfNewer"
+        self.cls = cls            # enclosing class qual name or ""
+        self.name = name
+        self.path = path          # repo-relative
+        self.sig = sig            # signature text (for annotations/params)
+        self.body = body          # stripped body text, braces included
+        self.body_line = body_line  # 1-based line of the opening brace
+        self.requires = []        # mutex exprs from REQUIRES(...)
+        self.calls = []           # (recv_chain, name, line)
+        self.acquire_events = []  # ordered scan events, filled by ScanBody
+        self.summary_acquires = set()   # mutex nodes acquired inside (any depth)
+        self.summary_blocking = {}      # primitive -> shortest chain (list of quals)
+
+
+class Class:
+    def __init__(self, qual, path):
+        self.qual = qual
+        self.path = path
+        self.mutexes = []         # member names
+        self.members = {}         # member name -> type string
+        self.method_sigs = {}     # method name -> sig text (for REQUIRES)
+        self.method_returns = {}  # method name -> return text
+
+
+class Model:
+    """Whole-program model: classes, functions, mutex nodes, includes."""
+
+    def __init__(self):
+        self.classes = {}             # qual -> Class
+        self.short_classes = defaultdict(list)  # short name -> [qual]
+        self.functions = []           # Function
+        self.funcs_by_name = defaultdict(list)  # bare name -> [Function]
+        self.funcs_by_qual = defaultdict(list)  # qual -> [Function]
+        self.mutex_owner = defaultdict(list)    # member name -> [class qual]
+        self.includes = {}            # rel path -> [included rel paths]
+        self.waivers = []             # Waiver
+        self.free_status_fns = set()  # bare names of Status-returning free fns
+        self.status_methods = defaultdict(set)  # class qual -> {method}
+        self.status_name_votes = defaultdict(lambda: [0, 0])  # name -> [status, other]
+        self.raw_lines = {}           # rel path -> raw source lines
+
+
+# -- Pass 1: scope walk -----------------------------------------------------------
+
+SCOPE_CLASS_RE = re.compile(r"\b(class|struct)\b")
+NAME_TOKEN_RE = re.compile(r"[A-Za-z_]\w*(?:::~?\w+)*")
+
+
+def _head_kind(head, scope_kind):
+    """Classifies the construct a `{` opens, from the text since the last
+    `;`/`{`/`}` (`head`). Only called at namespace/class scope."""
+    h = head.strip()
+    if h.startswith("namespace") or h == "extern":
+        return "namespace"
+    if re.search(r"\b(enum)\b", h):
+        return "skip"
+    # Strip a template intro so `template <...> class Foo` classifies right.
+    h = re.sub(r"^template\s*<[^{}]*?>", "", h, count=1).strip()
+    if re.match(r"(class|struct|union)\b", h):
+        # A declaration like `struct Foo* p = ...` never opens a brace at
+        # this scope in this codebase; treat as a type definition.
+        return "class"
+    if "(" in h:
+        return "function"
+    if h.endswith("=") or h == "":
+        return "skip"
+    return "skip"  # brace-init member / array initializer
+
+
+def _class_name(head):
+    h = re.sub(r"^template\s*<[^{}]*?>", "", head.strip(), count=1).strip()
+    # Cut the base-clause at a top-level single ':' (ignore '::').
+    depth = 0
+    for i, c in enumerate(h):
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        elif (c == ":" and depth == 0 and
+              (i + 1 >= len(h) or h[i + 1] != ":") and
+              (i == 0 or h[i - 1] != ":")):
+            h = h[:i]
+            break
+    names = NAME_TOKEN_RE.findall(h)
+    names = [n for n in names
+             if n not in ("class", "struct", "union", "final", "public",
+                          "private", "protected", "typename")]
+    return names[-1] if names else ""
+
+
+def _function_name(head):
+    """Name of the function a head defines, or "" when unparsable."""
+    h = head.strip()
+    h = re.sub(r"\[\[[^\]]*\]\]", "", h)
+    h = re.sub(r"^template\s*<[^{}]*?>", "", h, count=1).strip()
+    # The defining paren is the first '(' OUTSIDE template angle brackets —
+    # a return type like std::vector<std::function<void(...)>> carries
+    # parens of its own. Operators (operator<, operator()) would confuse
+    # the angle tracking; none in this tree return templated types, so they
+    # take the plain first-paren path.
+    i = -1
+    if "operator" in h:
+        i = h.find("(")
+    else:
+        angle = 0
+        for j, c in enumerate(h):
+            if c == "<":
+                angle += 1
+            elif c == ">":
+                angle = max(0, angle - 1)
+            elif c == "(" and angle == 0:
+                i = j
+                break
+    if i < 0:
+        return ""
+    pre = h[:i].rstrip()
+    m = re.search(r"((?:~?\w+::)*~?(?:operator\s*[^\s\w]{0,3}|\w+))\s*$", pre)
+    if not m:
+        return ""
+    return m.group(1)
+
+
+def _line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+PREPROC_RE = re.compile(r"^[ \t]*#[^\n]*(?:\\\n[^\n]*)*", re.MULTILINE)
+
+
+def _blank_preprocessor(text):
+    """Preprocessor lines carry no scope but also no terminating ';', so
+    they would otherwise pollute the next brace's head; blank them (keeping
+    newlines so line numbers survive)."""
+    def repl(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+    return PREPROC_RE.sub(repl, text)
+
+
+def parse_file(model, rel, raw):
+    stripped = _blank_preprocessor(strip_comments_and_strings(raw))
+    model.raw_lines[rel] = raw.splitlines()
+    model.includes[rel] = INCLUDE_RE.findall(raw)
+    collect_waivers(model, rel, raw)
+
+    n = len(stripped)
+    scope = [("namespace", "", None)]  # (kind, name, Class or None)
+    head_start = 0
+    i = 0
+    while i < n:
+        c = stripped[i]
+        if c in ";":
+            handle_statement(model, scope, stripped[head_start:i + 1], rel)
+            head_start = i + 1
+        elif c == "}":
+            scope_kind = scope[-1][0] if scope else "namespace"
+            if len(scope) > 1:
+                scope.pop()
+            head_start = i + 1
+        elif c == "{":
+            head = stripped[head_start:i]
+            kind = _head_kind(head, scope[-1][0])
+            if kind == "namespace":
+                names = NAME_TOKEN_RE.findall(head)
+                names = [x for x in names if x not in ("namespace", "extern")]
+                nm = names[-1] if names else ""
+                scope.append(("namespace", nm, None))
+                head_start = i + 1
+            elif kind == "class":
+                name = _class_name(head)
+                qual = "::".join([s[1] for s in scope[1:] if s[0] == "class"]
+                                 + [name])
+                cls = model.classes.get(qual)
+                if cls is None:
+                    cls = Class(qual, rel)
+                    model.classes[qual] = cls
+                    model.short_classes[name].append(qual)
+                scope.append(("class", name, cls))
+                head_start = i + 1
+            elif kind == "function":
+                end = _match_brace(stripped, i)
+                body = stripped[i:end + 1]
+                name = _function_name(head)
+                register_function(model, scope, rel, head, name, body,
+                                  _line_of(stripped, i))
+                i = end
+                head_start = i + 1
+            else:  # skip: enum / brace-init / array initializer
+                end = _match_brace(stripped, i)
+                i = end
+                head_start = i + 1
+        i += 1
+
+
+def _match_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def handle_statement(model, scope, stmt, rel):
+    """Member/method declarations inside a class body (no brace opened)."""
+    kind, _name, cls = scope[-1]
+    if kind != "class" or cls is None:
+        # Free-function declarations at namespace scope still vote on
+        # Status-returning names.
+        m = re.search(r"(\w+)\s*\([^;]*\)\s*(?:REQUIRES\s*\([^)]*\)\s*)?;",
+                      stmt)
+        if m and not stmt.strip().startswith("#"):
+            ret = stmt[:stmt.find(m.group(1))]
+            vote_status(model, None, m.group(1), ret)
+        return
+    for dm in MUTEX_DECL_RE.finditer(stmt):
+        if dm.group(1) not in cls.mutexes:
+            cls.mutexes.append(dm.group(1))
+            model.mutex_owner[dm.group(1)].append(cls.qual)
+    # Method declaration: `Ret Name(args) [const] [annotations];`
+    mm = re.search(r"(~?\w+)\s*\(", stmt)
+    if mm is not None:
+        name = mm.group(1)
+        ret = stmt[:mm.start()].strip()
+        cls.method_sigs.setdefault(name, stmt)
+        cls.method_returns.setdefault(name, ret)
+        vote_status(model, cls, name, ret)
+    # Data member: type + name.
+    for dm in MEMBER_DECL_RE.finditer(stmt):
+        type_str, member = dm.group(1), dm.group(2)
+        if member not in cls.members and "(" not in type_str:
+            cls.members[member] = type_str
+
+
+def vote_status(model, cls, name, ret):
+    if not ret or name in ("if", "while", "for", "switch", "return"):
+        return
+    is_status = bool(STATUS_RETURN_RE.search(ret))
+    votes = model.status_name_votes[name]
+    votes[0 if is_status else 1] += 1
+    if is_status and cls is not None:
+        model.status_methods[cls.qual].add(name)
+    elif is_status:
+        model.free_status_fns.add(name)
+
+
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?"
+    r"(?:noexcept\b\s*)?(?:->\s*[\w:<>&*\s]+?)?\s*\{")
+
+
+def _extract_lambdas(model, fn):
+    """Lambdas in this codebase are deferred bodies — thread entry points
+    and callbacks invoked with locks dropped — so a lock held where the
+    lambda is *written* is not held where it *runs*. Split each lambda body
+    out as its own anonymous function (same class context, empty entry held
+    set) and blank it from the parent so the parent's scan does not charge
+    the enclosing lock scope for the lambda's work. The cost, documented in
+    the module docstring: an immediately-invoked lambda under a lock is not
+    charged either."""
+    out = []
+    body = fn.body
+    while True:
+        m = LAMBDA_RE.search(body)
+        if m is None:
+            break
+        open_pos = m.end() - 1
+        close = _match_brace(body, open_pos)
+        inner = body[open_pos:close + 1]
+        line = fn.body_line + body.count("\n", 0, open_pos)
+        child = Function(f"{fn.qual}::<lambda:{line}>", fn.cls,
+                         f"<lambda:{line}>", fn.path, "", inner, line)
+        out.append(child)
+        blanked = re.sub(r"[^\n]", " ", body[m.start():close + 1])
+        body = body[:m.start()] + blanked + body[close + 1:]
+    fn.body = body
+    for child in out:
+        grand = _extract_lambdas(model, child)
+        model.functions.append(child)
+        model.functions.extend(grand)
+    return out
+
+
+def register_function(model, scope, rel, head, name, body, body_line):
+    cls_quals = [s[1] for s in scope[1:] if s[0] == "class"]
+    cls = "::".join(cls_quals)
+    # Qualified definitions out of line: `void ModelBundle::Stop() {`.
+    if "::" in name:
+        parts = name.split("::")
+        name = parts[-1]
+        cls = "::".join(parts[:-1]) if not cls else cls + "::" + \
+            "::".join(parts[:-1])
+    qual = (cls + "::" + name) if cls else name
+    fn = Function(qual, cls, name, rel, head, body, body_line)
+    for am in ANNOT_RE.finditer(head):
+        if am.group(1) == "REQUIRES":
+            fn.requires = [a.strip() for a in am.group(2).split(",")
+                           if a.strip() and a.strip() != "!"]
+    model.functions.append(fn)
+    model.funcs_by_name[name].append(fn)
+    model.funcs_by_qual[qual].append(fn)
+    _extract_lambdas(model, fn)
+    # Inline definitions in a class body also declare the method.
+    if cls and cls in model.classes:
+        c = model.classes[cls]
+        c.method_sigs.setdefault(name, head)
+        paren = head.find("(")
+        pre = head[:paren] if paren > 0 else ""
+        ret = pre.rstrip()
+        ret = ret[:ret.rfind(name)] if name in ret else ret
+        c.method_returns.setdefault(name, ret)
+        vote_status(model, c, name, ret)
+    else:
+        paren = head.find("(")
+        if paren > 0 and "::" not in head[:paren].rstrip().split()[-1:][0:1]:
+            pass
+        vote_status(model, None, name, head[:head.find(name)]
+                    if name in head else "")
+
+
+def collect_waivers(model, rel, raw):
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = WAIVER_RE.search(line)
+        if m is None:
+            continue
+        check, arg, why = m.group(1), m.group(2) or "", m.group(3).strip()
+        model.waivers.append(Waiver("allow-" + check
+                                    if not check.startswith("allow-")
+                                    else check, arg, why, rel, lineno))
+
+
+# -- Mutex / call resolution ------------------------------------------------------
+
+def resolve_mutex(model, fn, expr):
+    """Resolves a lock expression to a node "Class::member" (or None)."""
+    expr = expr.strip()
+    parts = re.split(r"\.|->", expr)
+    parts = [re.sub(r"\[.*?\]|\(\)", "", p).strip() for p in parts if p.strip()]
+    if not parts:
+        return None
+    leaf = parts[-1]
+    if len(parts) == 1:
+        # Plain member of the enclosing class chain, innermost first.
+        cls = fn.cls
+        while cls:
+            c = model.classes.get(cls)
+            if c is not None and leaf in c.mutexes:
+                return f"{cls}::{leaf}"
+            cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+        owners = model.mutex_owner.get(leaf, [])
+        if len(owners) == 1:
+            return f"{owners[0]}::{leaf}"
+        if not owners:
+            # A local/global Mutex (fixtures); key it by file for stability.
+            return f"{os.path.basename(fn.path)}::{leaf}"
+        return None
+    # obj.member / obj->member: resolve obj's type, then the member.
+    base = parts[0]
+    type_cls = resolve_var_type(model, fn, base)
+    if type_cls is not None:
+        c = model.classes.get(type_cls)
+        if c is not None and leaf in c.mutexes:
+            return f"{type_cls}::{leaf}"
+    owners = model.mutex_owner.get(leaf, [])
+    if len(owners) == 1:
+        return f"{owners[0]}::{leaf}"
+    return None
+
+
+def resolve_var_type(model, fn, var):
+    """Type (class qual) of `var` in fn: locals/params first, then members."""
+    for m in LOCAL_DECL_RE.finditer(fn.body):
+        if m.group(2) == var:
+            t = class_by_short(model, fn, m.group(1))
+            if t:
+                return t
+    for m in LOCAL_DECL_RE.finditer(fn.sig):
+        if m.group(2) == var:
+            t = class_by_short(model, fn, m.group(1))
+            if t:
+                return t
+    cls = fn.cls
+    while cls:
+        c = model.classes.get(cls)
+        if c is not None and var in c.members:
+            return type_to_class(model, fn, c.members[var])
+        cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+    return None
+
+
+def type_to_class(model, fn, type_str):
+    """Best-effort: the unique known class named inside a member's type."""
+    hits = []
+    for tok in NAME_TOKEN_RE.findall(type_str):
+        short = tok.rsplit("::", 1)[-1]
+        q = class_by_short(model, fn, short)
+        if q and q not in hits:
+            hits.append(q)
+    return hits[0] if len(hits) == 1 else (hits[-1] if hits else None)
+
+
+def class_by_short(model, fn, short):
+    short = short.rsplit("::", 1)[-1]
+    cands = model.short_classes.get(short, [])
+    if not cands:
+        return None
+    if len(cands) == 1:
+        return cands[0]
+    # Prefer a class nested in (or equal to) the enclosing class chain.
+    cls = fn.cls
+    while cls:
+        for q in cands:
+            if q == cls or q.startswith(cls + "::"):
+                return q
+        cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+    return cands[0]
+
+
+def resolve_call(model, fn, chain, name):
+    """Candidate Functions for a call site, or [] when unresolvable."""
+    chain = chain.rstrip()
+    if chain.endswith("::") and not chain.endswith("std::"):
+        qual = chain[:-2].rsplit("::", 1)[-1] + "::" + name
+        # Try full qual, then short-class qual.
+        if qual in model.funcs_by_qual:
+            return model.funcs_by_qual[qual]
+        short = chain[:-2].rsplit("::", 1)[-1]
+        q = class_by_short(model, fn, short)
+        if q and (q + "::" + name) in model.funcs_by_qual:
+            return model.funcs_by_qual[q + "::" + name]
+        cands = model.funcs_by_name.get(name, [])
+        return [f for f in cands if f.cls.endswith(short)] if cands else []
+    if chain.endswith(".") or chain.endswith("->"):
+        base = re.sub(r"\.$|->$", "", chain)
+        base = re.split(r"\.|->", base)[-1]
+        base = re.sub(r"\[.*?\]|\(\)", "", base).strip()
+        t = resolve_var_type(model, fn, base) if base else None
+        if t:
+            while t:
+                if (t + "::" + name) in model.funcs_by_qual:
+                    return model.funcs_by_qual[t + "::" + name]
+                t = t.rsplit("::", 1)[0] if "::" in t else ""
+        return []
+    # Unqualified: method of the enclosing class chain, else a unique free
+    # function. Never a cross-class name union (false cycles beat coverage).
+    cls = fn.cls
+    while cls:
+        if (cls + "::" + name) in model.funcs_by_qual:
+            return model.funcs_by_qual[cls + "::" + name]
+        cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+    cands = model.funcs_by_name.get(name, [])
+    free = [f for f in cands if not f.cls]
+    if len(free) == 1:
+        return free
+    if len({f.qual for f in cands}) == 1:
+        return cands
+    return []
+
+
+# -- Pass 2: body scan ------------------------------------------------------------
+
+class Acquire:
+    def __init__(self, node, depth, line, raii):
+        self.node = node
+        self.depth = depth   # brace depth at the MutexLock declaration
+        self.line = line
+        self.raii = raii
+
+
+def scan_body(model, fn):
+    """Linear scan of one body: lock scopes, calls, allocs, primitives.
+
+    Produces fn.events: ordered list of
+      ("acquire", node, line) / ("release", node, line)
+      ("call", chain, name, line, held: tuple of nodes)
+      ("alloc", line, held)
+    Linear (control flow ignored): in this codebase explicit Lock/Unlock
+    pairs bracket straight-line sections, which a linear scan tracks
+    exactly; RAII scopes are tracked by brace depth.
+    """
+    body = fn.body
+    base_line = fn.body_line
+    held = []  # Acquire, in acquisition order
+    events = []
+    depth = 0
+    consumed = set()  # char positions already claimed by a specific matcher
+
+    # Pre-index interesting positions.
+    marks = []
+    for m in MUTEXLOCK_RE.finditer(body):
+        marks.append((m.start(), "raii", m))
+        consumed.add(m.start())
+    for m in EXPLICIT_LOCK_RE.finditer(body):
+        marks.append((m.start(), "explicit", m))
+    for m in CALL_RE.finditer(body):
+        marks.append((m.start(), "call", m))
+    for m in ALLOC_RE.finditer(body):
+        marks.append((m.start(), "alloc", m))
+    for i, ch in enumerate(body):
+        if ch == "{":
+            marks.append((i, "open", None))
+        elif ch == "}":
+            marks.append((i, "close", None))
+    marks.sort(key=lambda t: (t[0], 0 if t[1] in ("open", "close") else 1))
+
+    for pos, kind, m in marks:
+        line = base_line + body.count("\n", 0, pos)
+        if kind == "open":
+            depth += 1
+        elif kind == "close":
+            depth -= 1
+            still = []
+            for a in held:
+                if a.raii and a.depth > depth:
+                    events.append(("release", a.node, line))
+                else:
+                    still.append(a)
+            held = still
+        elif kind == "raii":
+            node = resolve_mutex(model, fn, m.group(1))
+            if node is not None:
+                held.append(Acquire(node, depth, line, raii=True))
+                events.append(("acquire", node, line))
+        elif kind == "explicit":
+            node = resolve_mutex(model, fn, m.group(1))
+            if node is None:
+                continue
+            op = m.group(2)
+            if op in ("Lock", "TryLock"):
+                held.append(Acquire(node, depth, line, raii=False))
+                events.append(("acquire", node, line))
+            else:
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i].node == node:
+                        del held[i]
+                        break
+                events.append(("release", node, line))
+        elif kind == "call":
+            chain, name = m.group(1), m.group(2)
+            if name in CALL_KEYWORDS or m.start() in consumed:
+                continue
+            if name in ("Lock", "Unlock", "TryLock") and chain:
+                continue  # handled by the explicit matcher
+            events.append(("call", chain, name, line,
+                           tuple(a.node for a in held)))
+        elif kind == "alloc":
+            events.append(("alloc", line, tuple(a.node for a in held)))
+    fn.events = events
+
+
+# -- Pass 3: summaries (fixpoint) -------------------------------------------------
+
+def is_blocking_call(model, fn, chain, name):
+    """(primitive-description or None) for a direct call site."""
+    if name in BLOCKING_NAMES:
+        # CondVar waits and stats counters never collide with these names;
+        # `Send`/`Recv`/`Connect`/`Poll` are the net:: wrappers or raw
+        # syscalls either way.
+        return f"{chain}{name}()"
+    if name in RECEIVER_BLOCKING:
+        want = RECEIVER_BLOCKING[name]
+        base = re.split(r"\.|->", chain.rstrip(".->"))[-1] if chain else ""
+        base = re.sub(r"\[.*?\]|\(\)", "", base).strip()
+        type_str = find_var_type_string(model, fn, base) if base else ""
+        if want in type_str:
+            return f"{chain}{name}() [{want}]"
+    return None
+
+
+def find_var_type_string(model, fn, var):
+    for m in LOCAL_DECL_RE.finditer(fn.body):
+        if m.group(2) == var:
+            return m.group(1)
+    for m in re.finditer(r"([\w:<>]+)\s*[&*]?\s+(\w+)\s*[,)=;({]", fn.sig):
+        if m.group(2) == var:
+            return m.group(1)
+    cls = fn.cls
+    while cls:
+        c = model.classes.get(cls)
+        if c is not None and var in c.members:
+            return c.members[var]
+        cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+    # std::thread locals are declared `std::thread to_join;` — covered by
+    # LOCAL_DECL_RE only when initialized; retry plain declarations.
+    m = re.search(r"([\w:<>]+)\s+" + re.escape(var) + r"\s*;", fn.body)
+    return m.group(1) if m else ""
+
+
+def compute_summaries(model):
+    changed = True
+    rounds = 0
+    while changed and rounds < 50:
+        changed = False
+        rounds += 1
+        for fn in model.functions:
+            for ev in fn.events:
+                if ev[0] == "acquire":
+                    node = ev[1]
+                    if node not in fn.summary_acquires and \
+                            node not in requires_nodes(model, fn):
+                        fn.summary_acquires.add(node)
+                        changed = True
+                elif ev[0] == "call":
+                    _, chain, name, line, _held = ev
+                    prim = is_blocking_call(model, fn, chain, name)
+                    if prim is not None and prim not in fn.summary_blocking:
+                        fn.summary_blocking[prim] = [fn.qual]
+                        changed = True
+                    for callee in resolve_call(model, fn, chain, name):
+                        for node in callee.summary_acquires:
+                            if node not in fn.summary_acquires and \
+                                    node not in requires_nodes(model, fn):
+                                fn.summary_acquires.add(node)
+                                changed = True
+                        for prim, via in callee.summary_blocking.items():
+                            if prim not in fn.summary_blocking and \
+                                    len(via) < 6:
+                                fn.summary_blocking[prim] = [fn.qual] + via
+                                changed = True
+
+
+def requires_nodes(model, fn):
+    nodes = set()
+    # REQUIRES annotations live on the declaration (header); merge them in.
+    reqs = list(fn.requires)
+    c = model.classes.get(fn.cls)
+    if c is not None and fn.name in c.method_sigs:
+        for am in ANNOT_RE.finditer(c.method_sigs[fn.name]):
+            if am.group(1) == "REQUIRES":
+                reqs.extend(a.strip() for a in am.group(2).split(",")
+                            if a.strip())
+    for expr in reqs:
+        node = resolve_mutex(model, fn, expr)
+        if node is not None:
+            nodes.add(node)
+    return nodes
+
+
+# -- Checks -----------------------------------------------------------------------
+
+def line_is_waived(model, check, path, line):
+    for w in model.waivers:
+        if w.path == path and w.check == "allow-" + check and \
+                w.line in (line, line - 1):
+            if not w.why:
+                continue  # unjustified waivers never waive anything
+            w.used = True
+            return True
+    return False
+
+
+def edge_waived(model, a, b):
+    spec = None
+    for w in model.waivers:
+        if w.check != "allow-lock-order" or not w.arg or not w.why:
+            continue
+        m = re.match(r"\s*(\S+)\s*->\s*(\S+)\s*$", w.arg)
+        if m is None:
+            continue
+        if node_matches(m.group(1), a) and node_matches(m.group(2), b):
+            w.used = True
+            return True
+        spec = w
+    _ = spec
+    return False
+
+
+def node_matches(pat, node):
+    return node == pat or node.endswith("::" + pat) or \
+        node.rsplit("::", 1)[-1] == pat.rsplit("::", 1)[-1] and \
+        pat.rsplit("::", 1)[0] in node
+
+
+def check_lock_order(model, findings, dump=None):
+    edges = {}    # (a, b) -> (path, line, note)
+    waived = []
+    for fn in model.functions:
+        entry = tuple(sorted(requires_nodes(model, fn)))
+        held_map_events(model, fn, entry, edges, waived)
+    graph = defaultdict(set)
+    for (a, b) in edges:
+        graph[a].add(b)
+    if dump is not None:
+        dump["nodes"] = sorted({n for e in edges for n in e} |
+                               {n for e in waived for n in e[0]})
+        dump["edges"] = [
+            {"from": a, "to": b, "site": f"{p}:{ln}", "note": note}
+            for (a, b), (p, ln, note) in sorted(edges.items())]
+        dump["waived_edges"] = [
+            {"from": a, "to": b, "site": f"{p}:{ln}"}
+            for (a, b), (p, ln) in sorted(
+                {(e, (p, ln)) for e, p, ln in waived})]
+    # Cycle detection (iterative DFS, reporting one representative cycle).
+    color = {}
+    stack_path = []
+
+    def dfs(u):
+        color[u] = 1
+        stack_path.append(u)
+        for v in sorted(graph.get(u, ())):
+            if color.get(v, 0) == 0:
+                cyc = dfs(v)
+                if cyc:
+                    return cyc
+            elif color.get(v) == 1:
+                return stack_path[stack_path.index(v):] + [v]
+        stack_path.pop()
+        color[u] = 2
+        return None
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            cyc = dfs(node)
+            if cyc:
+                sites = []
+                for a, b in zip(cyc, cyc[1:]):
+                    p, ln, note = edges[(a, b)]
+                    sites.append(f"    {a} -> {b}  at {p}:{ln}  ({note})")
+                first = edges[(cyc[0], cyc[1])]
+                findings.append(Finding(
+                    "lock-order", first[0], first[1],
+                    "potential deadlock: lock-order cycle\n" +
+                    "\n".join(sites) +
+                    "\n    (waive a deliberately-ordered edge with "
+                    "// sttr-analyze: allow-lock-order(A -> B): <why>)"))
+                return  # one cycle per run keeps the report readable
+
+
+def held_map_events(model, fn, entry, edges, waived):
+    held = list(entry)
+    for ev in fn.events:
+        if ev[0] == "acquire":
+            node, line = ev[1], ev[2]
+            for h in held:
+                if h == node:
+                    continue
+                record_edge(model, edges, waived, h, node, fn.path, line,
+                            f"in {fn.qual}")
+            held.append(node)
+        elif ev[0] == "release":
+            node = ev[1]
+            if node in held:
+                held.remove(node)
+        elif ev[0] == "call":
+            _, chain, name, line, held_at = ev
+            context = set(entry) | set(held_at)
+            if not context:
+                continue
+            for callee in resolve_call(model, fn, chain, name):
+                for node in sorted(callee.summary_acquires):
+                    for h in context:
+                        if h == node:
+                            continue
+                        record_edge(model, edges, waived, h, node, fn.path,
+                                    line,
+                                    f"{fn.qual} -> {callee.qual}")
+
+
+def record_edge(model, edges, waived, a, b, path, line, note):
+    if edge_waived(model, a, b):
+        waived.append(((a, b), path, line))
+        return
+    edges.setdefault((a, b), (path, line, note))
+
+
+def check_blocking(model, findings):
+    for fn in model.functions:
+        if not (fn.path.startswith("src/serve/") or
+                fn.path.startswith("src/stream/")):
+            continue
+        entry = requires_nodes(model, fn)
+        for ev in fn.events:
+            if ev[0] == "alloc":
+                line, held = ev[1], ev[2]
+                if (held or entry) and not line_is_waived(
+                        model, "alloc", fn.path, line):
+                    lock = held[-1] if held else sorted(entry)[0]
+                    findings.append(Finding(
+                        "alloc-under-lock", fn.path, line,
+                        f"heap allocation while holding {lock} "
+                        f"(in {fn.qual}; hoist it out of the lock scope or "
+                        "waive with // sttr-analyze: allow-alloc: <why>)"))
+            elif ev[0] == "call":
+                _, chain, name, line, held = ev
+                context = set(held) | entry
+                if not context:
+                    continue
+                prim = is_blocking_call(model, fn, chain, name)
+                chains = []
+                if prim is not None:
+                    chains.append((prim, [fn.qual]))
+                else:
+                    for callee in resolve_call(model, fn, chain, name):
+                        for p, via in sorted(callee.summary_blocking.items()):
+                            chains.append((p, [fn.qual] + via))
+                if not chains:
+                    continue
+                if line_is_waived(model, "blocking", fn.path, line):
+                    continue
+                prim, via = chains[0]
+                lock = sorted(context)[0]
+                findings.append(Finding(
+                    "blocking-under-lock", fn.path, line,
+                    f"blocking call {prim} reachable while holding {lock} "
+                    f"(chain: {' -> '.join(via)}; move the IO out of the "
+                    "lock scope or waive with "
+                    "// sttr-analyze: allow-blocking: <why>)"))
+
+
+def check_layering(model, findings, src_prefix="src/"):
+    closure = {}
+
+    def close(d, seen=()):
+        if d in closure:
+            return closure[d]
+        out = set()
+        for dep in LAYERS.get(d, []):
+            if dep in seen:
+                continue
+            out.add(dep)
+            out |= close(dep, seen + (d,))
+        closure[d] = out
+        return out
+
+    for d in LAYERS:
+        close(d)
+    for rel, incs in sorted(model.includes.items()):
+        if not rel.startswith(src_prefix):
+            continue
+        parts = rel[len(src_prefix):].split("/")
+        d = parts[0] if len(parts) > 1 else ""
+        raw_lines = model.raw_lines.get(rel, [])
+        for inc in incs:
+            tgt = inc.split("/")[0] if "/" in inc else ""
+            if not tgt or tgt == d or tgt not in LAYERS:
+                continue
+            line = next((i + 1 for i, l in enumerate(raw_lines)
+                         if inc in l and "#include" in l), 1)
+            if d not in LAYERS:
+                findings.append(Finding(
+                    "layering", rel, line,
+                    f"directory src/{d}/ is not in the blessed layering "
+                    "DAG (add it to LAYERS in tools/sttr_analyze.py with "
+                    "its dependencies)"))
+                continue
+            if tgt not in closure[d]:
+                if line_is_waived(model, "layering", rel, line):
+                    continue
+                findings.append(Finding(
+                    "layering", rel, line,
+                    f'#include "{inc}": src/{d}/ may not depend on '
+                    f"src/{tgt}/ (blessed order: "
+                    f"{d} -> {{{', '.join(sorted(closure[d])) or 'nothing'}}})"))
+    # File-level include cycles anywhere under src/.
+    graph = {rel: [i for i in incs
+                   if (src_prefix + i) in model.includes]
+             for rel, incs in model.includes.items()
+             if rel.startswith(src_prefix)}
+    graph = {rel: [src_prefix + i for i in incs]
+             for rel, incs in graph.items()}
+    color = {}
+    stack = []
+
+    def dfs(u):
+        color[u] = 1
+        stack.append(u)
+        for v in graph.get(u, ()):
+            if color.get(v, 0) == 0:
+                c = dfs(v)
+                if c:
+                    return c
+            elif color.get(v) == 1:
+                return stack[stack.index(v):] + [v]
+        stack.pop()
+        color[u] = 2
+        return None
+
+    for rel in sorted(graph):
+        if color.get(rel, 0) == 0:
+            cyc = dfs(rel)
+            if cyc:
+                findings.append(Finding(
+                    "layering", cyc[0], 1,
+                    "include cycle: " + " -> ".join(cyc)))
+                break
+
+
+def check_status_discipline(model, findings):
+    # 1. The Status/StatusOr declarations themselves must be [[nodiscard]].
+    for rel, lines in model.raw_lines.items():
+        if not rel.endswith("status.h"):
+            continue
+        src = "\n".join(lines)
+        for cls in ("Status", "StatusOr"):
+            m = re.search(r"^\s*(?:template\s*<[^>]*>\s*)?class\s+"
+                          r"(\[\[nodiscard\]\]\s+)?" + cls + r"\b[^;]*?\{",
+                          src, re.MULTILINE | re.DOTALL)
+            if m is not None and not m.group(1):
+                findings.append(Finding(
+                    "status-discipline", rel,
+                    src[:m.start()].count("\n") + 1,
+                    f"class {cls} must be declared [[nodiscard]] so the "
+                    "compiler flags every discarded result"))
+    # 2. No statement-level discard of a Status-returning call.
+    ambiguous = {name for name, (s, o) in model.status_name_votes.items()
+                 if s > 0 and o > 0}
+    for fn in model.functions:
+        if not fn.path.startswith("src/"):
+            continue
+        for stmt, line in iter_statements(fn):
+            m = re.match(r"((?:[\w\]\[\.\->:]+(?:\.|->|::))?)(\w+)\s*\(",
+                         stmt)
+            if m is None:
+                continue
+            name, chain = m.group(2), m.group(1)
+            if not is_status_call(model, fn, chain, name, ambiguous):
+                continue
+            close = match_paren(stmt, m.end() - 1)
+            if close is None or stmt[close + 1:].strip():
+                continue  # result is consumed (member access, chaining, ...)
+            if line_is_waived(model, "discard", fn.path, line):
+                continue
+            findings.append(Finding(
+                "status-discipline", fn.path, line,
+                f"result of Status-returning {name}() is discarded "
+                "(check it, assign it, or waive with "
+                "// sttr-analyze: allow-discard: <why>)"))
+
+
+def is_status_call(model, fn, chain, name, ambiguous):
+    if name in ambiguous:
+        # Mixed-return name: only a receiver-resolved call is trustworthy.
+        cands = resolve_call(model, fn, chain, name)
+        if len(cands) != 1:
+            return False
+        c = model.classes.get(cands[0].cls)
+        return c is not None and name in model.status_methods.get(c.qual, ())
+    votes = model.status_name_votes.get(name)
+    return votes is not None and votes[0] > 0 and votes[1] == 0
+
+
+def iter_statements(fn):
+    """(statement text, line) for each `;`-terminated top-paren-level chunk."""
+    body = fn.body[1:-1] if fn.body.startswith("{") else fn.body
+    base = fn.body_line
+    start = 0
+    depth = 0
+    for i, c in enumerate(body):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c in ";{}" and depth <= 0:
+            stmt = body[start:i].strip()
+            if stmt:
+                line = base + fn.body[1:].count("\n", 0, start)
+                # Line of the statement's first non-blank char.
+                lead = body[start:i]
+                line = base + fn.body[1:].count(
+                    "\n", 0, start + (len(lead) - len(lead.lstrip())))
+                yield stmt, line
+            start = i + 1
+    return
+
+
+def match_paren(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def check_waiver_syntax(model, findings):
+    for w in model.waivers:
+        known = {"allow-lock-order", "allow-blocking", "allow-alloc",
+                 "allow-layering", "allow-discard"}
+        if w.check not in known:
+            findings.append(Finding(
+                "waiver-syntax", w.path, w.line,
+                f"unknown waiver '{w.check}' (known: "
+                f"{', '.join(sorted(known))})"))
+        elif not w.why:
+            findings.append(Finding(
+                "waiver-syntax", w.path, w.line,
+                f"waiver '{w.check}' needs a one-line justification after "
+                "the colon"))
+        elif w.check == "allow-lock-order" and (
+                not w.arg or "->" not in w.arg):
+            findings.append(Finding(
+                "waiver-syntax", w.path, w.line,
+                "allow-lock-order must name the edge: "
+                "allow-lock-order(A::mu -> B::mu): <why>"))
+
+
+def report_unused_waivers(model, findings):
+    for w in model.waivers:
+        if w.why and not w.used and w.check in (
+                "allow-lock-order", "allow-blocking", "allow-alloc",
+                "allow-layering", "allow-discard"):
+            # An unused waiver is stale documentation; keep the tree honest.
+            findings.append(Finding(
+                "waiver-syntax", w.path, w.line,
+                f"waiver '{w.check}' no longer matches anything — the "
+                "finding it justified is gone; delete the comment"))
+
+
+# -- Driver -----------------------------------------------------------------------
+
+def iter_source_files(root, compile_commands=None):
+    """repo-relative source paths, honouring --compile-commands if given."""
+    src_root = os.path.join(root, "src")
+    if compile_commands:
+        with open(compile_commands, encoding="utf-8") as f:
+            tus = json.load(f)
+        rels = set()
+        for tu in tus:
+            p = os.path.normpath(os.path.join(tu.get("directory", ""),
+                                              tu["file"]))
+            rel = os.path.relpath(p, root).replace(os.sep, "/")
+            if rel.startswith("src/"):
+                rels.add(rel)
+        # Headers ride along: every src/ header is in some TU's include set.
+        for dirpath, _dirs, files in os.walk(src_root):
+            for name in sorted(files):
+                if name.endswith((".h", ".hpp")):
+                    rels.add(os.path.relpath(
+                        os.path.join(dirpath, name), root).replace(os.sep,
+                                                                   "/"))
+        return sorted(rels)
+    rels = []
+    for dirpath, _dirs, files in os.walk(src_root):
+        for name in sorted(files):
+            if name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                rels.append(os.path.relpath(
+                    os.path.join(dirpath, name), root).replace(os.sep, "/"))
+    return sorted(rels)
+
+
+def build_model(root, compile_commands=None):
+    model = Model()
+    for rel in iter_source_files(root, compile_commands):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw = f.read()
+        parse_file(model, rel, raw)
+    for fn in model.functions:
+        scan_body(model, fn)
+    compute_summaries(model)
+    return model
+
+
+def analyze(root, compile_commands=None, dump=None):
+    model = build_model(root, compile_commands)
+    findings = []
+    check_waiver_syntax(model, findings)
+    check_lock_order(model, findings, dump)
+    check_blocking(model, findings)
+    check_layering(model, findings)
+    check_status_discipline(model, findings)
+    report_unused_waivers(model, findings)
+    return model, findings
+
+
+# -- Self-test --------------------------------------------------------------------
+
+FIXTURE_ROOT = "tests/lint_fixtures/analyze"
+
+
+def self_test(repo_root):
+    """Each tests/lint_fixtures/analyze/<case>/ is a mini repo (its own
+    src/ tree); an EXPECT file lists the checks that must fire (one per
+    line, empty or absent = must analyze clean). The fired set must match
+    exactly — a fixture that trips an unrelated check is itself a bug."""
+    fixture_root = os.path.join(repo_root, FIXTURE_ROOT)
+    if not os.path.isdir(fixture_root):
+        print(f"self-test: no fixtures under {FIXTURE_ROOT}",
+              file=sys.stderr)
+        return 1
+    cases = sorted(d for d in os.listdir(fixture_root)
+                   if os.path.isdir(os.path.join(fixture_root, d)))
+    if not cases:
+        print("self-test: fixture directory is empty", file=sys.stderr)
+        return 1
+    failures = 0
+    for case in cases:
+        case_dir = os.path.join(fixture_root, case)
+        expect_path = os.path.join(case_dir, "EXPECT")
+        expected = []
+        if os.path.exists(expect_path):
+            with open(expect_path, encoding="utf-8") as f:
+                expected = sorted({ln.strip() for ln in f
+                                   if ln.strip() and not
+                                   ln.strip().startswith("#")})
+        _model, findings = analyze(case_dir)
+        fired = sorted({f.check for f in findings})
+        if fired != expected:
+            failures += 1
+            print(f"self-test FAIL {case}:\n"
+                  f"  expected checks: {expected or ['<clean>']}\n"
+                  f"  fired checks:    {fired or ['<clean>']}",
+                  file=sys.stderr)
+            for f in findings:
+                print(f"    {f}", file=sys.stderr)
+        else:
+            print(f"self-test ok    {case}: "
+                  f"{', '.join(expected) if expected else 'clean'}")
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} fixture cases passed.")
+    return 0
+
+
+def usage():
+    return """\
+usage: tools/sttr_analyze.py [--root=DIR] [--compile-commands=FILE]
+                             [--self-test] [--dump-graph] [--list-checks]
+
+Whole-program concurrency/layering analyzer; any finding fails the run.
+Registered as the tier-1 ctests sttr_analyze and sttr_analyze_selftest.
+
+flags:
+  --root=DIR               repository root to analyze (default: repo of this
+                           script)
+  --compile-commands=FILE  restrict the .cc set to the TUs in a
+                           compile_commands.json (headers always included)
+  --self-test              run every check against its fixture trees under
+                           tests/lint_fixtures/analyze/ and exit
+  --dump-graph             print the global lock-order graph (nodes, edges
+                           with one example site each, waived edges) as JSON
+                           and exit 0 regardless of other checks' findings
+  --list-checks            print every check with its rationale and exit
+  --help                   print this help and exit
+"""
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    compile_commands = None
+    run_self_test = False
+    dump_graph = False
+    for arg in argv[1:]:
+        if arg.startswith("--root="):
+            repo_root = arg[len("--root="):]
+        elif arg.startswith("--compile-commands="):
+            compile_commands = arg[len("--compile-commands="):]
+        elif arg == "--self-test":
+            run_self_test = True
+        elif arg == "--dump-graph":
+            dump_graph = True
+        elif arg == "--list-checks":
+            width = max(len(c) for c in CHECKS)
+            for check, why in CHECKS.items():
+                print(f"  {check}{' ' * (width - len(check) + 2)}{why}")
+            return 0
+        elif arg in ("--help", "-h"):
+            sys.stdout.write(usage())
+            return 0
+        else:
+            print(f"error: unknown flag '{arg}' (see --help)",
+                  file=sys.stderr)
+            return 2
+
+    if run_self_test:
+        return self_test(repo_root)
+
+    dump = {} if dump_graph else None
+    _model, findings = analyze(repo_root, compile_commands, dump)
+    if dump_graph:
+        json.dump(dump, sys.stdout, indent=2)
+        print()
+        return 0
+    if findings:
+        for f in findings:
+            print(f, file=sys.stderr)
+        print(f"sttr_analyze: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("sttr_analyze: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

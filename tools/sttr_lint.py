@@ -23,11 +23,14 @@ Four invariants, each load-bearing for the reproduction's contract
                       layers must stay fully analyzed) and requires a
                       one-line justification comment everywhere else in
                       src/.
-  raw-socket          ::connect / ::send / ::recv may appear only inside
-                      src/util/socket_io.* (sttr::net::{Connect,Send,Recv}).
-                      A raw call anywhere else bypasses the fault-injection
-                      seam the chaos suites rely on, so the fault paths it
-                      takes are exactly the ones that never get tested.
+  raw-socket          ::connect / ::send / ::recv / ::poll / ::accept4
+                      may appear only inside src/util/socket_io.*
+                      (sttr::net::{Connect,Send,Recv,Poll}). A raw call
+                      anywhere else bypasses the fault-injection seam the
+                      chaos suites rely on, so the fault paths it takes are
+                      exactly the ones that never get tested. (::poll was
+                      added when the router's fan-out loop was found to
+                      escape the seam; ::accept4 preemptively with it.)
 
 Runs as a tier-1 ctest (sttr_lint) plus a fixture-driven self-test
 (sttr_lint_selftest); see tools/README.md.
@@ -46,7 +49,8 @@ RULES = {
         "NO_THREAD_SAFETY_ANALYSIS in src/serve/ or src/stream/, or "
         "without justification",
     "raw-socket":
-        "raw ::connect/::send/::recv outside src/util/socket_io.*",
+        "raw ::connect/::send/::recv/::poll/::accept4 outside "
+        "src/util/socket_io.*",
 }
 
 # Randomness sources that bypass sttr::Rng. \b guards keep identifiers like
@@ -72,7 +76,7 @@ TEST_INCLUDE = re.compile(r'^\s*#\s*include\s*[<"](?:\.\./)*tests/')
 # fault-injection seam. Requiring the leading :: is deliberate: net::Send /
 # any_object.send(...) stay legal, and the wrappers themselves are the only
 # place a bare ::send belongs.
-RAW_SOCKET = re.compile(r"(?<![\w:])::(?:connect|send|recv)\s*\(")
+RAW_SOCKET = re.compile(r"(?<![\w:])::(?:connect|send|recv|poll|accept4)\s*\(")
 
 ESCAPE_MACRO = "NO_THREAD_SAFETY_ANALYSIS"
 
